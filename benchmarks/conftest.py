@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper by
+calling the corresponding function in :mod:`repro.bench.experiments`, prints
+the resulting table(s), and asserts the qualitative shape the paper reports
+(who wins, what degrades, where the crossovers are).
+
+The experiments run at a reduced scale by default so the whole suite finishes
+in a few minutes; set the ``REPRO_BENCH_SCALE`` environment variable to a
+value greater than 1.0 to run closer to paper scale, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Multiplier applied to batch counts / operation counts."""
+
+    try:
+        return max(float(os.environ.get("REPRO_BENCH_SCALE", "1.0")), 0.1)
+    except ValueError:
+        return 1.0
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an iteration count by ``REPRO_BENCH_SCALE``."""
+
+    return max(int(value * bench_scale()), minimum)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

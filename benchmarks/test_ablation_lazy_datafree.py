@@ -1,0 +1,90 @@
+"""Ablations: the individual contributions of WedgeChain's design choices.
+
+These go beyond the paper's figures and quantify the design decisions
+DESIGN.md calls out:
+
+* **Data-free certification** — same lazy protocol, but the full block is
+  shipped to the cloud for certification.  Phase I latency is unchanged (the
+  client never waits for the cloud), but WAN traffic and Phase II latency
+  grow substantially.
+* **Lazy vs eager certification** — already measured by WedgeChain vs the
+  Edge-baseline in Figure 4; asserted here as a direct ratio.
+* **Gossip interval** — the omission-attack detection delay is bounded by the
+  gossip interval (Section IV-E).
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import scaled
+
+from repro.bench import (
+    ablation_data_free_certification,
+    ablation_gossip_interval,
+    config_for_batch,
+    print_tables,
+    run_workload,
+    write_workload,
+)
+
+
+def test_ablation_data_free_certification(benchmark):
+    table = benchmark.pedantic(
+        ablation_data_free_certification,
+        kwargs={"batch_sizes": (100, 500, 1000), "num_batches": scaled(8, minimum=4)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    for batch_size in (100, 500, 1000):
+        data_free = table.rows_where(batch_size=batch_size, variant="data-free")[0]
+        full_data = table.rows_where(batch_size=batch_size, variant="full-data")[0]
+        # Phase I latency is unaffected: certification stays off the critical path.
+        assert abs(data_free["commit_latency_ms"] - full_data["commit_latency_ms"]) < 10.0
+        # Data-free certification sends far fewer bytes across the WAN.
+        assert full_data["wan_megabytes"] > data_free["wan_megabytes"] * 1.5
+    # The WAN savings grow with the batch size.
+    savings = [
+        table.rows_where(batch_size=b, variant="full-data")[0]["wan_megabytes"]
+        - table.rows_where(batch_size=b, variant="data-free")[0]["wan_megabytes"]
+        for b in (100, 500, 1000)
+    ]
+    assert savings == sorted(savings)
+
+
+def test_ablation_lazy_vs_eager_certification(benchmark):
+    """Lazy certification is what removes the WAN from the commit path."""
+
+    def run_pair():
+        workload = write_workload(batch_size=200, num_batches=scaled(6, minimum=3))
+        config = config_for_batch(200)
+        lazy = run_workload("wedgechain", workload, config=config)
+        eager = run_workload("edge-baseline", workload, config=config)
+        return lazy, eager
+
+    lazy, eager = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(
+        f"\nlazy (WedgeChain) commit: {lazy.mean_commit_latency_ms:.1f} ms; "
+        f"eager (Edge-baseline) commit: {eager.mean_commit_latency_ms:.1f} ms"
+    )
+    assert eager.mean_commit_latency_ms > 3 * lazy.mean_commit_latency_ms
+
+
+def test_ablation_gossip_interval(benchmark):
+    table = benchmark.pedantic(
+        ablation_gossip_interval,
+        kwargs={"intervals_s": (0.25, 0.5, 1.0, 2.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    for row in table.rows:
+        # The omission is always detected and punished ...
+        assert row["edge_punished"] is True
+        assert not math.isnan(row["detection_delay_s"])
+        # ... within a small multiple of the gossip interval (plus the read
+        # retry granularity).
+        assert row["detection_delay_s"] < row["gossip_interval_s"] * 10 + 5.0

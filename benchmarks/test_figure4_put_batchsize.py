@@ -1,0 +1,55 @@
+"""Figure 4: put latency and throughput while varying the batch size.
+
+Paper findings to reproduce (Section VI-A):
+
+* WedgeChain commits at edge latency (15-20 ms in the paper) and is barely
+  affected by the batch size.
+* Cloud-only pays the client-cloud round trip (~80 ms) on every batch.
+* Edge-baseline is the slowest and degrades markedly with the batch size
+  (109 ms -> 213 ms in the paper) because the synchronous full-data
+  certification sits on the critical path.
+* Throughput: WedgeChain grows by an order of magnitude across the sweep and
+  stays far above both baselines.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.bench import figure4_put_batch_size, print_tables
+
+BATCH_SIZES = (100, 500, 1000, 1500, 2000)
+
+
+def test_figure4_latency_and_throughput(benchmark):
+    latency, throughput = benchmark.pedantic(
+        figure4_put_batch_size,
+        kwargs={"batch_sizes": BATCH_SIZES, "num_batches": scaled(6)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([latency, throughput])
+
+    wedge_latency = latency.column("WedgeChain")
+    cloud_latency = latency.column("Cloud-only")
+    edge_latency = latency.column("Edge-baseline")
+
+    # WedgeChain is the fastest at every batch size and stays within tens of ms.
+    for wedge, cloud, edge in zip(wedge_latency, cloud_latency, edge_latency):
+        assert wedge < cloud < edge
+        assert wedge < 60.0
+    # Cloud-only sits in the neighbourhood of the CA-Virginia round trip.
+    assert min(cloud_latency) > 55.0
+    # Edge-baseline degrades the most as the batch grows (paper: ~2x).
+    assert edge_latency[-1] / edge_latency[0] > 1.5
+    assert edge_latency[-1] / edge_latency[0] > wedge_latency[-1] / wedge_latency[0]
+
+    wedge_throughput = throughput.column("WedgeChain")
+    cloud_throughput = throughput.column("Cloud-only")
+    edge_throughput = throughput.column("Edge-baseline")
+    # Throughput ordering holds at every batch size.
+    for wedge, cloud, edge in zip(wedge_throughput, cloud_throughput, edge_throughput):
+        assert wedge > cloud > edge * 0.9
+    # WedgeChain gains roughly an order of magnitude across the sweep
+    # (paper: 6.6K -> ~100K ops/s).
+    assert wedge_throughput[-1] / wedge_throughput[0] > 5.0

@@ -1,0 +1,147 @@
+"""Figure 5(d): best-case read latency and client-side verification overhead.
+
+Paper findings to reproduce: with communication taken out of the picture,
+WedgeChain and the Edge-baseline serve a read in well under a millisecond of
+server+client work, a fraction of which (0.19 ms of 0.71 ms in the paper) is
+client-side proof verification; Cloud-only is slightly faster because its
+results are trusted and need no verification.
+
+This module also contains true wall-clock microbenchmarks (pytest-benchmark
+statistics) of the verification path itself, since that cost is a real CPU
+cost of this implementation rather than a simulated one.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure5d_best_case_read, print_tables
+from repro.common.config import LSMerkleConfig
+from repro.common.identifiers import client_id, cloud_id, edge_id
+from repro.crypto.signatures import KeyRegistry
+from repro.log.block import build_block
+from repro.log.entry import make_entry
+from repro.log.proofs import issue_block_proof
+from repro.lsmerkle.codec import encode_put, page_from_block
+from repro.lsmerkle.merge import CloudIndexMirror, MergeProposal
+from repro.lsmerkle.mlsm import MerkleizedLSM
+from repro.lsmerkle.read_proof import build_get_proof, verify_get_proof
+
+
+def test_figure5d_simulated_best_case(benchmark):
+    table = benchmark.pedantic(
+        figure5d_best_case_read,
+        kwargs={"num_preload_batches": 4, "batch_size": 50, "num_reads": 20},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    by_system = {row["system"]: row for row in table.rows}
+    wedge = by_system["WedgeChain"]
+    edge_baseline = by_system["Edge-baseline"]
+    cloud = by_system["Cloud-only"]
+    # Edge systems read in a few milliseconds at most when co-located.
+    assert wedge["read_latency_ms"] < 10.0
+    assert edge_baseline["read_latency_ms"] < 10.0
+    # Cloud-only needs no verification; edge systems pay a non-zero overhead.
+    assert cloud["verification_overhead_ms"] == 0.0
+    assert wedge["verification_overhead_ms"] > 0.0
+    # Verification is a minority share of the read (0.19 of 0.71 ms in the paper).
+    assert wedge["verification_overhead_ms"] < wedge["read_latency_ms"]
+
+
+# ----------------------------------------------------------------------
+# Wall-clock microbenchmarks of the verification path
+# ----------------------------------------------------------------------
+def _build_proof_fixture(num_blocks: int = 4, entries_per_block: int = 50):
+    registry = KeyRegistry("hmac")
+    cloud, edge, alice = cloud_id(), edge_id("edge-0"), client_id("alice")
+    for node in (cloud, edge, alice):
+        registry.register(node)
+
+    index = MerkleizedLSM(
+        config=LSMerkleConfig(level_thresholds=(8, 8, 16, 32)), page_capacity=entries_per_block
+    )
+    mirror = CloudIndexMirror(
+        edge=edge, config=index.tree.config, page_capacity=entries_per_block
+    )
+    certified = {}
+    evidence = []
+    blocks = []
+    for block_id in range(num_blocks):
+        entries = [
+            make_entry(
+                registry,
+                alice,
+                block_id * entries_per_block + i,
+                encode_put(f"key{block_id:03d}-{i:04d}", b"v" * 100),
+                1.0,
+            )
+            for i in range(entries_per_block)
+        ]
+        block = build_block(edge, block_id, entries, created_at=float(block_id))
+        blocks.append(block)
+        certified[block_id] = block.digest()
+        proof = issue_block_proof(registry, cloud, edge, block_id, block.digest(), 1.0)
+        index.add_level_zero_page(page_from_block(block))
+        evidence.append((block, proof))
+
+    # Merge half of the blocks into level 1 so the proof has level evidence too.
+    merged = blocks[: num_blocks // 2]
+    proposal = MergeProposal(
+        edge=edge,
+        level_index=0,
+        source_blocks=tuple(merged),
+        target_pages=(),
+    )
+    outcome = mirror.execute_merge(proposal, certified, registry, cloud, now=5.0)
+    remaining_pages = [
+        page
+        for page in index.tree.levels[0].pages
+        if page.source_block_id >= num_blocks // 2
+    ]
+    index.install_merge(0, outcome.merged_pages, remaining_pages)
+    evidence = [item for item in evidence if item[0].block_id >= num_blocks // 2]
+
+    key = "key000-0001"  # lives in a merged level-1 page
+    result = index.get(key)
+    proof = build_get_proof(
+        key=key,
+        index=index,
+        level_zero_blocks=evidence,
+        signed_root=outcome.signed_root,
+        found_level=result.level_index,
+    )
+    return registry, cloud, edge, key, proof
+
+
+def test_microbench_get_proof_verification(benchmark):
+    """Wall-clock cost of verifying a full LSMerkle get proof at the client."""
+
+    registry, cloud, edge, key, proof = _build_proof_fixture()
+    result = benchmark(
+        verify_get_proof, registry, cloud, edge, key, proof
+    )
+    assert result.found
+
+
+def test_microbench_get_proof_construction(benchmark):
+    """Wall-clock cost of building the get proof at the edge node."""
+
+    registry, cloud, edge, key, proof = _build_proof_fixture()
+    # Rebuild the proof repeatedly from the same index state.
+    index = MerkleizedLSM(
+        config=LSMerkleConfig(level_thresholds=(8, 8, 16, 32)), page_capacity=50
+    )
+    evidence = [(item.block, item.proof) for item in proof.level_zero]
+
+    def construct():
+        return build_get_proof(
+            key=key,
+            index=index,
+            level_zero_blocks=evidence,
+            signed_root=None,
+            found_level=0,
+        )
+
+    built = benchmark(construct)
+    assert built.key == key

@@ -1,0 +1,59 @@
+"""Figure 6: Phase I vs Phase II commit progress over time.
+
+Paper findings to reproduce (Section VI-C): with small batches the Phase II
+certification keeps up with Phase I commitment (the two curves overlap); as
+the batch size grows, Phase I keeps committing at the pace of the edge while
+Phase II lags further and further behind — the whole point of lazy
+certification is that the client-visible commit rate is unaffected by that
+lag.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.bench import figure6_commit_phases, print_tables
+
+BATCH_SIZES = (100, 500, 1000)
+
+
+def test_figure6_phase_rates(benchmark):
+    summary, series = benchmark.pedantic(
+        figure6_commit_phases,
+        kwargs={
+            "batch_sizes": BATCH_SIZES,
+            "num_batches": scaled(120, minimum=40),
+            "time_bin_s": 1.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([summary])
+    print(f"\n(series table has {len(series.rows)} rows; see EXPERIMENTS.md)")
+
+    rows = {row["batch_size"]: row for row in summary.rows}
+    for batch_size in BATCH_SIZES:
+        row = rows[batch_size]
+        # Every batch reached both phases.
+        assert row["batches"] > 0
+        # Phase II always completes after (or with) Phase I.
+        assert row["phase2_done_s"] >= row["phase1_done_s"]
+
+    # Phase I finishes at roughly the same time regardless of batch size
+    # (the edge commit rate is what the client sees) ...
+    p1_times = [rows[b]["phase1_done_s"] for b in BATCH_SIZES]
+    assert max(p1_times) / max(min(p1_times), 1e-9) < 3.5
+    # ... while the Phase II lag grows with the batch size.
+    lags = [rows[b]["p2_lag_s"] for b in BATCH_SIZES]
+    assert lags[-1] > lags[0]
+
+    # The cumulative series is monotone and ends with all batches certified.
+    for batch_size in BATCH_SIZES:
+        points = series.rows_where(batch_size=batch_size)
+        p1_counts = [point["phase1_batches"] for point in points]
+        p2_counts = [point["phase2_batches"] for point in points]
+        assert p1_counts == sorted(p1_counts)
+        assert p2_counts == sorted(p2_counts)
+        assert all(p2 <= p1 for p1, p2 in zip(p1_counts, p2_counts))
+        assert p1_counts[-1] == rows[batch_size]["batches"]
+        assert p2_counts[-1] == rows[batch_size]["batches"]

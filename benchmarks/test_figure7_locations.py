@@ -1,0 +1,85 @@
+"""Figure 7: the effect of edge and cloud placement on commit latency.
+
+Paper findings to reproduce (Section VI-D):
+
+* (a) moving the cloud (Oregon → Mumbai) barely changes WedgeChain's latency
+  (15-17 ms in the paper) because the cloud is off the critical path, while
+  Cloud-only and the Edge-baseline track the client-cloud round trip.
+* (b) with the cloud fixed in Mumbai, WedgeChain's latency tracks the
+  client-edge round trip; Cloud-only is flat (it never touches the edge); and
+  all systems converge when the edge is co-located with the cloud.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.bench import (
+    figure7_vary_cloud_location,
+    figure7_vary_edge_location,
+    print_tables,
+)
+from repro.common import Region
+from repro.sim.topology import paper_topology
+
+
+def test_figure7a_vary_cloud_location(benchmark):
+    table = benchmark.pedantic(
+        figure7_vary_cloud_location,
+        kwargs={"num_batches": scaled(6, minimum=3)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    wedge = table.column("WedgeChain")
+    cloud_only = table.column("Cloud-only")
+    edge_baseline = table.column("Edge-baseline")
+
+    # WedgeChain stays flat (within a small band) wherever the cloud is.
+    assert max(wedge) - min(wedge) < 15.0
+    assert max(wedge) < 60.0
+    # The baselines get worse as the cloud moves away (O -> V -> I -> M).
+    assert cloud_only[-1] > cloud_only[0]
+    assert edge_baseline[-1] > edge_baseline[0]
+    # And WedgeChain beats both everywhere.
+    for row in table.rows:
+        assert row["WedgeChain"] < row["Cloud-only"]
+        assert row["WedgeChain"] < row["Edge-baseline"]
+    # The farthest cloud (Mumbai) costs the baselines roughly the 238 ms RTT.
+    mumbai = table.rows_where(cloud="M")[0]
+    assert mumbai["Cloud-only"] > 150.0
+
+
+def test_figure7b_vary_edge_location(benchmark):
+    table = benchmark.pedantic(
+        figure7_vary_edge_location,
+        kwargs={"num_batches": scaled(6, minimum=3)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    topology = paper_topology()
+    rows = {row["edge"]: row for row in table.rows}
+
+    # WedgeChain's latency tracks the client-edge RTT.
+    for region in (Region.OREGON, Region.VIRGINIA, Region.IRELAND, Region.MUMBAI):
+        rtt_ms = topology.rtt(Region.CALIFORNIA, region)
+        wedge = rows[region.short_code]["WedgeChain"]
+        assert wedge > rtt_ms * 0.7
+        assert wedge < rtt_ms + 80.0
+
+    # Cloud-only ignores the edge location: flat across all rows.
+    cloud_only = table.column("Cloud-only")
+    assert max(cloud_only) - min(cloud_only) < 0.3 * max(cloud_only)
+
+    # WedgeChain wins everywhere except when the edge is co-located with the
+    # cloud (Mumbai), where the three designs converge.
+    for code, row in rows.items():
+        if code != "M":
+            assert row["WedgeChain"] < row["Cloud-only"]
+    mumbai = rows["M"]
+    assert mumbai["WedgeChain"] == min(
+        value for key, value in mumbai.items() if key != "edge"
+    ) or abs(mumbai["WedgeChain"] - mumbai["Cloud-only"]) < 0.5 * mumbai["Cloud-only"]

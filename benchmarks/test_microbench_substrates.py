@@ -1,0 +1,99 @@
+"""Wall-clock microbenchmarks of the substrates (pytest-benchmark statistics).
+
+Unlike the figure reproductions (which measure *simulated* time), these
+benchmarks measure the real CPU cost of this implementation's hot paths:
+block digests, Merkle tree construction and proofs, signatures, and LSM
+merges.  They are useful for tracking performance regressions of the library
+itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.identifiers import client_id, edge_id
+from repro.crypto.signatures import KeyRegistry
+from repro.log.block import build_block, compute_block_digest
+from repro.log.entry import make_entry
+from repro.lsm.compaction import merge_levels, partition_into_pages
+from repro.lsm.records import KVRecord
+from repro.merkle.tree import MerkleTree
+from repro.crypto.hashing import digest_leaf
+
+ALICE = client_id("alice")
+EDGE = edge_id("edge-0")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = KeyRegistry("hmac")
+    registry.register(ALICE)
+    registry.register(EDGE)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def block_100(registry):
+    entries = [
+        make_entry(registry, ALICE, i, b"x" * 100, 1.0) for i in range(100)
+    ]
+    return build_block(EDGE, 0, entries, created_at=1.0)
+
+
+def test_bench_block_digest_100_entries(benchmark, block_100):
+    digest = benchmark(
+        compute_block_digest, block_100.edge, block_100.block_id, block_100.entries
+    )
+    assert len(digest) == 64
+
+
+def test_bench_entry_signing(benchmark, registry):
+    counter = iter(range(10_000_000))
+
+    def sign_one():
+        return make_entry(registry, ALICE, next(counter), b"y" * 100, 2.0)
+
+    entry = benchmark(sign_one)
+    assert entry.verify(registry)
+
+
+def test_bench_hmac_signature_verification(benchmark, registry):
+    entry = make_entry(registry, ALICE, 0, b"z" * 100, 1.0)
+    assert benchmark(entry.verify, registry)
+
+
+def test_bench_schnorr_sign_and_verify(benchmark):
+    registry = KeyRegistry("schnorr")
+    registry.register(ALICE)
+
+    def roundtrip():
+        signature = registry.sign(ALICE, {"block": 1})
+        return registry.verify(signature, {"block": 1})
+
+    assert benchmark(roundtrip)
+
+
+def test_bench_merkle_tree_build_1000_leaves(benchmark):
+    leaves = [digest_leaf(f"page-{i}".encode()) for i in range(1000)]
+    tree = benchmark(MerkleTree, leaves)
+    assert tree.num_leaves == 1000
+
+
+def test_bench_merkle_inclusion_proof(benchmark):
+    tree = MerkleTree([digest_leaf(f"page-{i}".encode()) for i in range(1024)])
+
+    def prove_and_verify():
+        proof = tree.prove(512)
+        return proof.verifies_against(tree.root)
+
+    assert benchmark(prove_and_verify)
+
+
+def test_bench_lsm_merge_10k_records(benchmark):
+    source_records = [KVRecord(f"key{i:06d}", 1_000_000 + i, b"v" * 100) for i in range(5000)]
+    target_records = [KVRecord(f"key{i:06d}", i, b"v" * 100) for i in range(0, 10000, 2)]
+    source = partition_into_pages(source_records, page_capacity=500, created_at=0.0)
+    target = partition_into_pages(target_records, page_capacity=500, created_at=0.0)
+
+    result = benchmark(merge_levels, source, target, 1.0, 500)
+    assert result.records_out == len({r.key for r in source_records + target_records})

@@ -1,0 +1,33 @@
+"""Section VI-E: the effect of the dataset (key-range) size.
+
+Paper finding to reproduce: growing the key range does not meaningfully
+change write latency for any of the three systems, because wide-area
+communication and verification dominate the per-operation I/O cost.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.bench import print_tables, section6e_dataset_size
+
+KEY_SPACES = (10_000, 100_000, 1_000_000)
+
+
+def test_section6e_dataset_size(benchmark):
+    table = benchmark.pedantic(
+        section6e_dataset_size,
+        kwargs={"key_spaces": KEY_SPACES, "num_batches": scaled(6, minimum=3)},
+        rounds=1,
+        iterations=1,
+    )
+    print_tables([table])
+
+    for column in ("WedgeChain", "Cloud-only", "Edge-baseline"):
+        values = table.column(column)
+        # Latency is flat across a 100x growth of the key range (within 40 %).
+        assert max(values) / min(values) < 1.4, f"{column} latency not flat: {values}"
+
+    # The systems keep their ordering at every dataset size.
+    for row in table.rows:
+        assert row["WedgeChain"] < row["Cloud-only"] < row["Edge-baseline"]

@@ -1,0 +1,42 @@
+"""Table I: round-trip times between the evaluation datacenters.
+
+The paper reports the California row of the RTT matrix (Table I); the
+simulator embeds exactly those values, and this benchmark prints the table
+and asserts it matches the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.bench import table1_rtt
+from repro.common import Region
+from repro.sim.topology import paper_topology
+
+PAPER_ROW = {"C": 0.0, "O": 19.0, "V": 61.0, "I": 141.0, "M": 238.0}
+
+
+def test_table1_rtt_matrix(benchmark):
+    table = benchmark.pedantic(table1_rtt, rounds=1, iterations=1)
+    print()
+    print(table.format())
+
+    row = table.rows[0]
+    for code, value in PAPER_ROW.items():
+        assert row[code] == value, f"RTT to {code} diverges from Table I"
+
+
+def test_topology_symmetry_and_coverage(benchmark):
+    topology = paper_topology()
+
+    def full_matrix():
+        return {
+            (a.short_code, b.short_code): topology.rtt(a, b)
+            for a in Region
+            for b in Region
+        }
+
+    matrix = benchmark.pedantic(full_matrix, rounds=1, iterations=1)
+    for a in Region:
+        for b in Region:
+            assert matrix[(a.short_code, b.short_code)] == matrix[(b.short_code, a.short_code)]
+            if a != b:
+                assert matrix[(a.short_code, b.short_code)] > 0

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""IoT fleet logging and device-shadow store with freshness windows.
+
+A fleet of factory devices (Industry 4.0, Section II-A) streams telemetry to
+an edge node.  Two access patterns coexist:
+
+* an append-only *event log* consumed by an auditor (``add``/``read``), and
+* a *device shadow* key-value view (latest state per device) served by
+  LSMerkle (``put``/``get``) with a freshness window so the dashboard never
+  shows state older than a configured bound (Section V-D).
+
+The example also exercises LSMerkle merges: enough blocks are written that
+level 0 spills into level 1 and the cloud signs new global roots.
+
+Run with::
+
+    python examples/iot_fleet_logging.py
+"""
+
+from __future__ import annotations
+
+from repro import CommitPhase, SystemConfig, WedgeChainSystem
+from repro.common import LoggingConfig, LSMerkleConfig, SecurityConfig
+
+
+NUM_DEVICES = 40
+BLOCK_SIZE = 20
+ROUNDS = 12
+
+
+def telemetry(device: int, round_index: int) -> tuple[str, bytes]:
+    key = f"device-{device:04d}"
+    vibration = (device * 31 + round_index * 17) % 100
+    payload = f"round={round_index};vibration={vibration / 10:.1f}mm/s".encode()
+    return key, payload
+
+
+def main() -> None:
+    config = SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(block_size=BLOCK_SIZE),
+        # Small thresholds so merges happen within this short example.
+        lsmerkle=LSMerkleConfig(level_thresholds=(4, 4, 16, 64)),
+        security=SecurityConfig(freshness_window_s=30.0),
+    )
+    system = WedgeChainSystem.build(config=config, num_clients=2)
+    ingestor, dashboard = system.clients
+
+    print("=== IoT fleet logging + device shadows (LSMerkle) ===\n")
+
+    # ------------------------------------------------------------------
+    # 1. Stream telemetry rounds; each round is one batch per BLOCK_SIZE ops.
+    # ------------------------------------------------------------------
+    operations = []
+    for round_index in range(ROUNDS):
+        items = [telemetry(device, round_index) for device in range(NUM_DEVICES)]
+        for start in range(0, len(items), BLOCK_SIZE):
+            operations.append(
+                (ingestor, ingestor.put_batch(items[start : start + BLOCK_SIZE]))
+            )
+        system.run_for(0.2)
+
+    system.wait_for_all(operations, CommitPhase.PHASE_TWO, max_time_s=300)
+    system.run()  # let outstanding merges finish
+
+    edge = system.edge()
+    print(f"wrote {len(operations)} blocks "
+          f"({sum(1 for _ in operations) * BLOCK_SIZE} puts over {NUM_DEVICES} devices)")
+    print(f"LSMerkle level page counts: {edge.index.level_page_counts()}")
+    print(f"cloud-coordinated merges completed: {edge.stats['merges_completed']}")
+    if edge.signed_root is not None:
+        statement = edge.signed_root.statement
+        print(f"latest signed global root: version {statement.version}, "
+              f"timestamp {statement.timestamp:.2f}s\n")
+
+    # ------------------------------------------------------------------
+    # 2. Dashboard reads device shadows with freshness-checked proofs.
+    # ------------------------------------------------------------------
+    sample_devices = [0, 7, NUM_DEVICES - 1]
+    print("dashboard device shadows (freshness window: "
+          f"{config.security.freshness_window_s}s):")
+    for device in sample_devices:
+        op = dashboard.get(f"device-{device:04d}")
+        system.wait_for(dashboard, op, CommitPhase.PHASE_ONE, max_time_s=30)
+        record = dashboard.operation(op)
+        value = dashboard.value_of(op)
+        shown = value.decode() if value else "<missing>"
+        print(f"  device-{device:04d}: {shown}  [{record.phase}]")
+
+    # ------------------------------------------------------------------
+    # 3. The auditor replays the raw event log block by block.
+    # ------------------------------------------------------------------
+    print("\nauditor replaying the first three log blocks:")
+    for block_id in range(3):
+        op = dashboard.read(block_id)
+        system.wait_for(dashboard, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        record = dashboard.operation(op)
+        print(f"  block {block_id}: {record.details.get('num_entries', 0)} entries, "
+              f"commit phase {record.phase}")
+
+    stats = system.stats()
+    print(f"\nPhase II commits: {stats.phase_two_commits}, "
+          f"failed operations: {stats.failed_operations}, "
+          f"punishments: {stats.punishments}")
+    print("Every shadow read above carried a Merkle/index proof that the "
+          "dashboard verified locally against cloud-signed roots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Smart-traffic monitoring: the paper's motivating edge application.
+
+A state government monitors traffic with cameras and ramp sensors spread over
+a city (Section II-A).  The sensors stream readings to a third-party edge
+datacenter in the city; the government's trusted cloud sits in a remote
+datacenter.  The edge provider is *not* trusted, so WedgeChain's lazy
+certification keeps ingestion fast while guaranteeing that any tampering is
+eventually detected.
+
+The example runs a fleet of sensors, a traffic-control client that reads the
+freshest data to adjust ramp meters, and reports ingestion latency, commit
+progress, and the bandwidth saved by data-free certification.
+
+Run with::
+
+    python examples/smart_traffic.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import CommitPhase, Region, SystemConfig, WedgeChainSystem
+from repro.common import LoggingConfig, PlacementConfig, SecurityConfig
+
+
+NUM_SENSORS = 6
+READINGS_PER_SENSOR = 8
+READINGS_PER_BATCH = 20
+
+
+def sensor_reading(sensor: int, sequence: int) -> tuple[str, bytes]:
+    """A ramp-meter occupancy reading keyed by sensor id."""
+
+    key = f"ramp-{sensor:02d}"
+    occupancy = 35 + (sensor * 7 + sequence * 13) % 60
+    payload = f"occupancy={occupancy}%;seq={sequence}".encode()
+    return key, payload
+
+
+def main() -> None:
+    config = SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(block_size=READINGS_PER_BATCH),
+        placement=PlacementConfig(
+            client_region=Region.CALIFORNIA,   # sensors in the city
+            edge_region=Region.CALIFORNIA,     # third-party metro edge DC
+            cloud_region=Region.VIRGINIA,      # remote government datacenter
+        ),
+        security=SecurityConfig(gossip_interval_s=0.5),
+    )
+    # One extra client acts as the traffic-control application.
+    system = WedgeChainSystem.build(
+        config=config, num_clients=NUM_SENSORS + 1, enable_gossip=True
+    )
+    sensors = system.clients[:NUM_SENSORS]
+    controller = system.clients[NUM_SENSORS]
+
+    print("=== Smart-traffic monitoring on an untrusted metro edge ===")
+    print(f"{NUM_SENSORS} sensors -> edge in {system.edge().region.value}, "
+          f"cloud in {system.cloud.region.value}\n")
+
+    # ------------------------------------------------------------------
+    # 1. Sensors stream readings in batches (fast ingestion at the edge).
+    # ------------------------------------------------------------------
+    write_ops = []
+    for round_index in range(READINGS_PER_SENSOR):
+        for sensor_index, sensor in enumerate(sensors):
+            batch = [
+                sensor_reading(sensor_index, round_index * 3 + i) for i in range(3)
+            ]
+            write_ops.append((sensor, sensor.put_batch(batch)))
+        system.run_for(0.05)  # sensors report every 50 ms
+
+    system.wait_for_all(write_ops, CommitPhase.PHASE_ONE, max_time_s=60)
+    phase_one = [
+        client.operation(op).phase_one_latency * 1000
+        for client, op in write_ops
+        if client.operation(op).phase_one_latency is not None
+    ]
+    print(f"ingested {len(write_ops)} sensor batches")
+    print(f"  Phase I  (edge ack)  latency: mean {statistics.mean(phase_one):6.2f} ms")
+
+    # ------------------------------------------------------------------
+    # 2. The controller reads the freshest ramp state from the edge.
+    # ------------------------------------------------------------------
+    lookups = [f"ramp-{i:02d}" for i in range(NUM_SENSORS)]
+    read_ops = [(controller, controller.get(key)) for key in lookups]
+    system.wait_for_all(read_ops, CommitPhase.PHASE_ONE, max_time_s=60)
+    print("\ncontroller view of the ramps (verified index proofs):")
+    for (client, op), key in zip(read_ops, lookups):
+        record = client.operation(op)
+        value = client.value_of(op)
+        print(f"  {key}: {value.decode() if value else '<no data>'}  "
+              f"[{record.phase}]")
+
+    # ------------------------------------------------------------------
+    # 3. Let lazy certification finish and report the edge-cloud savings.
+    # ------------------------------------------------------------------
+    system.wait_for_all(write_ops, CommitPhase.PHASE_TWO, max_time_s=120)
+    system.run_for(2.0)
+    phase_two = [
+        client.operation(op).phase_two_latency * 1000
+        for client, op in write_ops
+        if client.operation(op).phase_two_latency is not None
+    ]
+    print(f"\n  Phase II (certified) latency: mean {statistics.mean(phase_two):6.2f} ms "
+          "(absorbed off the critical path)")
+
+    net = system.env.network.stats
+    print("\nbandwidth: "
+          f"{net.lan_bytes / 1e6:.2f} MB stayed in the metro (clients <-> edge), "
+          f"only {net.wan_bytes / 1e6:.2f} MB crossed the WAN (digests, proofs, merges)")
+    print(f"cloud certified {system.cloud.stats['certifications']} blocks, "
+          f"punishments recorded: {system.cloud.stats['punishments']}")
+
+
+if __name__ == "__main__":
+    main()

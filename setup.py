@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

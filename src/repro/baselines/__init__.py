@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares WedgeChain against."""
+
+from .cloud_only import (
+    CloudGetResponse,
+    CloudOnlyClient,
+    CloudOnlySystem,
+    CloudReadResponse,
+    CloudStoreNode,
+    CloudWriteResponse,
+)
+from .edge_baseline import (
+    EdgeBaselineCloudNode,
+    EdgeBaselineEdgeNode,
+    EdgeBaselineSystem,
+    FullBlockCertifyRequest,
+)
+
+__all__ = [
+    "CloudGetResponse",
+    "CloudOnlyClient",
+    "CloudOnlySystem",
+    "CloudReadResponse",
+    "CloudStoreNode",
+    "CloudWriteResponse",
+    "EdgeBaselineCloudNode",
+    "EdgeBaselineEdgeNode",
+    "EdgeBaselineSystem",
+    "FullBlockCertifyRequest",
+]

@@ -1,0 +1,255 @@
+"""The Edge-baseline (Section II-C).
+
+Data is certified *synchronously*: the edge node forwards every freshly
+formed block — the full data, not a digest — to the cloud, waits for the
+cloud's certification, and only then acknowledges the clients.  Reads are
+served from the edge with proofs, exactly like Phase II reads in WedgeChain.
+This is the "current way of utilizing untrusted nodes" the paper compares
+against; its latency grows with batch size because the full-data transfer
+and the cloud-side processing sit on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigurationError
+from ..common.identifiers import NodeId, OperationId
+from ..common.regions import Region
+from ..core.commit import CommitTracker
+from ..log.block import Block, compute_block_digest
+from ..log.proofs import BlockProof, CommitPhase, issue_block_proof
+from ..messages.log_messages import AppendBatchResponse, BlockProofMessage
+from ..nodes.client import Client
+from ..nodes.cloud import CloudNode
+from ..nodes.edge import EdgeNode
+from ..sim.environment import Environment
+from ..sim.parameters import SimulationParameters
+from ..sim.topology import Topology
+
+
+@dataclass(frozen=True)
+class FullBlockCertifyRequest:
+    """Edge → cloud: certify this block, full contents attached."""
+
+    edge: NodeId
+    block: Block
+
+    @property
+    def block_id(self) -> int:
+        return self.block.block_id
+
+    @property
+    def wire_size(self) -> int:
+        return 48 + self.block.wire_size
+
+
+@dataclass(frozen=True)
+class CertifiedStateResponse(BlockProofMessage):
+    """Cloud → edge: the block proof plus the regenerated trusted state.
+
+    In the edge-baseline the cloud "regenerates the Merkle tree ... and sends
+    the Merkle tree to the edge node" (Section II-C), so the response size
+    grows with the certified data; ``state_bytes`` models that payload.
+    """
+
+    state_bytes: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return self.proof.wire_size + 16 + self.state_bytes
+
+
+class EdgeBaselineCloudNode(CloudNode):
+    """A cloud node that additionally certifies full-data blocks."""
+
+    def on_message(self, sender: NodeId, message) -> None:
+        if isinstance(message, FullBlockCertifyRequest):
+            self._handle_full_certify(sender, message)
+        else:
+            super().on_message(sender, message)
+
+    def _handle_full_certify(
+        self, sender: NodeId, request: FullBlockCertifyRequest
+    ) -> None:
+        params = self.env.params
+        block = request.block
+        # The cloud must hash the whole block and rebuild Merkle state: this
+        # is the processing cost that, together with the full-data transfer,
+        # hurts the baseline at large batch sizes.
+        self.env.charge(
+            params.full_certification_cost(block.num_entries, block.wire_size)
+        )
+        if request.edge != sender or block.edge != sender:
+            return
+        digest = compute_block_digest(block.edge, block.block_id, block.entries)
+        edge_digests = self._certified.setdefault(request.edge, {})
+        existing = edge_digests.get(block.block_id)
+        if existing is not None and existing != digest:
+            self.stats["certify_conflicts"] += 1
+            self._punish(
+                request.edge,
+                reason="conflicting full-data certification",
+                block_id=block.block_id,
+            )
+            return
+        edge_digests[block.block_id] = digest
+        proof = issue_block_proof(
+            registry=self.env.registry,
+            cloud=self.node_id,
+            edge=request.edge,
+            block_id=block.block_id,
+            block_digest=digest,
+            certified_at=self.env.now(),
+        )
+        self._proofs[(request.edge, block.block_id)] = proof
+        self.stats["certifications"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            CertifiedStateResponse(proof=proof, state_bytes=block.wire_size),
+        )
+
+
+class EdgeBaselineEdgeNode(EdgeNode):
+    """An edge node that waits for cloud certification before acknowledging."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Phase I responses deferred until the cloud certifies the block.
+        self._deferred: dict[int, tuple[list[tuple[NodeId, OperationId]], Block, object]] = {}
+
+    # The synchronous baseline ships the whole block to the cloud …
+    def _send_certify_request(self, block: Block, digest: str) -> None:
+        self.stats["certify_requests"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            FullBlockCertifyRequest(edge=self.node_id, block=block),
+        )
+
+    # … and postpones client acknowledgements until certification returns.
+    def _dispatch_phase_one_responses(self, requesters, block, receipt) -> None:
+        self._deferred[block.block_id] = (list(requesters), block, receipt)
+
+    def _handle_block_proof(self, sender: NodeId, message: BlockProofMessage) -> None:
+        super()._handle_block_proof(sender, message)
+        deferred = self._deferred.pop(message.proof.block_id, None)
+        if deferred is None:
+            return
+        requesters, block, receipt = deferred
+        # Installing the regenerated trusted state at the edge costs time
+        # proportional to the certified data (Section II-C).
+        self.env.charge(
+            self.env.params.merkle_rebuild_seconds_per_entry * block.num_entries
+        )
+        for requester, operation_id in requesters:
+            response = AppendBatchResponse(
+                edge=self.node_id,
+                operation_id=operation_id,
+                block_id=block.block_id,
+                receipt=receipt,
+                block=self._block_for_response(block),
+            )
+            self.env.send(self.node_id, requester, response)
+
+
+class EdgeBaselineSystem:
+    """Deployment facade for the edge-baseline."""
+
+    name = "edge-baseline"
+
+    def __init__(
+        self,
+        env: Environment,
+        config: SystemConfig,
+        cloud: EdgeBaselineCloudNode,
+        edges: Sequence[EdgeBaselineEdgeNode],
+        clients: Sequence[Client],
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.cloud = cloud
+        self.edges = list(edges)
+        self.clients = list(clients)
+
+    @classmethod
+    def build(
+        cls,
+        config: Optional[SystemConfig] = None,
+        num_clients: int = 1,
+        env: Optional[Environment] = None,
+        topology: Optional[Topology] = None,
+        params: Optional[SimulationParameters] = None,
+        seed: int = 7,
+    ) -> "EdgeBaselineSystem":
+        config = config if config is not None else SystemConfig.paper_default()
+        if num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if env is None:
+            env = Environment(
+                topology=topology,
+                params=params,
+                signature_scheme=config.security.signature_scheme,
+                seed=seed,
+            )
+        cloud = EdgeBaselineCloudNode(env=env, config=config, name="cloud-0")
+        edges = [
+            EdgeBaselineEdgeNode(
+                env=env,
+                cloud=cloud.node_id,
+                config=config,
+                name=f"edge-{index}",
+                region=config.placement.edge_region,
+            )
+            for index in range(config.num_edge_nodes)
+        ]
+        clients = []
+        for index in range(num_clients):
+            edge = edges[index % len(edges)]
+            clients.append(
+                Client(
+                    env=env,
+                    edge=edge.node_id,
+                    cloud=cloud.node_id,
+                    config=config,
+                    name=f"client-{index}",
+                    region=config.placement.client_region,
+                )
+            )
+        return cls(env=env, config=config, cloud=cloud, edges=edges, clients=clients)
+
+    # ------------------------------------------------------------------
+    def client(self, index: int = 0) -> Client:
+        return self.clients[index]
+
+    def edge(self, index: int = 0) -> EdgeBaselineEdgeNode:
+        return self.edges[index]
+
+    def trackers(self) -> list[CommitTracker]:
+        return [client.tracker for client in self.clients]
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.env.run(max_events)
+
+    def run_for(self, duration_s: float) -> int:
+        return self.env.run_until(self.env.now() + duration_s)
+
+    def wait_for_all(
+        self,
+        operations: Iterable[tuple[Client, OperationId]],
+        phase: CommitPhase = CommitPhase.PHASE_TWO,
+        max_time_s: float = 300.0,
+    ) -> bool:
+        pairs = list(operations)
+
+        def done() -> bool:
+            for client, operation_id in pairs:
+                current = client.tracker.get(operation_id).phase
+                if current not in (CommitPhase.PHASE_TWO, CommitPhase.FAILED):
+                    return False
+            return True
+
+        return self.env.run_until_condition(done, self.env.now() + max_time_s)

@@ -1,0 +1,52 @@
+"""Benchmark harness: experiment functions, result tables, and the runner."""
+
+from .experiments import (
+    FIGURE4_BATCH_SIZES,
+    FIGURE5_CLIENT_COUNTS,
+    FIGURE6_BATCH_SIZES,
+    ablation_data_free_certification,
+    ablation_gossip_interval,
+    figure4_put_batch_size,
+    figure5_multi_client,
+    figure5d_best_case_read,
+    figure6_commit_phases,
+    figure7_vary_cloud_location,
+    figure7_vary_edge_location,
+    section6e_dataset_size,
+    table1_rtt,
+)
+from .results import ResultTable, print_tables
+from .runner import (
+    SYSTEM_KINDS,
+    SYSTEM_LABELS,
+    WorkloadMetrics,
+    build_system,
+    config_for_batch,
+    run_workload,
+    write_workload,
+)
+
+__all__ = [
+    "FIGURE4_BATCH_SIZES",
+    "FIGURE5_CLIENT_COUNTS",
+    "FIGURE6_BATCH_SIZES",
+    "ResultTable",
+    "SYSTEM_KINDS",
+    "SYSTEM_LABELS",
+    "WorkloadMetrics",
+    "ablation_data_free_certification",
+    "ablation_gossip_interval",
+    "build_system",
+    "config_for_batch",
+    "figure4_put_batch_size",
+    "figure5_multi_client",
+    "figure5d_best_case_read",
+    "figure6_commit_phases",
+    "figure7_vary_cloud_location",
+    "figure7_vary_edge_location",
+    "print_tables",
+    "run_workload",
+    "section6e_dataset_size",
+    "table1_rtt",
+    "write_workload",
+]

@@ -1,0 +1,196 @@
+"""Shared machinery for running one experiment configuration.
+
+Every figure of the paper boils down to: build one of the three systems
+(WedgeChain, Cloud-only, Edge-baseline) with some placement and workload,
+drive it with closed-loop clients, and collect latency/throughput/commit
+statistics.  This module provides that loop once so the per-figure experiment
+functions stay short and declarative.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..baselines.cloud_only import CloudOnlySystem
+from ..baselines.edge_baseline import EdgeBaselineSystem
+from ..common.config import SystemConfig, WorkloadConfig
+from ..common.errors import ConfigurationError
+from ..core.system import WedgeChainSystem
+from ..sim.parameters import SimulationParameters
+from ..sim.topology import Topology
+from ..workloads.driver import ClosedLoopDriver
+
+#: The three systems compared throughout Section VI.
+SYSTEM_KINDS = ("wedgechain", "cloud-only", "edge-baseline")
+
+_SYSTEM_CLASSES = {
+    "wedgechain": WedgeChainSystem,
+    "cloud-only": CloudOnlySystem,
+    "edge-baseline": EdgeBaselineSystem,
+}
+
+#: Pretty names used in tables (match the paper's legends).
+SYSTEM_LABELS = {
+    "wedgechain": "WedgeChain",
+    "cloud-only": "Cloud-only",
+    "edge-baseline": "Edge-baseline",
+}
+
+
+def build_system(
+    kind: str,
+    config: Optional[SystemConfig] = None,
+    num_clients: int = 1,
+    topology: Optional[Topology] = None,
+    params: Optional[SimulationParameters] = None,
+    seed: int = 7,
+    **extra,
+):
+    """Instantiate one of the three systems by name."""
+
+    if kind not in _SYSTEM_CLASSES:
+        raise ConfigurationError(f"unknown system kind {kind!r}; use one of {SYSTEM_KINDS}")
+    system_cls = _SYSTEM_CLASSES[kind]
+    return system_cls.build(
+        config=config,
+        num_clients=num_clients,
+        topology=topology,
+        params=params,
+        seed=seed,
+        **extra,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Measurements of one (system, workload) run."""
+
+    system: str
+    num_clients: int
+    operations_completed: int
+    requests_sent: int
+    duration_s: float
+    throughput_ops_per_s: float
+    mean_commit_latency_ms: float
+    p95_commit_latency_ms: float
+    mean_phase_two_latency_ms: Optional[float]
+    wan_bytes: int
+    lan_bytes: int
+    failed_operations: int
+
+    @property
+    def throughput_kops_per_s(self) -> float:
+        return self.throughput_ops_per_s / 1000.0
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def run_workload(
+    kind: str,
+    workload: WorkloadConfig,
+    config: Optional[SystemConfig] = None,
+    topology: Optional[Topology] = None,
+    params: Optional[SimulationParameters] = None,
+    seed: int = 7,
+    max_time_s: float = 900.0,
+    drain: bool = False,
+) -> WorkloadMetrics:
+    """Run one closed-loop workload against one system and collect metrics.
+
+    ``drain=True`` keeps running after the workload finishes so that all
+    Phase II certifications complete (needed for Phase II latency and the
+    commit-rate experiment); throughput is always measured over the workload
+    window only.
+    """
+
+    config = config if config is not None else SystemConfig.paper_default()
+    system = build_system(
+        kind,
+        config=config,
+        num_clients=workload.num_clients,
+        topology=topology,
+        params=params,
+        seed=seed,
+    )
+    driver = ClosedLoopDriver(system, workload)
+    result = driver.run(max_time_s=max_time_s)
+    if drain:
+        system.run()
+
+    commit_latencies: list[float] = []
+    phase_two_latencies: list[float] = []
+    failed = 0
+    from ..log.proofs import CommitPhase  # local import avoids a cycle at module load
+
+    for tracker in system.trackers():
+        commit_latencies.extend(tracker.phase_one_latencies())
+        phase_two_latencies.extend(tracker.phase_two_latencies())
+        failed += tracker.count_in_phase(CommitPhase.FAILED)
+
+    mean_commit = statistics.mean(commit_latencies) if commit_latencies else float("nan")
+    p95_commit = _percentile(commit_latencies, 0.95)
+    mean_p2 = (
+        statistics.mean(phase_two_latencies) if phase_two_latencies else None
+    )
+    stats = system.env.network.stats
+    return WorkloadMetrics(
+        system=kind,
+        num_clients=workload.num_clients,
+        operations_completed=result.operations_completed,
+        requests_sent=result.requests_sent,
+        duration_s=result.duration_s,
+        throughput_ops_per_s=result.throughput_ops_per_s,
+        mean_commit_latency_ms=mean_commit * 1000.0,
+        p95_commit_latency_ms=p95_commit * 1000.0,
+        mean_phase_two_latency_ms=mean_p2 * 1000.0 if mean_p2 is not None else None,
+        wan_bytes=stats.wan_bytes,
+        lan_bytes=stats.lan_bytes,
+        failed_operations=failed,
+    )
+
+
+def write_workload(
+    batch_size: int,
+    num_batches: int,
+    num_clients: int = 1,
+    key_space: int = 100_000,
+    value_size: int = 100,
+    read_fraction: float = 0.0,
+    seed: int = 7,
+) -> WorkloadConfig:
+    """A workload of ``num_batches`` write batches per client (paper style)."""
+
+    return WorkloadConfig(
+        num_clients=num_clients,
+        batch_size=batch_size,
+        value_size=value_size,
+        read_fraction=read_fraction,
+        key_space=key_space,
+        operations_per_client=batch_size * num_batches,
+        seed=seed,
+    )
+
+
+def config_for_batch(
+    batch_size: int,
+    base: Optional[SystemConfig] = None,
+) -> SystemConfig:
+    """System config whose block size matches the workload batch size.
+
+    The paper forms one block per client batch ("each batch consists of 100
+    put operations" and blocks are certified per batch), so experiments keep
+    the two aligned.
+    """
+
+    from ..common.config import LoggingConfig
+
+    base = base if base is not None else SystemConfig.paper_default()
+    return base.with_overrides(logging=LoggingConfig(block_size=batch_size))

@@ -1,0 +1,195 @@
+"""Configuration objects for the WedgeChain system and its simulator.
+
+The defaults follow the paper's evaluation setup (Section VI): batches of
+100 put operations with 100-byte values, an LSMerkle tree with four levels
+whose thresholds are 10/10/100/1000 pages, the edge node in California and
+the cloud node in Virginia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .errors import ConfigurationError
+from .regions import Region
+
+
+@dataclass(frozen=True)
+class LSMerkleConfig:
+    """Structural parameters of the LSMerkle index.
+
+    Parameters
+    ----------
+    level_thresholds:
+        Maximum number of pages per level.  ``level_thresholds[0]`` is the
+        in-memory WedgeChain buffer (L0); once it fills up its pages are
+        merged into L1, and so on.  The paper's evaluation uses
+        ``(10, 10, 100, 1000)``.
+    """
+
+    level_thresholds: tuple[int, ...] = (10, 10, 100, 1000)
+
+    def __post_init__(self) -> None:
+        if len(self.level_thresholds) < 2:
+            raise ConfigurationError("LSMerkle needs at least two levels")
+        if any(threshold <= 0 for threshold in self.level_thresholds):
+            raise ConfigurationError("level thresholds must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_thresholds)
+
+    @classmethod
+    def paper_default(cls) -> "LSMerkleConfig":
+        """The four-level configuration used in Section VI."""
+
+        return cls(level_thresholds=(10, 10, 100, 1000))
+
+    @classmethod
+    def exposition_example(cls) -> "LSMerkleConfig":
+        """The small three-level configuration of Figure 3 (2, 2, 4 pages)."""
+
+        return cls(level_thresholds=(2, 2, 4))
+
+
+@dataclass(frozen=True)
+class LoggingConfig:
+    """Parameters of the WedgeChain logging layer."""
+
+    #: Number of entries batched into one block (the paper's default is 100).
+    block_size: int = 100
+    #: Maximum simulated time (seconds) an incomplete block may wait before
+    #: being flushed anyway; keeps latency bounded under light load.
+    block_timeout_s: float = 0.050
+    #: Whether add responses include the full block (the ``add`` interface's
+    #: optional ``block`` output).
+    return_block_on_add: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.block_timeout_s < 0:
+            raise ConfigurationError("block_timeout_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class SecurityConfig:
+    """Knobs controlling signatures, disputes, gossip, and freshness."""
+
+    #: Which signature scheme the nodes use ("hmac" is fast and used for the
+    #: large simulated experiments; "schnorr" is genuinely asymmetric).
+    signature_scheme: str = "hmac"
+    #: How long (seconds of simulated time) a client waits for a block-proof
+    #: before raising a dispute with the cloud node.
+    dispute_timeout_s: float = 5.0
+    #: Interval between signed gossip messages from the cloud (used to bound
+    #: omission attacks, Section IV-E).
+    gossip_interval_s: float = 1.0
+    #: Freshness window for LSMerkle reads (Section V-D); ``None`` disables
+    #: freshness checking.
+    freshness_window_s: float | None = None
+    #: Penalty score applied when a malicious act is proven.
+    punishment_score: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.signature_scheme not in ("hmac", "schnorr"):
+            raise ConfigurationError(
+                f"unknown signature scheme {self.signature_scheme!r}"
+            )
+        if self.dispute_timeout_s <= 0:
+            raise ConfigurationError("dispute_timeout_s must be positive")
+        if self.gossip_interval_s <= 0:
+            raise ConfigurationError("gossip_interval_s must be positive")
+        if self.freshness_window_s is not None and self.freshness_window_s <= 0:
+            raise ConfigurationError("freshness_window_s must be positive")
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Where the clients, edge node, and cloud node live."""
+
+    client_region: Region = Region.CALIFORNIA
+    edge_region: Region = Region.CALIFORNIA
+    cloud_region: Region = Region.VIRGINIA
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Workload shape used by the benchmark harness."""
+
+    num_clients: int = 1
+    #: Operations per batch/block (the paper sweeps 100..2000).
+    batch_size: int = 100
+    #: Size of each value in bytes (100 in the paper).
+    value_size: int = 100
+    #: Fraction of operations that are reads (0.0 = all writes).
+    read_fraction: float = 0.0
+    #: Number of distinct keys in the partition (100,000 in the paper).
+    key_space: int = 100_000
+    #: Key popularity distribution: "uniform" or "zipfian".
+    key_distribution: str = "uniform"
+    #: Zipfian skew parameter (only used when key_distribution == "zipfian").
+    zipf_theta: float = 0.99
+    #: Total number of operations each client issues.
+    operations_per_client: int = 1_000
+    #: Seed for deterministic workload generation.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.value_size <= 0:
+            raise ConfigurationError("value_size must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        if self.key_space <= 0:
+            raise ConfigurationError("key_space must be positive")
+        if self.key_distribution not in ("uniform", "zipfian"):
+            raise ConfigurationError(
+                f"unknown key distribution {self.key_distribution!r}"
+            )
+        if self.operations_per_client <= 0:
+            raise ConfigurationError("operations_per_client must be positive")
+
+    def with_overrides(self, **changes) -> "WorkloadConfig":
+        """Return a copy of the config with the given fields replaced."""
+
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration for a WedgeChain deployment."""
+
+    logging: LoggingConfig = field(default_factory=LoggingConfig)
+    lsmerkle: LSMerkleConfig = field(default_factory=LSMerkleConfig.paper_default)
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+    #: Number of edge nodes (each owns one partition; the paper reports the
+    #: performance of a single partition).
+    num_edge_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_edge_nodes <= 0:
+            raise ConfigurationError("num_edge_nodes must be positive")
+
+    def with_overrides(self, **changes) -> "SystemConfig":
+        """Return a copy of the config with the given fields replaced."""
+
+        return replace(self, **changes)
+
+    @classmethod
+    def paper_default(cls) -> "SystemConfig":
+        """Configuration matching the paper's Section VI setup."""
+
+        return cls()
+
+
+def validate_regions(regions: Sequence[Region]) -> None:
+    """Raise :class:`ConfigurationError` if *regions* contains duplicates."""
+
+    if len(set(regions)) != len(regions):
+        raise ConfigurationError(f"duplicate regions in {regions!r}")

@@ -1,0 +1,90 @@
+"""Canonical, deterministic encoding of protocol values.
+
+Digests and signatures are only meaningful if every node encodes the same
+logical value to the same bytes.  This module provides a small canonical
+encoder: values are converted to a JSON-compatible tree (dataclasses become
+``{"__type__": ..., fields...}`` objects, byte strings become hex) and then
+serialized with sorted keys and no whitespace.  The encoding is intentionally
+simple and human-inspectable; it is a stand-in for the protobuf/CBOR encoding
+a production deployment would use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any
+
+from .errors import SerializationError
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert *value* to a tree of JSON-compatible primitives.
+
+    Supports dataclasses, enums, ``bytes``, ``tuple``/``list``, ``dict`` with
+    string-convertible keys, and the usual scalars.  Unknown types raise
+    :class:`~repro.common.errors.SerializationError` rather than silently
+    producing unstable encodings.
+    """
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, frozenset):
+        return sorted(to_jsonable(item) for item in value)
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, (str, int, float, bool)):
+                key = str(key)
+            encoded[str(key)] = to_jsonable(item)
+        return encoded
+    raise SerializationError(f"cannot canonically encode value of type {type(value)!r}")
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode *value* into canonical bytes suitable for hashing and signing."""
+
+    try:
+        tree = to_jsonable(value)
+        return json.dumps(tree, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+def canonical_decode(data: bytes) -> Any:
+    """Decode canonical bytes back into the JSON-compatible tree.
+
+    The decoder does not reconstruct dataclass instances; it is primarily
+    used by tests and debugging tools to inspect what was signed.
+    """
+
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+def encoded_size(value: Any) -> int:
+    """Return the canonical encoded size of *value* in bytes.
+
+    The simulator uses this to charge bandwidth for messages; it is the
+    single place where "message size" is defined so that data-free
+    certification (sending digests) and full-data transfer (sending blocks)
+    are compared consistently.
+    """
+
+    return len(canonical_encode(value))

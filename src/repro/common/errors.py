@@ -1,0 +1,96 @@
+"""Exception hierarchy shared across the WedgeChain reproduction.
+
+Every error raised by the library derives from :class:`WedgeChainError` so
+that callers can distinguish library failures from programming errors with a
+single ``except`` clause.  The sub-classes mirror the failure domains of the
+paper: cryptographic verification, protocol violations by untrusted edge
+nodes, certification conflicts detected at the cloud, and configuration
+problems in the simulator or workloads.
+"""
+
+from __future__ import annotations
+
+
+class WedgeChainError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(WedgeChainError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SerializationError(WedgeChainError):
+    """A value could not be canonically encoded or decoded."""
+
+
+class CryptoError(WedgeChainError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class UnknownSignerError(CryptoError):
+    """A signature referenced a key that is not in the registry."""
+
+
+class DigestMismatchError(CryptoError):
+    """A recomputed digest does not match the digest carried in a message."""
+
+
+class ProtocolError(WedgeChainError):
+    """Base class for violations of the WedgeChain protocols."""
+
+
+class InvalidMessageError(ProtocolError):
+    """A message is malformed, unsigned, or signed by the wrong party."""
+
+
+class CertificationConflictError(ProtocolError):
+    """The cloud node observed two different digests for the same block id.
+
+    This is the event that flags an edge node as malicious (Section IV-D of
+    the paper): an edge node may never certify two different blocks under the
+    same block id.
+    """
+
+
+class MaliciousBehaviourDetected(ProtocolError):
+    """Raised (or recorded) when a client or the cloud proves an edge lied."""
+
+
+class BlockNotFoundError(ProtocolError):
+    """A read referenced a block id the edge node does not have."""
+
+
+class KeyNotFoundError(ProtocolError):
+    """A get referenced a key that is not present in the LSMerkle index."""
+
+
+class FreshnessViolationError(ProtocolError):
+    """A read response is older than the configured freshness window."""
+
+
+class ProofVerificationError(ProtocolError):
+    """A Merkle/read/commit proof failed verification at the client."""
+
+
+class MergeProtocolError(ProtocolError):
+    """The cloud rejected a merge request (bad proofs, stale pages, ...)."""
+
+
+class DisputeRejectedError(ProtocolError):
+    """A dispute was judged to be unfounded by the cloud node."""
+
+
+class SimulationError(WedgeChainError):
+    """Base class for errors raised by the discrete-event simulator."""
+
+
+class SimulationDeadlockError(SimulationError):
+    """The simulator ran out of events before the experiment finished."""
+
+
+class TransportError(WedgeChainError):
+    """A message was addressed to a node unknown to the transport."""

@@ -1,0 +1,59 @@
+"""Geographic regions used in the paper's evaluation.
+
+The evaluation (Section VI) places edge and cloud nodes in five Amazon AWS
+regions: California (C), Oregon (O), Virginia (V), Ireland (I) and
+Mumbai (M).  Table I reports the round-trip times from California to each of
+the other regions.  The :mod:`repro.sim.topology` module turns these regions
+into a full latency matrix.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Region(str, Enum):
+    """An AWS-style geographic region hosting a node."""
+
+    CALIFORNIA = "california"
+    OREGON = "oregon"
+    VIRGINIA = "virginia"
+    IRELAND = "ireland"
+    MUMBAI = "mumbai"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def short_code(self) -> str:
+        """Return the single-letter code used in the paper (C, O, V, I, M)."""
+
+        return _SHORT_CODES[self]
+
+    @classmethod
+    def from_short_code(cls, code: str) -> "Region":
+        """Resolve a single-letter paper code (case-insensitive) to a region."""
+
+        upper = code.strip().upper()
+        for region, short in _SHORT_CODES.items():
+            if short == upper:
+                return region
+        raise ValueError(f"unknown region code: {code!r}")
+
+
+_SHORT_CODES = {
+    Region.CALIFORNIA: "C",
+    Region.OREGON: "O",
+    Region.VIRGINIA: "V",
+    Region.IRELAND: "I",
+    Region.MUMBAI: "M",
+}
+
+#: The ordering used by the paper's tables and figures.
+PAPER_REGION_ORDER = (
+    Region.CALIFORNIA,
+    Region.OREGON,
+    Region.VIRGINIA,
+    Region.IRELAND,
+    Region.MUMBAI,
+)

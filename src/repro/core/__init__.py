@@ -1,0 +1,24 @@
+"""Core WedgeChain machinery: lazy certification, commits, disputes, gossip."""
+
+from .certification import CertificationTask, LazyCertifier
+from .commit import CommitTracker, OperationRecord
+from .dispute import DisputeJudgement, PunishmentLedger, PunishmentRecord, judge_dispute
+from .gossip import GossipSchedule, GossipView, build_gossip, verify_gossip
+from .system import SystemStats, WedgeChainSystem
+
+__all__ = [
+    "CertificationTask",
+    "CommitTracker",
+    "DisputeJudgement",
+    "GossipSchedule",
+    "GossipView",
+    "LazyCertifier",
+    "OperationRecord",
+    "PunishmentLedger",
+    "PunishmentRecord",
+    "SystemStats",
+    "WedgeChainSystem",
+    "build_gossip",
+    "judge_dispute",
+    "verify_gossip",
+]

@@ -1,0 +1,129 @@
+"""Edge-side bookkeeping for lazy (asynchronous) certification.
+
+After Phase I committing a block locally, the edge node asks the cloud to
+certify the block's digest in the background.  The :class:`LazyCertifier`
+tracks which blocks still await certification, which clients must be
+forwarded the block proof once it arrives (both writers of the block and
+readers served under Phase I), and which certification requests have been
+outstanding long enough to warrant a retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.errors import ProtocolError
+from ..common.identifiers import BlockId, NodeId, OperationId
+from ..log.proofs import BlockProof
+
+
+@dataclass
+class CertificationTask:
+    """One block awaiting (or having completed) cloud certification."""
+
+    block_id: BlockId
+    block_digest: str
+    requested_at: float
+    #: (client, operation) pairs to notify when the proof arrives.
+    subscribers: list[tuple[NodeId, OperationId]] = field(default_factory=list)
+    proof: Optional[BlockProof] = None
+    retries: int = 0
+
+    @property
+    def is_certified(self) -> bool:
+        return self.proof is not None
+
+
+class LazyCertifier:
+    """Tracks asynchronous certification state for one edge node."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[BlockId, CertificationTask] = {}
+        self._certified_count = 0
+
+    # ------------------------------------------------------------------
+    # Tracking
+    # ------------------------------------------------------------------
+    def track(self, block_id: BlockId, block_digest: str, requested_at: float) -> CertificationTask:
+        if block_id in self._tasks:
+            raise ProtocolError(f"block {block_id} already tracked for certification")
+        task = CertificationTask(
+            block_id=block_id, block_digest=block_digest, requested_at=requested_at
+        )
+        self._tasks[block_id] = task
+        return task
+
+    def task(self, block_id: BlockId) -> Optional[CertificationTask]:
+        return self._tasks.get(block_id)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._tasks
+
+    def subscribe(
+        self, block_id: BlockId, client: NodeId, operation_id: OperationId
+    ) -> Optional[BlockProof]:
+        """Register a client to be notified of the block's proof.
+
+        Returns the proof immediately if the block is already certified (the
+        caller then forwards it right away instead of waiting).
+        """
+
+        task = self._tasks.get(block_id)
+        if task is None:
+            raise ProtocolError(f"block {block_id} is not tracked for certification")
+        if task.is_certified:
+            return task.proof
+        entry = (client, operation_id)
+        if entry not in task.subscribers:
+            task.subscribers.append(entry)
+        return None
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(self, proof: BlockProof) -> list[tuple[NodeId, OperationId]]:
+        """Record an arrived proof; returns the subscribers to notify."""
+
+        task = self._tasks.get(proof.block_id)
+        if task is None:
+            raise ProtocolError(
+                f"received proof for untracked block {proof.block_id}"
+            )
+        if task.block_digest != proof.block_digest:
+            raise ProtocolError(
+                f"proof digest for block {proof.block_id} does not match the "
+                "digest sent for certification"
+            )
+        first_time = not task.is_certified
+        task.proof = proof
+        if first_time:
+            self._certified_count += 1
+        subscribers = list(task.subscribers)
+        task.subscribers = []
+        return subscribers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def certified_count(self) -> int:
+        return self._certified_count
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._tasks)
+
+    def outstanding(self) -> tuple[CertificationTask, ...]:
+        return tuple(
+            task for task in self._tasks.values() if not task.is_certified
+        )
+
+    def overdue(self, now: float, timeout_s: float) -> tuple[CertificationTask, ...]:
+        """Tasks whose certification has been pending longer than *timeout_s*."""
+
+        return tuple(
+            task
+            for task in self._tasks.values()
+            if not task.is_certified and now - task.requested_at > timeout_s
+        )

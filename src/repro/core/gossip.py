@@ -1,0 +1,104 @@
+"""Signed gossip from the cloud node (omission-attack mitigation).
+
+The cloud periodically signs ``(edge, certified log size, timestamp)``
+statements and propagates them to clients (Section IV-E).  A client holding
+such gossip knows that every block id below the certified log size exists,
+so an edge node denying one of those blocks can be disputed.  The window of
+vulnerability for fresh blocks equals the gossip interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..common.identifiers import NodeId
+from ..crypto.signatures import KeyRegistry
+from ..messages.log_messages import GossipMessage, GossipStatement
+
+
+def build_gossip(
+    registry: KeyRegistry,
+    cloud: NodeId,
+    edge: NodeId,
+    certified_log_size: int,
+    timestamp: float,
+) -> GossipMessage:
+    """Create a cloud-signed gossip message about one edge node's log."""
+
+    statement = GossipStatement(
+        cloud=cloud,
+        edge=edge,
+        certified_log_size=certified_log_size,
+        timestamp=timestamp,
+    )
+    return GossipMessage(statement=statement, signature=registry.sign(cloud, statement))
+
+
+def verify_gossip(
+    registry: KeyRegistry, message: GossipMessage, cloud: Optional[NodeId] = None
+) -> bool:
+    """Verify the cloud's signature on a gossip message."""
+
+    if cloud is not None and message.signature.signer != cloud:
+        return False
+    return registry.verify(message.signature, message.statement)
+
+
+@dataclass
+class GossipView:
+    """A client's latest view of the certified log size of its edge node."""
+
+    edge: NodeId
+    certified_log_size: int = 0
+    as_of: float = 0.0
+
+    def update(self, message: GossipMessage) -> bool:
+        """Apply newer gossip; returns whether the view advanced."""
+
+        statement = message.statement
+        if statement.edge != self.edge:
+            return False
+        if statement.timestamp < self.as_of:
+            return False
+        advanced = statement.certified_log_size > self.certified_log_size
+        self.certified_log_size = max(
+            self.certified_log_size, statement.certified_log_size
+        )
+        self.as_of = statement.timestamp
+        return advanced
+
+    def block_should_exist(self, block_id: int) -> bool:
+        """Whether gossip proves the block id has been certified already."""
+
+        return block_id < self.certified_log_size
+
+
+class GossipSchedule:
+    """Helper the cloud uses to periodically emit gossip for each edge."""
+
+    def __init__(
+        self,
+        interval_s: float,
+        emit: Callable[[], None],
+        schedule_periodic: Callable[[float, Callable[[], None], str], Callable[[], None]],
+    ) -> None:
+        self._interval_s = interval_s
+        self._stop: Optional[Callable[[], None]] = None
+        self._emit = emit
+        self._schedule_periodic = schedule_periodic
+
+    @property
+    def interval_s(self) -> float:
+        return self._interval_s
+
+    def start(self) -> None:
+        if self._stop is None:
+            self._stop = self._schedule_periodic(
+                self._interval_s, self._emit, "cloud-gossip"
+            )
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None

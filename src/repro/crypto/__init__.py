@@ -1,0 +1,44 @@
+"""Cryptographic substrate: hashing, signatures, key registry, envelopes."""
+
+from .envelopes import Envelope, SignedChannel, seal_envelope, verify_envelope
+from .hashing import (
+    DIGEST_HEX_LENGTH,
+    EMPTY_DIGEST,
+    digest_chain,
+    digest_leaf,
+    digest_pair,
+    digest_value,
+    is_hex_digest,
+    sha256_hex,
+)
+from .signatures import (
+    HmacSignatureScheme,
+    KeyPair,
+    KeyRegistry,
+    SchnorrSignatureScheme,
+    Signature,
+    SignatureScheme,
+    get_scheme,
+)
+
+__all__ = [
+    "DIGEST_HEX_LENGTH",
+    "EMPTY_DIGEST",
+    "Envelope",
+    "HmacSignatureScheme",
+    "KeyPair",
+    "KeyRegistry",
+    "SchnorrSignatureScheme",
+    "Signature",
+    "SignatureScheme",
+    "SignedChannel",
+    "digest_chain",
+    "digest_leaf",
+    "digest_pair",
+    "digest_value",
+    "get_scheme",
+    "is_hex_digest",
+    "seal_envelope",
+    "sha256_hex",
+    "verify_envelope",
+]

@@ -1,0 +1,105 @@
+"""Signed envelopes: the unit of communication between WedgeChain nodes.
+
+"All message exchanges are signed by the sender" (Section IV-A).  An
+:class:`Envelope` carries an arbitrary payload message, the sender identity,
+and the sender's signature over the payload.  Receivers call
+:func:`verify_envelope` (or :meth:`SignedChannel.open`) before acting on the
+payload; forged or tampered envelopes raise
+:class:`~repro.common.errors.InvalidMessageError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import InvalidMessageError, SignatureError, UnknownSignerError
+from ..common.identifiers import NodeId
+from .signatures import KeyRegistry, Signature
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A signed payload travelling from ``sender`` to some destination."""
+
+    sender: NodeId
+    payload: Any
+    signature: Signature
+
+    def __post_init__(self) -> None:
+        if self.signature.signer != self.sender:
+            raise InvalidMessageError(
+                f"envelope sender {self.sender} does not match signer "
+                f"{self.signature.signer}"
+            )
+
+
+def seal_envelope(registry: KeyRegistry, sender: NodeId, payload: Any) -> Envelope:
+    """Sign *payload* as *sender* and wrap it in an :class:`Envelope`."""
+
+    signature = registry.sign(sender, payload)
+    return Envelope(sender=sender, payload=payload, signature=signature)
+
+
+def verify_envelope(registry: KeyRegistry, envelope: Envelope) -> Any:
+    """Verify an envelope and return its payload.
+
+    Raises
+    ------
+    InvalidMessageError
+        If the signature does not verify or the signer is unknown.
+    """
+
+    try:
+        valid = registry.verify(envelope.signature, envelope.payload)
+    except (SignatureError, UnknownSignerError) as exc:
+        raise InvalidMessageError(str(exc)) from exc
+    if not valid:
+        raise InvalidMessageError(
+            f"envelope from {envelope.sender} failed signature verification"
+        )
+    return envelope.payload
+
+
+class SignedChannel:
+    """Convenience wrapper binding a registry and a local identity.
+
+    Each node owns a :class:`SignedChannel`; it seals outgoing payloads with
+    the node's key and opens (verifies) incoming envelopes.
+    """
+
+    def __init__(self, registry: KeyRegistry, me: NodeId) -> None:
+        self._registry = registry
+        self._me = me
+        registry.register(me)
+
+    @property
+    def identity(self) -> NodeId:
+        return self._me
+
+    @property
+    def registry(self) -> KeyRegistry:
+        return self._registry
+
+    def seal(self, payload: Any) -> Envelope:
+        """Sign *payload* with this node's key."""
+
+        return seal_envelope(self._registry, self._me, payload)
+
+    def open(self, envelope: Envelope) -> Any:
+        """Verify an incoming envelope and return its payload."""
+
+        return verify_envelope(self._registry, envelope)
+
+    def sign_value(self, value: Any) -> Signature:
+        """Produce a detached signature over *value* (used for receipts)."""
+
+        return self._registry.sign(self._me, value)
+
+    def verify_value(self, signature: Signature, value: Any) -> bool:
+        """Verify a detached signature produced by any registered node."""
+
+        try:
+            return self._registry.verify(signature, value)
+        except (SignatureError, UnknownSignerError):
+            return False

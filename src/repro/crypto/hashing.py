@@ -1,0 +1,75 @@
+"""Hashing helpers used for block digests and Merkle trees.
+
+The paper's data-free certification relies on a one-way hash: if all clients
+agree on the digest of a block, they agree on its content (Section IV-B).
+Everything in this module is a thin, well-named wrapper around SHA-256 so the
+rest of the code base never touches :mod:`hashlib` directly and all digests go
+through the canonical encoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+from ..common.encoding import canonical_encode
+
+#: Length of a hex digest produced by this module.
+DIGEST_HEX_LENGTH = 64
+
+#: Digest of the empty byte string; used as the root of empty Merkle trees.
+EMPTY_DIGEST = hashlib.sha256(b"").hexdigest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of *data* as a lowercase hex string."""
+
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_value(value: Any) -> str:
+    """Digest an arbitrary protocol value via the canonical encoding."""
+
+    return sha256_hex(canonical_encode(value))
+
+
+def digest_pair(left: str, right: str) -> str:
+    """Digest two child digests into a parent digest (Merkle interior node).
+
+    A domain-separation prefix distinguishes interior nodes from leaves so a
+    leaf value can never be confused with an interior combination.
+    """
+
+    return sha256_hex(b"node:" + left.encode("ascii") + b"|" + right.encode("ascii"))
+
+
+def digest_leaf(data: bytes) -> str:
+    """Digest raw leaf bytes with leaf domain separation."""
+
+    return sha256_hex(b"leaf:" + data)
+
+
+def digest_chain(digests: Iterable[str]) -> str:
+    """Fold an ordered sequence of digests into one digest.
+
+    Used for the LSMerkle *global root*, which is "the hash of all Merkle
+    roots" (Section V-B).
+    """
+
+    hasher = hashlib.sha256(b"chain:")
+    for digest in digests:
+        hasher.update(digest.encode("ascii"))
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def is_hex_digest(value: str) -> bool:
+    """Return ``True`` if *value* looks like a digest produced here."""
+
+    if not isinstance(value, str) or len(value) != DIGEST_HEX_LENGTH:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,40 @@
+"""The WedgeChain logging layer: entries, blocks, buffers, proofs, and logs."""
+
+from .block import Block, BlockSummary, build_block, compute_block_digest
+from .buffer import BlockBuffer, BufferedEntry, PendingBatch
+from .entry import EntryBody, LogEntry, make_entry, require_valid_entry
+from .proofs import (
+    BlockProof,
+    BlockProofStatement,
+    CommitPhase,
+    PhaseOneReceipt,
+    PhaseOneStatement,
+    ReadProof,
+    issue_block_proof,
+    issue_phase_one_receipt,
+)
+from .wedge_log import LogRecord, WedgeLog
+
+__all__ = [
+    "Block",
+    "BlockBuffer",
+    "BlockProof",
+    "BlockProofStatement",
+    "BlockSummary",
+    "BufferedEntry",
+    "CommitPhase",
+    "EntryBody",
+    "LogEntry",
+    "LogRecord",
+    "PendingBatch",
+    "PhaseOneReceipt",
+    "PhaseOneStatement",
+    "ReadProof",
+    "WedgeLog",
+    "build_block",
+    "compute_block_digest",
+    "issue_block_proof",
+    "issue_phase_one_receipt",
+    "make_entry",
+    "require_valid_entry",
+]

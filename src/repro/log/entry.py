@@ -1,0 +1,94 @@
+"""Log entries: the unit of data produced by clients.
+
+Clients are authenticated data sources (IoT sensors, edge devices).  Every
+entry carries the producing client's identity, a client-local sequence
+number, the opaque payload bytes, and the client's signature over all of the
+above (Section III / IV-A: "The generated data is signed and sent to edge
+nodes for processing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import InvalidMessageError
+from ..common.identifiers import NodeId
+from ..crypto.signatures import KeyRegistry, Signature
+
+
+@dataclass(frozen=True)
+class EntryBody:
+    """The signed portion of a log entry (everything except the signature)."""
+
+    producer: NodeId
+    sequence: int
+    payload: bytes
+    produced_at: float
+
+    @property
+    def wire_size(self) -> int:
+        # payload + producer name + fixed header fields
+        return len(self.payload) + len(self.producer.name) + 24
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A client-produced entry together with the client's signature."""
+
+    body: EntryBody
+    signature: Optional[Signature] = None
+
+    @property
+    def producer(self) -> NodeId:
+        return self.body.producer
+
+    @property
+    def sequence(self) -> int:
+        return self.body.sequence
+
+    @property
+    def payload(self) -> bytes:
+        return self.body.payload
+
+    @property
+    def produced_at(self) -> float:
+        return self.body.produced_at
+
+    @property
+    def wire_size(self) -> int:
+        return self.body.wire_size + (64 if self.signature is not None else 0)
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """Check the producer's signature over the entry body."""
+
+        if self.signature is None:
+            return False
+        if self.signature.signer != self.body.producer:
+            return False
+        return registry.verify(self.signature, self.body)
+
+
+def make_entry(
+    registry: KeyRegistry,
+    producer: NodeId,
+    sequence: int,
+    payload: bytes,
+    produced_at: float,
+) -> LogEntry:
+    """Build and sign a log entry on behalf of *producer*."""
+
+    body = EntryBody(
+        producer=producer, sequence=sequence, payload=payload, produced_at=produced_at
+    )
+    signature = registry.sign(producer, body)
+    return LogEntry(body=body, signature=signature)
+
+
+def require_valid_entry(registry: KeyRegistry, entry: LogEntry) -> None:
+    """Raise :class:`InvalidMessageError` unless the entry verifies."""
+
+    if not entry.verify(registry):
+        raise InvalidMessageError(
+            f"entry {entry.sequence} from {entry.producer} failed verification"
+        )

@@ -1,0 +1,203 @@
+"""Commit proofs: the artifacts behind Phase I and Phase II commitment.
+
+*Phase I* — the edge node's signed response.  It does not prove the data is
+durable or agreed upon; it proves the edge node *promised* this block content
+for this block id, which is enough to punish the edge node later if the
+promise is broken (Definition 1 in the paper).
+
+*Phase II* — the cloud node's signed ``block-proof`` over ``(edge, block id,
+digest)``.  Because the cloud signs at most one digest per block id, two
+clients can never both hold Phase II proofs for conflicting contents
+(Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..common.identifiers import BlockId, NodeId
+from ..crypto.signatures import KeyRegistry, Signature
+from .block import Block, compute_block_digest
+
+
+class CommitPhase(Enum):
+    """Lifecycle of an operation under lazy certification."""
+
+    PENDING = "pending"
+    PHASE_ONE = "phase_one"
+    PHASE_TWO = "phase_two"
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_committed(self) -> bool:
+        """Phase I already allows the client to make progress."""
+
+        return self in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
+
+
+@dataclass(frozen=True)
+class PhaseOneStatement:
+    """The content an edge node signs when it acknowledges an operation."""
+
+    edge: NodeId
+    block_id: BlockId
+    block_digest: str
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class PhaseOneReceipt:
+    """A signed Phase I acknowledgement (the client's evidence of a promise)."""
+
+    statement: PhaseOneStatement
+    signature: Signature
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.statement.block_id
+
+    @property
+    def block_digest(self) -> str:
+        return self.statement.block_digest
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + 64 + 16
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """Check that the receipt was signed by the edge node it names."""
+
+        if self.signature.signer != self.statement.edge:
+            return False
+        return registry.verify(self.signature, self.statement)
+
+    def matches_block(self, block: Block) -> bool:
+        """Whether this receipt's digest matches *block*'s content digest."""
+
+        recomputed = block.digest()
+        return (
+            block.edge == self.statement.edge
+            and block.block_id == self.statement.block_id
+            and recomputed == self.statement.block_digest
+        )
+
+
+def issue_phase_one_receipt(
+    registry: KeyRegistry, edge: NodeId, block: Block, issued_at: float
+) -> PhaseOneReceipt:
+    """Create an edge-signed Phase I receipt for *block*."""
+
+    statement = PhaseOneStatement(
+        edge=edge,
+        block_id=block.block_id,
+        block_digest=block.digest(),
+        issued_at=issued_at,
+    )
+    return PhaseOneReceipt(statement=statement, signature=registry.sign(edge, statement))
+
+
+@dataclass(frozen=True)
+class BlockProofStatement:
+    """The content the cloud signs when certifying a block digest."""
+
+    cloud: NodeId
+    edge: NodeId
+    block_id: BlockId
+    block_digest: str
+    certified_at: float
+
+
+@dataclass(frozen=True)
+class BlockProof:
+    """The cloud-signed certification of a block digest (Phase II evidence)."""
+
+    statement: BlockProofStatement
+    signature: Signature
+
+    @property
+    def cloud(self) -> NodeId:
+        return self.statement.cloud
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.statement.block_id
+
+    @property
+    def block_digest(self) -> str:
+        return self.statement.block_digest
+
+    @property
+    def certified_at(self) -> float:
+        return self.statement.certified_at
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + 64 + 24
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """Check that the proof was signed by the cloud node it names."""
+
+        if self.signature.signer != self.statement.cloud:
+            return False
+        return registry.verify(self.signature, self.statement)
+
+    def certifies(self, block: Block) -> bool:
+        """Whether this proof certifies exactly *block* (content digest)."""
+
+        recomputed = block.digest()
+        return (
+            block.edge == self.statement.edge
+            and block.block_id == self.statement.block_id
+            and recomputed == self.statement.block_digest
+        )
+
+
+def issue_block_proof(
+    registry: KeyRegistry,
+    cloud: NodeId,
+    edge: NodeId,
+    block_id: BlockId,
+    block_digest: str,
+    certified_at: float,
+) -> BlockProof:
+    """Create a cloud-signed block proof over a digest."""
+
+    statement = BlockProofStatement(
+        cloud=cloud,
+        edge=edge,
+        block_id=block_id,
+        block_digest=block_digest,
+        certified_at=certified_at,
+    )
+    return BlockProof(statement=statement, signature=registry.sign(cloud, statement))
+
+
+@dataclass(frozen=True)
+class ReadProof:
+    """Proof attached to a log read response.
+
+    A read can be answered in Phase II (``block_proof`` present) or in
+    Phase I (``block_proof`` is ``None`` and the client must wait for the
+    cloud certification; the signed response itself is the client's evidence
+    in case of a dispute).
+    """
+
+    phase: CommitPhase
+    block_proof: Optional[BlockProof] = None
+
+    @property
+    def is_final(self) -> bool:
+        return self.phase is CommitPhase.PHASE_TWO and self.block_proof is not None

@@ -1,0 +1,30 @@
+"""LSM tree substrate: records, pages, levels, compaction, and the tree."""
+
+from .compaction import (
+    DEFAULT_PAGE_CAPACITY,
+    MergeResult,
+    merge_levels,
+    newest_versions,
+    partition_into_pages,
+)
+from .level import Level
+from .lsm_tree import LookupResult, LSMTree
+from .page import Page, build_page
+from .records import KEY_MIN, KeyFence, KVRecord, fences_are_contiguous
+
+__all__ = [
+    "DEFAULT_PAGE_CAPACITY",
+    "KEY_MIN",
+    "KVRecord",
+    "KeyFence",
+    "LSMTree",
+    "Level",
+    "LookupResult",
+    "MergeResult",
+    "Page",
+    "build_page",
+    "fences_are_contiguous",
+    "merge_levels",
+    "newest_versions",
+    "partition_into_pages",
+]

@@ -1,0 +1,110 @@
+"""Merging (compaction) of LSM levels.
+
+When level ``i`` exceeds its page threshold, all of its pages are merged into
+the pages of level ``i+1`` (Section V-B "Merging").  The merge removes
+redundant versions — only the most recent version of each key survives — and
+re-partitions the result into pages with disjoint, contiguous key fences so
+that a single page per level can later prove (non-)existence of a key.
+
+In WedgeChain the merge itself is executed by the *cloud node*, which also
+recomputes the Merkle roots; the pure merge logic lives here so the cloud
+node, the baselines, and the tests all share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..common.errors import ConfigurationError
+from .page import Page
+from .records import KEY_MIN, KeyFence, KVRecord
+
+#: Default number of records per merged page (one paper "page" holds the
+#: updates of one block, i.e. roughly the batch size).
+DEFAULT_PAGE_CAPACITY = 100
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of merging a source level into a target level."""
+
+    pages: tuple[Page, ...]
+    records_in: int
+    records_out: int
+
+    @property
+    def redundancy_removed(self) -> int:
+        """How many stale versions were dropped by the merge."""
+
+        return self.records_in - self.records_out
+
+
+def newest_versions(records: Iterable[KVRecord]) -> list[KVRecord]:
+    """Collapse *records* to the single newest version per key, key-sorted."""
+
+    newest: dict[str, KVRecord] = {}
+    for record in records:
+        current = newest.get(record.key)
+        if current is None or record.is_newer_than(current):
+            newest[record.key] = record
+    return [newest[key] for key in sorted(newest)]
+
+
+def partition_into_pages(
+    records: Sequence[KVRecord],
+    page_capacity: int,
+    created_at: float,
+) -> tuple[Page, ...]:
+    """Split key-sorted, key-unique records into pages with contiguous fences.
+
+    The first page's fence starts at the minimum-key sentinel and the last
+    page's fence is unbounded above; interior boundaries sit at the first key
+    of the following page, so every key maps to exactly one page.
+    """
+
+    if page_capacity <= 0:
+        raise ConfigurationError("page_capacity must be positive")
+    if not records:
+        return ()
+
+    chunks: list[Sequence[KVRecord]] = [
+        records[start : start + page_capacity]
+        for start in range(0, len(records), page_capacity)
+    ]
+    pages: list[Page] = []
+    for position, chunk in enumerate(chunks):
+        lower = KEY_MIN if position == 0 else chunks[position][0].key
+        upper = None if position == len(chunks) - 1 else chunks[position + 1][0].key
+        fence = KeyFence(lower=lower, upper=upper)
+        pages.append(
+            Page(records=tuple(chunk), fence=fence, created_at=created_at)
+        )
+    return tuple(pages)
+
+
+def merge_levels(
+    source_pages: Sequence[Page],
+    target_pages: Sequence[Page],
+    created_at: float,
+    page_capacity: int = DEFAULT_PAGE_CAPACITY,
+) -> MergeResult:
+    """Merge the pages of level ``i`` into level ``i+1``.
+
+    Both levels' records are combined, stale versions are dropped, and the
+    survivors are re-partitioned into contiguous pages for the target level.
+    """
+
+    all_records: list[KVRecord] = []
+    for page in source_pages:
+        all_records.extend(page.records)
+    for page in target_pages:
+        all_records.extend(page.records)
+
+    survivors = newest_versions(all_records)
+    pages = partition_into_pages(survivors, page_capacity, created_at)
+    return MergeResult(
+        pages=pages,
+        records_in=len(all_records),
+        records_out=len(survivors),
+    )

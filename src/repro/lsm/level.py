@@ -1,0 +1,118 @@
+"""LSM levels: bounded collections of pages.
+
+Level 0 is special: it holds the most recent pages in arrival order and may
+contain overlapping key ranges and duplicate keys.  Levels 1 and above hold
+pages with disjoint, contiguous key fences ("keys are sorted across pages",
+Section V-B) and at most one version per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..common.errors import ConfigurationError, ProtocolError
+from .page import Page
+from .records import KVRecord, fences_are_contiguous
+
+
+@dataclass
+class Level:
+    """One level of the LSM structure."""
+
+    index: int
+    threshold: int
+    pages: list[Page] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("level index must be non-negative")
+        if self.threshold <= 0:
+            raise ConfigurationError("level threshold must be positive")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_level_zero(self) -> bool:
+        return self.index == 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def exceeds_threshold(self) -> bool:
+        return len(self.pages) > self.threshold
+
+    @property
+    def total_records(self) -> int:
+        return sum(page.num_records for page in self.pages)
+
+    def page_digests(self) -> tuple[str, ...]:
+        return tuple(page.digest() for page in self.pages)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append_page(self, page: Page) -> None:
+        """Add a page to level 0 (arrival order)."""
+
+        if not self.is_level_zero:
+            raise ProtocolError(
+                f"append_page is only valid on level 0, not level {self.index}"
+            )
+        self.pages.append(page)
+
+    def replace_pages(self, pages: Iterable[Page]) -> None:
+        """Replace the level's pages wholesale (after a merge).
+
+        For levels above 0 the new pages must have disjoint, contiguous
+        fences — the invariant clients rely on to check non-existence.
+        """
+
+        new_pages = list(pages)
+        if not self.is_level_zero and new_pages:
+            ordered = sorted(new_pages, key=lambda page: page.fence.lower)
+            if not fences_are_contiguous([page.fence for page in ordered]):
+                raise ProtocolError(
+                    f"level {self.index} pages do not form a contiguous key range"
+                )
+            new_pages = ordered
+        self.pages = new_pages
+
+    def clear(self) -> None:
+        self.pages = []
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def pages_newest_first(self) -> tuple[Page, ...]:
+        """Level-0 pages from newest to oldest (recency order for reads)."""
+
+        return tuple(reversed(self.pages))
+
+    def intersecting_page(self, key: str) -> Optional[Page]:
+        """The unique page of a sorted level whose fence covers *key*."""
+
+        if self.is_level_zero:
+            raise ProtocolError("level 0 has no unique intersecting page")
+        for page in self.pages:
+            if page.could_contain(key):
+                return page
+        return None
+
+    def lookup(self, key: str) -> Optional[KVRecord]:
+        """Most recent record for *key* within this level (or ``None``)."""
+
+        if self.is_level_zero:
+            best: Optional[KVRecord] = None
+            for page in self.pages:
+                candidate = page.lookup(key)
+                if candidate is not None and (
+                    best is None or candidate.is_newer_than(best)
+                ):
+                    best = candidate
+            return best
+        page = self.intersecting_page(key)
+        return page.lookup(key) if page is not None else None

@@ -1,0 +1,141 @@
+"""Pages: the immutable unit of storage in the LSM/LSMerkle structure.
+
+A page holds a key-sorted batch of records plus meta information ("the range
+of keys in the page and a timestamp of the time the page was created",
+Section V-A).  Pages at level 0 come straight from WedgeChain blocks and may
+contain several versions of the same key; pages at higher levels are produced
+by merges and contain at most one version per key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..common.errors import ProtocolError
+from ..common.identifiers import BlockId
+from ..crypto.hashing import digest_value
+from .records import KeyFence, KVRecord
+
+_page_counter = itertools.count()
+
+
+def _next_page_id() -> int:
+    return next(_page_counter)
+
+
+@dataclass(frozen=True)
+class Page:
+    """An immutable, key-sorted batch of records with a key fence."""
+
+    records: tuple[KVRecord, ...]
+    fence: KeyFence
+    created_at: float
+    page_id: int = field(default_factory=_next_page_id)
+    #: The WedgeChain block this page was formed from (level-0 pages only).
+    source_block_id: Optional[BlockId] = None
+
+    def __post_init__(self) -> None:
+        keys = [record.key for record in self.records]
+        if keys != sorted(keys):
+            raise ProtocolError("page records must be sorted by key")
+        for record in self.records:
+            if not self.fence.contains(record.key):
+                raise ProtocolError(
+                    f"record key {record.key!r} outside page fence {self.fence}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+    @property
+    def min_key(self) -> Optional[str]:
+        return self.records[0].key if self.records else None
+
+    @property
+    def max_key(self) -> Optional[str]:
+        return self.records[-1].key if self.records else None
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + sum(record.wire_size for record in self.records)
+
+    def digest(self) -> str:
+        """Content digest of the page (what Merkle leaves are built from).
+
+        Cached after the first computation — pages are immutable and their
+        digests are recomputed frequently (Merkle rebuilds, merge checks).
+        """
+
+        cached = self.__dict__.get("_digest_cache")
+        if cached is not None:
+            return cached
+        computed = digest_value(
+            (
+                tuple(self.records),
+                self.fence.lower,
+                self.fence.upper,
+                self.created_at,
+                self.source_block_id,
+            )
+        )
+        object.__setattr__(self, "_digest_cache", computed)
+        return computed
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[KVRecord]:
+        """Return the most recent record for *key* within this page."""
+
+        best: Optional[KVRecord] = None
+        for record in self.records:
+            if record.key == key and (best is None or record.is_newer_than(best)):
+                best = record
+        return best
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(record.key for record in self.records)
+
+    def could_contain(self, key: str) -> bool:
+        """Whether this page's fence covers *key*."""
+
+        return self.fence.contains(key)
+
+
+def build_page(
+    records: Iterable[KVRecord],
+    created_at: float,
+    fence: Optional[KeyFence] = None,
+    source_block_id: Optional[BlockId] = None,
+) -> Page:
+    """Sort records by key (recency-stable) and wrap them in a page.
+
+    If no fence is given, a tight fence covering exactly the page's keys is
+    used (suitable for level-0 pages where fences are informational; merge
+    code assigns contiguous fences explicitly for higher levels).
+    """
+
+    ordered = sorted(records, key=lambda record: (record.key, record.sequence))
+    if fence is None:
+        if ordered:
+            fence = KeyFence(lower=ordered[0].key, upper=None)
+            # A tight upper bound cannot be expressed exactly with half-open
+            # string ranges; keep it unbounded above, which is always safe.
+        else:
+            fence = KeyFence.covering_everything()
+    return Page(
+        records=tuple(ordered),
+        fence=fence,
+        created_at=created_at,
+        source_block_id=source_block_id,
+    )

@@ -1,0 +1,105 @@
+"""Key-value records and key-range fences for the LSM substrate.
+
+A record is one versioned ``put``: recency is determined by a global,
+monotonically increasing sequence number assigned when the operation enters
+the system (ties cannot happen because sequence numbers are unique).
+
+Fences describe the key range a page is responsible for.  The paper phrases
+the invariant with integer keys ("px.max = py.min − 1", first min is 0, last
+max is infinity); we use the equivalent half-open formulation over string
+keys: consecutive pages satisfy ``px.fence.upper == py.fence.lower``, the
+first page's lower bound is the minimum key sentinel and the last page's
+upper bound is +infinity (``None``).  A client can therefore verify that the
+single returned page of a level is the only page that could contain the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import ConfigurationError
+
+#: Sentinel for the smallest possible key (the paper's "min of 0").
+KEY_MIN = ""
+
+
+@dataclass(frozen=True, order=True)
+class KVRecord:
+    """One versioned key-value pair."""
+
+    key: str
+    sequence: int
+    value: bytes
+    written_at: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.key) + len(self.value) + 24
+
+    def is_newer_than(self, other: "KVRecord") -> bool:
+        """Recency comparison: higher sequence number wins."""
+
+        return self.sequence > other.sequence
+
+
+@dataclass(frozen=True)
+class KeyFence:
+    """Half-open key range ``[lower, upper)``; ``upper is None`` means +inf."""
+
+    lower: str = KEY_MIN
+    upper: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.upper is not None and self.upper < self.lower:
+            raise ConfigurationError(
+                f"fence upper bound {self.upper!r} below lower bound {self.lower!r}"
+            )
+
+    @property
+    def is_unbounded_above(self) -> bool:
+        return self.upper is None
+
+    def contains(self, key: str) -> bool:
+        """Whether *key* falls inside this fence."""
+
+        if key < self.lower:
+            return False
+        return self.upper is None or key < self.upper
+
+    def abuts(self, successor: "KeyFence") -> bool:
+        """Whether *successor* starts exactly where this fence ends."""
+
+        return self.upper is not None and self.upper == successor.lower
+
+    def overlaps(self, other: "KeyFence") -> bool:
+        """Whether the two half-open ranges intersect."""
+
+        if self.upper is not None and self.upper <= other.lower:
+            return False
+        if other.upper is not None and other.upper <= self.lower:
+            return False
+        return True
+
+    @classmethod
+    def covering_everything(cls) -> "KeyFence":
+        return cls(lower=KEY_MIN, upper=None)
+
+
+def fences_are_contiguous(fences: list[KeyFence]) -> bool:
+    """Check the paper's level invariant over an ordered list of fences.
+
+    The first fence must start at the minimum key, the last must be unbounded
+    above, and every consecutive pair must share a boundary.
+    """
+
+    if not fences:
+        return True
+    if fences[0].lower != KEY_MIN:
+        return False
+    if not fences[-1].is_unbounded_above:
+        return False
+    for left, right in zip(fences, fences[1:]):
+        if not left.abuts(right):
+            return False
+    return True

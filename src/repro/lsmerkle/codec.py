@@ -1,0 +1,106 @@
+"""Encoding of key-value put operations inside WedgeChain log entries.
+
+LSMerkle reuses the logging layer as its level-0 buffer: every ``put`` is a
+log entry whose payload encodes the key and value.  Both the edge node and
+the clients derive the level-0 *page* for a block deterministically from the
+block itself (``page_from_block``), so the digest certified for the block by
+the cloud also authenticates the page — exactly the "same block-certify and
+block-proof message exchange" described in Section V-B.
+
+Record recency is a global sequence number derived from ``(block id, index
+within block)``; later blocks therefore always carry newer versions, and two
+records never share a sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import SerializationError
+from ..log.block import Block
+from ..lsm.page import Page, build_page
+from ..lsm.records import KVRecord
+
+#: Maximum number of entries per block assumed by the sequence numbering.
+SEQUENCE_STRIDE = 1_000_000
+
+_PUT_PREFIX = b"kvput\x00"
+
+
+def encode_put(key: str, value: bytes) -> bytes:
+    """Encode a put operation as a log entry payload."""
+
+    if "\x00" in key:
+        raise SerializationError("keys must not contain NUL characters")
+    key_bytes = key.encode("utf-8")
+    return _PUT_PREFIX + len(key_bytes).to_bytes(4, "big") + key_bytes + value
+
+
+def is_put_payload(payload: bytes) -> bool:
+    """Whether a log entry payload encodes a put operation."""
+
+    return payload.startswith(_PUT_PREFIX)
+
+
+def decode_put(payload: bytes) -> tuple[str, bytes]:
+    """Decode a put payload into ``(key, value)``."""
+
+    if not is_put_payload(payload):
+        raise SerializationError("payload does not encode a put operation")
+    offset = len(_PUT_PREFIX)
+    key_length = int.from_bytes(payload[offset : offset + 4], "big")
+    key_start = offset + 4
+    key_end = key_start + key_length
+    if key_end > len(payload):
+        raise SerializationError("truncated put payload")
+    key = payload[key_start:key_end].decode("utf-8")
+    value = payload[key_end:]
+    return key, value
+
+
+def record_sequence(block_id: int, index_in_block: int) -> int:
+    """Global sequence number of the ``index_in_block``-th put of a block."""
+
+    if index_in_block >= SEQUENCE_STRIDE:
+        raise SerializationError(
+            f"block index {index_in_block} exceeds sequence stride {SEQUENCE_STRIDE}"
+        )
+    return block_id * SEQUENCE_STRIDE + index_in_block
+
+
+def records_from_block(block: Block) -> list[KVRecord]:
+    """Decode every put entry of *block* into key-value records."""
+
+    records: list[KVRecord] = []
+    for index, entry in enumerate(block.entries):
+        if not is_put_payload(entry.payload):
+            continue
+        key, value = decode_put(entry.payload)
+        records.append(
+            KVRecord(
+                key=key,
+                sequence=record_sequence(block.block_id, index),
+                value=value,
+                written_at=entry.produced_at,
+            )
+        )
+    return records
+
+
+def page_from_block(block: Block) -> Optional[Page]:
+    """Derive the level-0 page corresponding to a block of put operations.
+
+    Returns ``None`` when the block contains no put entries (pure logging
+    blocks never enter the index).  The derivation is deterministic, so any
+    party holding the block can reproduce the page and, transitively, trust
+    it through the block's certification.
+    """
+
+    records = records_from_block(block)
+    if not records:
+        return None
+    return build_page(
+        records,
+        created_at=block.created_at,
+        source_block_id=block.block_id,
+    )

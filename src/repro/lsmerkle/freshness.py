@@ -1,0 +1,69 @@
+"""Freshness windows for LSMerkle reads (Section V-D).
+
+LSMerkle guarantees that a read returns a value from *some* consistent
+snapshot, but a lazy edge node could serve an arbitrarily stale snapshot.
+The freshness extension bounds this staleness: the cloud timestamps every
+signed global root, and the client rejects responses whose root is older
+than the configured window, retrying the request instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import ConfigurationError, FreshnessViolationError
+from .mlsm import SignedGlobalRoot
+
+
+@dataclass(frozen=True)
+class FreshnessPolicy:
+    """Client-side policy for accepting or rejecting read responses."""
+
+    #: Maximum acceptable age of the signed global root, in seconds.
+    #: ``None`` disables freshness checking entirely.
+    window_s: Optional[float] = None
+    #: Assumed bound on clock synchronization error between client and cloud
+    #: (Section V-D discusses 10s–100s of milliseconds); added to the window.
+    clock_skew_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigurationError("freshness window must be positive")
+        if self.clock_skew_s < 0:
+            raise ConfigurationError("clock skew bound must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.window_s is not None
+
+    def effective_window(self) -> Optional[float]:
+        if self.window_s is None:
+            return None
+        return self.window_s + self.clock_skew_s
+
+    def age_of(self, signed_root: SignedGlobalRoot, now: float) -> float:
+        return now - signed_root.statement.timestamp
+
+    def is_fresh(self, signed_root: Optional[SignedGlobalRoot], now: float) -> bool:
+        """Whether a response carrying *signed_root* satisfies the window."""
+
+        if not self.enabled:
+            return True
+        if signed_root is None:
+            return False
+        return self.age_of(signed_root, now) <= self.effective_window()
+
+    def require_fresh(self, signed_root: Optional[SignedGlobalRoot], now: float) -> None:
+        """Raise :class:`FreshnessViolationError` for stale responses."""
+
+        if self.is_fresh(signed_root, now):
+            return
+        if signed_root is None:
+            raise FreshnessViolationError(
+                "freshness window configured but the response has no signed root"
+            )
+        raise FreshnessViolationError(
+            f"signed root is {self.age_of(signed_root, now):.3f}s old, window is "
+            f"{self.effective_window():.3f}s"
+        )

@@ -1,0 +1,229 @@
+"""The cloud-coordinated merge (compaction) protocol of LSMerkle.
+
+When a level of the edge's LSMerkle tree exceeds its threshold, the edge
+sends the pages undergoing the merge to the cloud node (Section V-B
+"Merging").  The cloud:
+
+1. verifies the authenticity of the received state — level-0 pages are
+   checked against the block digests it certified earlier, higher-level pages
+   against the page digests it produced in previous merges;
+2. performs the LSM merge (dropping stale versions);
+3. recomputes the affected level's Merkle tree, re-signs the global root, and
+   returns the merged pages plus the new :class:`SignedGlobalRoot`.
+
+The cloud keeps only digests of the index state (:class:`CloudIndexMirror`),
+never the data itself, preserving the data-free spirit for everything except
+the merge traffic the paper explicitly accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.config import LSMerkleConfig
+from ..common.errors import MergeProtocolError
+from ..common.identifiers import BlockId, NodeId
+from ..crypto.signatures import KeyRegistry
+from ..log.block import Block, compute_block_digest
+from ..lsm.compaction import merge_levels
+from ..lsm.page import Page
+from ..merkle.tree import MerkleTree
+from .codec import page_from_block
+from .mlsm import SignedGlobalRoot, sign_global_root
+
+
+@dataclass(frozen=True)
+class MergeProposal:
+    """What the edge sends to the cloud to request a merge.
+
+    For a level-0 merge the source state is the list of *blocks* backing the
+    level-0 pages (the cloud verifies them against certified digests and
+    derives the pages itself).  For higher levels the source state is the
+    pages, verified against the cloud's digest mirror.
+    """
+
+    edge: NodeId
+    level_index: int
+    source_blocks: tuple[Block, ...] = ()
+    source_pages: tuple[Page, ...] = ()
+    target_pages: tuple[Page, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        size = 64
+        size += sum(block.wire_size for block in self.source_blocks)
+        size += sum(page.wire_size for page in self.source_pages)
+        size += sum(page.wire_size for page in self.target_pages)
+        return size
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """What the cloud returns: the merged pages and the fresh signed root."""
+
+    edge: NodeId
+    level_index: int
+    merged_pages: tuple[Page, ...]
+    signed_root: SignedGlobalRoot
+    records_in: int
+    records_out: int
+
+    @property
+    def wire_size(self) -> int:
+        return (
+            96
+            + sum(page.wire_size for page in self.merged_pages)
+            + self.signed_root.wire_size
+        )
+
+
+@dataclass
+class CloudIndexMirror:
+    """The cloud's digest-level view of one edge node's LSMerkle tree."""
+
+    edge: NodeId
+    config: LSMerkleConfig
+    page_capacity: int = 100
+    #: Page digests per level (index 0 unused — level 0 is covered by block
+    #: certification, not by the mirror).
+    level_page_digests: list[list[str]] = field(default_factory=list)
+    version: int = 0
+    #: Block ids already consumed by a level-0 merge (prevents replaying the
+    #: same blocks into the index twice).
+    merged_block_ids: set[BlockId] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.level_page_digests:
+            self.level_page_digests = [[] for _ in range(self.config.num_levels)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def level_roots(self) -> tuple[str, ...]:
+        return tuple(
+            MerkleTree(digests).root for digests in self.level_page_digests[1:]
+        )
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+    def _verify_level_zero_sources(
+        self,
+        proposal: MergeProposal,
+        certified_digests: dict[BlockId, str],
+    ) -> list[Page]:
+        pages: list[Page] = []
+        for block in proposal.source_blocks:
+            recomputed = block.digest()
+            certified = certified_digests.get(block.block_id)
+            if certified is None:
+                raise MergeProtocolError(
+                    f"block {block.block_id} from {proposal.edge} was never certified"
+                )
+            if certified != recomputed:
+                raise MergeProtocolError(
+                    f"block {block.block_id} content does not match its certified "
+                    "digest — edge node flagged as malicious"
+                )
+            if block.block_id in self.merged_block_ids:
+                raise MergeProtocolError(
+                    f"block {block.block_id} was already merged into the index"
+                )
+            page = page_from_block(block)
+            if page is not None:
+                pages.append(page)
+        return pages
+
+    def _verify_page_digests(
+        self, pages: Sequence[Page], level_index: int, label: str
+    ) -> None:
+        expected = list(self.level_page_digests[level_index])
+        received = [page.digest() for page in pages]
+        if sorted(received) != sorted(expected):
+            raise MergeProtocolError(
+                f"{label} pages for level {level_index} of {self.edge} do not match "
+                "the cloud's digest mirror"
+            )
+
+    # ------------------------------------------------------------------
+    # Merge execution
+    # ------------------------------------------------------------------
+    def execute_merge(
+        self,
+        proposal: MergeProposal,
+        certified_digests: dict[BlockId, str],
+        registry: KeyRegistry,
+        cloud: NodeId,
+        now: float,
+    ) -> MergeOutcome:
+        """Verify a merge proposal, perform the merge, and sign the new root."""
+
+        level_index = proposal.level_index
+        if not 0 <= level_index < self.config.num_levels - 1:
+            raise MergeProtocolError(
+                f"cannot merge level {level_index} of {self.config.num_levels}"
+            )
+
+        if level_index == 0:
+            source_pages = self._verify_level_zero_sources(proposal, certified_digests)
+        else:
+            self._verify_page_digests(proposal.source_pages, level_index, "source")
+            source_pages = list(proposal.source_pages)
+
+        self._verify_page_digests(proposal.target_pages, level_index + 1, "target")
+
+        result = merge_levels(
+            source_pages,
+            proposal.target_pages,
+            created_at=now,
+            page_capacity=self.page_capacity,
+        )
+
+        # Update the digest mirror.
+        if level_index == 0:
+            self.merged_block_ids.update(
+                block.block_id for block in proposal.source_blocks
+            )
+        else:
+            self.level_page_digests[level_index] = []
+        self.level_page_digests[level_index + 1] = [
+            page.digest() for page in result.pages
+        ]
+        self.version += 1
+
+        signed_root = sign_global_root(
+            registry=registry,
+            cloud=cloud,
+            edge=self.edge,
+            level_roots=self.level_roots(),
+            version=self.version,
+            timestamp=now,
+        )
+        return MergeOutcome(
+            edge=self.edge,
+            level_index=level_index,
+            merged_pages=result.pages,
+            signed_root=signed_root,
+            records_in=result.records_in,
+            records_out=result.records_out,
+        )
+
+    def sign_current_root(
+        self, registry: KeyRegistry, cloud: NodeId, now: float
+    ) -> SignedGlobalRoot:
+        """Re-sign the current roots with a fresh timestamp (no-op merge).
+
+        Used to refresh the freshness window when updates are infrequent
+        (Section V-D: the edge can trigger no-op root refreshes).
+        """
+
+        self.version += 1
+        return sign_global_root(
+            registry=registry,
+            cloud=cloud,
+            edge=self.edge,
+            level_roots=self.level_roots(),
+            version=self.version,
+            timestamp=now,
+        )

@@ -1,0 +1,5 @@
+"""Merkle tree substrate used by LSMerkle's authenticated levels."""
+
+from .tree import InclusionProof, MerkleTree, ProofStep, verify_inclusion
+
+__all__ = ["InclusionProof", "MerkleTree", "ProofStep", "verify_inclusion"]

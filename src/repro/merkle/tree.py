@@ -1,0 +1,152 @@
+"""A Merkle tree over an ordered sequence of leaf digests.
+
+Merkle trees let an untrusted node prove that a piece of data belongs to a
+collection whose root was signed by a trusted party (Section II-B.2).  In
+LSMerkle, each LSM level above L0 maintains one Merkle tree whose leaves are
+the digests of that level's pages; the cloud node signs the per-level roots
+and the global root during merges.
+
+The implementation hashes pairs of siblings level by level; odd nodes are
+promoted unchanged (a common, proof-friendly convention).  Inclusion proofs
+carry the sibling digest and the side at each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..common.errors import ProofVerificationError
+from ..crypto.hashing import EMPTY_DIGEST, digest_leaf, digest_pair
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One step of a Merkle inclusion proof."""
+
+    sibling: str
+    #: "left" if the sibling is the left child at this level, else "right".
+    side: str
+
+    def __post_init__(self) -> None:
+        if self.side not in ("left", "right"):
+            raise ProofVerificationError(f"invalid proof side {self.side!r}")
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Proof that a leaf digest is included under a Merkle root."""
+
+    leaf_index: int
+    leaf_digest: str
+    steps: tuple[ProofStep, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return 72 + 72 * len(self.steps)
+
+    def compute_root(self) -> str:
+        """Fold the proof steps into the root this proof commits to."""
+
+        current = self.leaf_digest
+        for step in self.steps:
+            if step.side == "left":
+                current = digest_pair(step.sibling, current)
+            else:
+                current = digest_pair(current, step.sibling)
+        return current
+
+    def verifies_against(self, root: str) -> bool:
+        return self.compute_root() == root
+
+
+class MerkleTree:
+    """An immutable Merkle tree built over leaf digests."""
+
+    def __init__(self, leaf_digests: Sequence[str]) -> None:
+        self._leaves: tuple[str, ...] = tuple(leaf_digests)
+        self._levels: list[list[str]] = self._build_levels(self._leaves)
+
+    @staticmethod
+    def _build_levels(leaves: Sequence[str]) -> list[list[str]]:
+        if not leaves:
+            return [[EMPTY_DIGEST]]
+        levels = [list(leaves)]
+        current = list(leaves)
+        while len(current) > 1:
+            parent: list[str] = []
+            for index in range(0, len(current), 2):
+                if index + 1 < len(current):
+                    parent.append(digest_pair(current[index], current[index + 1]))
+                else:
+                    # Odd node: promote unchanged.
+                    parent.append(current[index])
+            levels.append(parent)
+            current = parent
+        return levels
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_leaf_data(cls, items: Iterable[bytes]) -> "MerkleTree":
+        """Build a tree whose leaves are the digests of raw byte strings."""
+
+        return cls([digest_leaf(item) for item in items])
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        return self._leaves
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of hashing levels above the leaves."""
+
+        return max(len(self._levels) - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Proofs
+    # ------------------------------------------------------------------
+    def prove(self, leaf_index: int) -> InclusionProof:
+        """Produce an inclusion proof for the leaf at *leaf_index*."""
+
+        if not 0 <= leaf_index < len(self._leaves):
+            raise ProofVerificationError(
+                f"leaf index {leaf_index} out of range (0..{len(self._leaves) - 1})"
+            )
+        steps: list[ProofStep] = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            sibling_index = index ^ 1
+            if sibling_index < len(level):
+                side = "left" if sibling_index < index else "right"
+                steps.append(ProofStep(sibling=level[sibling_index], side=side))
+            # If there is no sibling the node was promoted unchanged: no step.
+            index //= 2
+        return InclusionProof(
+            leaf_index=leaf_index,
+            leaf_digest=self._leaves[leaf_index],
+            steps=tuple(steps),
+        )
+
+    def verify(self, proof: InclusionProof) -> bool:
+        """Verify a proof against this tree's root."""
+
+        return proof.verifies_against(self.root)
+
+
+def verify_inclusion(root: str, proof: InclusionProof) -> bool:
+    """Verify an inclusion proof against an externally obtained root."""
+
+    return proof.verifies_against(root)

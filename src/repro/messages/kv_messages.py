@@ -1,0 +1,151 @@
+"""Messages of the LSMerkle key-value protocol (Section V).
+
+``put`` operations reuse :class:`~repro.messages.log_messages.AppendBatchRequest`
+with ``kind=OperationKind.PUT`` (they travel through the same log/buffer);
+this module adds the interactive ``get`` exchange and the cloud-coordinated
+merge protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.identifiers import NodeId, OperationId
+from ..crypto.signatures import Signature
+from ..lsmerkle.merge import MergeOutcome, MergeProposal
+from ..lsmerkle.mlsm import SignedGlobalRoot
+from ..lsmerkle.read_proof import GetProof
+
+
+# ----------------------------------------------------------------------
+# Interactive reads (get)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GetRequest:
+    """Client request for the most recent value of a key."""
+
+    requester: NodeId
+    operation_id: OperationId
+    key: str
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + len(self.key)
+
+
+@dataclass(frozen=True)
+class GetResponseStatement:
+    """The signed portion of a get response (dispute evidence)."""
+
+    edge: NodeId
+    operation_id: OperationId
+    key: str
+    found: bool
+    value_digest: Optional[str]
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class GetResponse:
+    """The edge's get response: value, index proof, and signed statement."""
+
+    statement: GetResponseStatement
+    signature: Signature
+    value: Optional[bytes]
+    proof: GetProof
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def key(self) -> str:
+        return self.statement.key
+
+    @property
+    def found(self) -> bool:
+        return self.statement.found
+
+    @property
+    def wire_size(self) -> int:
+        size = 64 + 96 + self.proof.wire_size
+        if self.value is not None:
+            size += len(self.value)
+        return size
+
+
+# ----------------------------------------------------------------------
+# Merges (edge ↔ cloud)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MergeRequest:
+    """Edge → cloud: the pages (or blocks, for level 0) undergoing a merge."""
+
+    edge: NodeId
+    proposal: MergeProposal
+
+    @property
+    def level_index(self) -> int:
+        return self.proposal.level_index
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + self.proposal.wire_size
+
+
+@dataclass(frozen=True)
+class MergeResponse:
+    """Cloud → edge: merged pages plus the freshly signed global root."""
+
+    cloud: NodeId
+    outcome: MergeOutcome
+
+    @property
+    def level_index(self) -> int:
+        return self.outcome.level_index
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + self.outcome.wire_size
+
+
+@dataclass(frozen=True)
+class MergeRejection:
+    """Cloud → edge: the merge proposal failed verification."""
+
+    cloud: NodeId
+    edge: NodeId
+    level_index: int
+    reason: str
+
+    @property
+    def wire_size(self) -> int:
+        return 160
+
+
+# ----------------------------------------------------------------------
+# Root refresh (freshness support, Section V-D)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RootRefreshRequest:
+    """Edge → cloud: please re-sign the current roots with a new timestamp."""
+
+    edge: NodeId
+
+    @property
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class RootRefreshResponse:
+    """Cloud → edge: the re-signed global root."""
+
+    cloud: NodeId
+    edge: NodeId
+    signed_root: SignedGlobalRoot
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + self.signed_root.wire_size

@@ -1,0 +1,249 @@
+"""Messages of the WedgeChain logging protocol (Section IV).
+
+Every message that a node acts upon carries the evidence the protocol needs:
+add/put requests carry client-signed entries, responses carry the edge's
+Phase I receipt, certification messages carry edge-signed digests, and block
+proofs carry the cloud's signature.  ``wire_size`` properties let the
+simulator charge realistic bandwidth without re-serializing payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.identifiers import BlockId, NodeId, OperationId, OperationKind
+from ..crypto.signatures import Signature
+from ..log.block import Block
+from ..log.entry import LogEntry
+from ..log.proofs import BlockProof, PhaseOneReceipt
+
+
+# ----------------------------------------------------------------------
+# Appending (add / put share the same transport shape)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppendBatchRequest:
+    """A client-sent batch of entries to append (``add`` or ``put``)."""
+
+    requester: NodeId
+    operation_id: OperationId
+    kind: OperationKind
+    entries: tuple[LogEntry, ...]
+    request_block: bool = True
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + sum(entry.wire_size for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class AppendBatchResponse:
+    """The edge's signed acknowledgement: Phase I commitment evidence."""
+
+    edge: NodeId
+    operation_id: OperationId
+    block_id: BlockId
+    receipt: PhaseOneReceipt
+    block: Optional[Block] = None
+
+    @property
+    def wire_size(self) -> int:
+        size = 64 + self.receipt.wire_size
+        if self.block is not None:
+            size += self.block.wire_size
+        return size
+
+
+# ----------------------------------------------------------------------
+# Certification (edge ↔ cloud): data-free, digests only
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CertifyStatement:
+    """What the edge signs when asking the cloud to certify a block digest."""
+
+    edge: NodeId
+    block_id: BlockId
+    block_digest: str
+    num_entries: int
+
+
+@dataclass(frozen=True)
+class BlockCertifyRequest:
+    """block-certify: edge → cloud, carrying only the digest (data-free)."""
+
+    statement: CertifyStatement
+    signature: Signature
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.statement.block_id
+
+    @property
+    def block_digest(self) -> str:
+        return self.statement.block_digest
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + 64 + 80
+
+
+@dataclass(frozen=True)
+class BlockProofMessage:
+    """block-proof: cloud → edge → clients, certifying one block digest."""
+
+    proof: BlockProof
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.proof.block_id
+
+    @property
+    def wire_size(self) -> int:
+        return self.proof.wire_size + 16
+
+
+@dataclass(frozen=True)
+class CertifyRejection:
+    """The cloud's refusal to certify: the edge equivocated on a block id."""
+
+    cloud: NodeId
+    edge: NodeId
+    block_id: BlockId
+    existing_digest: str
+    offending_digest: str
+    reason: str
+
+    @property
+    def wire_size(self) -> int:
+        return 208
+
+
+# ----------------------------------------------------------------------
+# Reading from the log
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client request to read one block by id."""
+
+    requester: NodeId
+    operation_id: OperationId
+    block_id: BlockId
+
+    @property
+    def wire_size(self) -> int:
+        return 80
+
+
+@dataclass(frozen=True)
+class ReadResponseStatement:
+    """The signed portion of a read response (dispute evidence)."""
+
+    edge: NodeId
+    operation_id: OperationId
+    block_id: BlockId
+    found: bool
+    block_digest: Optional[str]
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    """The edge's response to a read: block, optional proof, signed statement."""
+
+    statement: ReadResponseStatement
+    signature: Signature
+    block: Optional[Block] = None
+    proof: Optional[BlockProof] = None
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.statement.block_id
+
+    @property
+    def found(self) -> bool:
+        return self.statement.found
+
+    @property
+    def wire_size(self) -> int:
+        size = 64 + 96
+        if self.block is not None:
+            size += self.block.wire_size
+        if self.proof is not None:
+            size += self.proof.wire_size
+        return size
+
+
+# ----------------------------------------------------------------------
+# Gossip (omission-attack mitigation, Section IV-E)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GossipStatement:
+    """Signed (timestamp, log size) snapshot of one edge node's certified log."""
+
+    cloud: NodeId
+    edge: NodeId
+    certified_log_size: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """Periodic cloud-signed gossip delivered to clients."""
+
+    statement: GossipStatement
+    signature: Signature
+
+    @property
+    def wire_size(self) -> int:
+        return 160
+
+
+# ----------------------------------------------------------------------
+# Disputes and punishment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DisputeRequest:
+    """A client's accusation that an edge node lied, with evidence attached."""
+
+    client: NodeId
+    edge: NodeId
+    block_id: BlockId
+    kind: str
+    receipt: Optional[PhaseOneReceipt] = None
+    read_statement: Optional[ReadResponseStatement] = None
+    read_signature: Optional[Signature] = None
+    claimed_digest: Optional[str] = None
+
+    @property
+    def wire_size(self) -> int:
+        return 256
+
+
+@dataclass(frozen=True)
+class DisputeVerdict:
+    """The cloud's judgement on a dispute."""
+
+    cloud: NodeId
+    client: NodeId
+    edge: NodeId
+    block_id: BlockId
+    edge_punished: bool
+    reason: str
+    certified_digest: Optional[str] = None
+    proof: Optional[BlockProof] = None
+
+    @property
+    def wire_size(self) -> int:
+        size = 224
+        if self.proof is not None:
+            size += self.proof.wire_size
+        return size

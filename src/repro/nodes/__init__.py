@@ -1,0 +1,25 @@
+"""Node implementations: trusted cloud, untrusted edge, clients, adversaries."""
+
+from .client import Client
+from .cloud import CloudNode
+from .edge import EdgeNode
+from .malicious import (
+    BrokenPromiseEdgeNode,
+    EquivocatingCertifierEdgeNode,
+    NonCertifyingEdgeNode,
+    OmittingEdgeNode,
+    StaleServingEdgeNode,
+    TamperingReadEdgeNode,
+)
+
+__all__ = [
+    "BrokenPromiseEdgeNode",
+    "Client",
+    "CloudNode",
+    "EdgeNode",
+    "EquivocatingCertifierEdgeNode",
+    "NonCertifyingEdgeNode",
+    "OmittingEdgeNode",
+    "StaleServingEdgeNode",
+    "TamperingReadEdgeNode",
+]

@@ -1,0 +1,510 @@
+"""Authenticated clients: data producers and consumers.
+
+Clients sign every entry they produce, keep the edge node's signed responses
+as evidence, verify every proof they receive, and raise disputes with the
+cloud when evidence and reality diverge (Algorithm 1 and Section IV-D/E of
+the paper).  The client also records when each of its operations reached
+Phase I and Phase II commitment — the raw material for the paper's latency,
+throughput, and commit-rate figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ..common.config import SystemConfig
+from ..common.errors import ProofVerificationError
+from ..common.identifiers import (
+    NodeId,
+    OperationId,
+    OperationKind,
+    SequenceGenerator,
+    client_id,
+)
+from ..common.regions import Region
+from ..core.commit import CommitTracker, OperationRecord
+from ..core.gossip import GossipView, verify_gossip
+from ..crypto.hashing import digest_value
+from ..log.entry import make_entry
+from ..log.proofs import CommitPhase
+from ..lsmerkle.codec import encode_put
+from ..lsmerkle.freshness import FreshnessPolicy
+from ..lsmerkle.read_proof import verify_get_proof
+from ..messages.kv_messages import GetRequest, GetResponse
+from ..messages.log_messages import (
+    AppendBatchRequest,
+    AppendBatchResponse,
+    BlockProofMessage,
+    DisputeRequest,
+    DisputeVerdict,
+    GossipMessage,
+    ReadRequest,
+    ReadResponse,
+)
+from ..sim.environment import Environment
+
+
+class Client:
+    """One authenticated client bound to a single edge node (its partition)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        edge: NodeId,
+        cloud: NodeId,
+        config: Optional[SystemConfig] = None,
+        name: str = "client-0",
+        region: Optional[Region] = None,
+    ) -> None:
+        self.env = env
+        self.config = config if config is not None else SystemConfig.paper_default()
+        self.node_id = client_id(name)
+        self.region = region if region is not None else self.config.placement.client_region
+        self.edge = edge
+        self.cloud = cloud
+
+        self.tracker = CommitTracker()
+        self.gossip_view = GossipView(edge=edge)
+        self.freshness = FreshnessPolicy(
+            window_s=self.config.security.freshness_window_s
+        )
+        self._operation_seq = SequenceGenerator()
+        self._entry_seq = SequenceGenerator()
+
+        #: Proven or suspected malicious behaviour observed by this client.
+        self.malicious_events: list[dict] = []
+        #: Verdicts received from the cloud for disputes this client raised.
+        self.verdicts: list[DisputeVerdict] = []
+        #: Block proofs that arrived before the operation they certify was
+        #: Phase I committed locally (possible under message reordering).
+        self._early_proofs: dict[int, Any] = {}
+        #: Session consistency (Section V-D alternative): the highest signed
+        #: global-root version this client has observed.  Responses verified
+        #: against an older root are rejected as stale.
+        self._last_root_version: int = 0
+
+        self.stats = {
+            "writes_issued": 0,
+            "reads_issued": 0,
+            "gets_issued": 0,
+            "entries_sent": 0,
+            "disputes_sent": 0,
+            "proof_mismatches": 0,
+            "verification_failures": 0,
+            # Total simulated CPU time this client spent verifying responses
+            # and proofs (reported by the Figure 5(d) experiment).
+            "verification_seconds": 0.0,
+        }
+        env.attach(self)
+
+    # ------------------------------------------------------------------
+    # Public operation API
+    # ------------------------------------------------------------------
+    def add_batch(self, payloads: Sequence[bytes]) -> OperationId:
+        """Append a batch of opaque entries to the log (Phase I on response)."""
+
+        return self._append(payloads=list(payloads), kind=OperationKind.ADD)
+
+    def add(self, payload: bytes) -> OperationId:
+        """Append a single entry (a batch of one)."""
+
+        return self.add_batch([payload])
+
+    def put_batch(self, items: Iterable[tuple[str, bytes]]) -> OperationId:
+        """Apply a batch of key-value puts through the LSMerkle index."""
+
+        payloads = [encode_put(key, value) for key, value in items]
+        return self._append(payloads=payloads, kind=OperationKind.PUT)
+
+    def put(self, key: str, value: bytes) -> OperationId:
+        """Apply a single key-value put."""
+
+        return self.put_batch([(key, value)])
+
+    def read(self, block_id: int) -> OperationId:
+        """Read one block of the log by id."""
+
+        now = self.env.now()
+        operation_id = self._next_operation_id()
+        self.tracker.register(operation_id, OperationKind.READ, now, block_id=block_id)
+        self.stats["reads_issued"] += 1
+        self.env.send(
+            self.node_id,
+            self.edge,
+            ReadRequest(
+                requester=self.node_id, operation_id=operation_id, block_id=block_id
+            ),
+        )
+        return operation_id
+
+    def get(self, key: str) -> OperationId:
+        """Fetch the most recent value of *key* with an index proof."""
+
+        now = self.env.now()
+        operation_id = self._next_operation_id()
+        self.tracker.register(operation_id, OperationKind.GET, now, key=key)
+        self.stats["gets_issued"] += 1
+        self.env.send(
+            self.node_id,
+            self.edge,
+            GetRequest(requester=self.node_id, operation_id=operation_id, key=key),
+        )
+        return operation_id
+
+    def _append(self, payloads: list[bytes], kind: OperationKind) -> OperationId:
+        now = self.env.now()
+        operation_id = self._next_operation_id()
+        entries = tuple(
+            make_entry(
+                registry=self.env.registry,
+                producer=self.node_id,
+                sequence=self._entry_seq.next(),
+                payload=payload,
+                produced_at=now,
+            )
+            for payload in payloads
+        )
+        self.tracker.register(
+            operation_id,
+            kind,
+            now,
+            num_entries=len(entries),
+            entry_sequences=tuple(entry.sequence for entry in entries),
+        )
+        self.stats["writes_issued"] += 1
+        self.stats["entries_sent"] += len(entries)
+        self.env.send(
+            self.node_id,
+            self.edge,
+            AppendBatchRequest(
+                requester=self.node_id,
+                operation_id=operation_id,
+                kind=kind,
+                entries=entries,
+                request_block=self.config.logging.return_block_on_add,
+            ),
+        )
+        return operation_id
+
+    def _next_operation_id(self) -> OperationId:
+        return OperationId(client=self.node_id, sequence=self._operation_seq.next())
+
+    # ------------------------------------------------------------------
+    # Operation status helpers
+    # ------------------------------------------------------------------
+    def operation(self, operation_id: OperationId) -> OperationRecord:
+        return self.tracker.get(operation_id)
+
+    def phase_of(self, operation_id: OperationId) -> CommitPhase:
+        return self.tracker.get(operation_id).phase
+
+    def value_of(self, operation_id: OperationId) -> Optional[bytes]:
+        """The value returned by a completed get operation."""
+
+        return self.tracker.get(operation_id).details.get("value")
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, AppendBatchResponse):
+            self._handle_append_response(sender, message)
+        elif isinstance(message, BlockProofMessage):
+            self._handle_block_proof(sender, message)
+        elif isinstance(message, ReadResponse):
+            self._handle_read_response(sender, message)
+        elif isinstance(message, GetResponse):
+            self._handle_get_response(sender, message)
+        elif isinstance(message, GossipMessage):
+            self._handle_gossip(sender, message)
+        elif isinstance(message, DisputeVerdict):
+            self.verdicts.append(message)
+
+    # -------------------------------------------------------------- appends
+    def _handle_append_response(
+        self, sender: NodeId, response: AppendBatchResponse
+    ) -> None:
+        params = self.env.params
+        self.env.charge(params.verify_seconds)
+        if response.operation_id not in self.tracker:
+            return
+        record = self.tracker.get(response.operation_id)
+        now = self.env.now()
+
+        receipt = response.receipt
+        if not receipt.verify(self.env.registry) or receipt.edge != self.edge:
+            self._record_suspicion(
+                "invalid-receipt", response.block_id, response.operation_id
+            )
+            self.tracker.mark_failed(response.operation_id, now, "invalid receipt")
+            return
+
+        if response.block is not None:
+            self.env.charge(params.hash_cost(response.block.wire_size))
+            if not receipt.matches_block(response.block):
+                self._record_suspicion(
+                    "receipt-block-mismatch", response.block_id, response.operation_id
+                )
+                self.tracker.mark_failed(
+                    response.operation_id, now, "receipt does not match block"
+                )
+                return
+            expected = set(record.details.get("entry_sequences", ()))
+            present = {
+                entry.sequence
+                for entry in response.block.entries
+                if entry.producer == self.node_id
+            }
+            if not expected.issubset(present):
+                self._record_suspicion(
+                    "missing-entries", response.block_id, response.operation_id
+                )
+                self.tracker.mark_failed(
+                    response.operation_id, now, "entries missing from block"
+                )
+                return
+
+        record.details["block_digest"] = receipt.block_digest
+        self.tracker.mark_phase_one(
+            response.operation_id, now, block_id=response.block_id, receipt=receipt
+        )
+        early = self._early_proofs.get(response.block_id)
+        if early is not None and early.block_digest == receipt.block_digest:
+            self.tracker.mark_phase_two(response.operation_id, now, early)
+            return
+        self._arm_dispute_timer(response.operation_id)
+
+    # ---------------------------------------------------------- block proofs
+    def _handle_block_proof(self, sender: NodeId, message: BlockProofMessage) -> None:
+        params = self.env.params
+        self.env.charge(params.verify_seconds)
+        proof = message.proof
+        if proof.edge != self.edge or not proof.verify(self.env.registry):
+            return
+        now = self.env.now()
+        self._early_proofs[proof.block_id] = proof
+        for record in self.tracker.operations_waiting_on_block(proof.block_id):
+            if record.is_write:
+                promised = (
+                    record.receipt.block_digest if record.receipt is not None else None
+                )
+                if promised is not None and promised != proof.block_digest:
+                    # The edge promised one digest but the cloud certified another.
+                    self.stats["proof_mismatches"] += 1
+                    self._record_suspicion(
+                        "certified-digest-mismatch", proof.block_id, record.operation_id
+                    )
+                    self._send_dispute(record, kind="missing-proof")
+                    continue
+                self.tracker.mark_phase_two(record.operation_id, now, proof)
+            else:
+                served_digest = record.details.get("block_digest")
+                if served_digest is not None and served_digest != proof.block_digest:
+                    self.stats["proof_mismatches"] += 1
+                    self._record_suspicion(
+                        "read-content-mismatch", proof.block_id, record.operation_id
+                    )
+                    self._send_dispute(record, kind="read-mismatch")
+                    continue
+                if self.tracker.resolve_block(record.operation_id, proof.block_id):
+                    self.tracker.mark_phase_two(record.operation_id, now, proof)
+
+    # ---------------------------------------------------------------- reads
+    def _handle_read_response(self, sender: NodeId, response: ReadResponse) -> None:
+        params = self.env.params
+        self.env.charge(params.verify_seconds)
+        if response.statement.operation_id not in self.tracker:
+            return
+        record = self.tracker.get(response.statement.operation_id)
+        now = self.env.now()
+
+        statement = response.statement
+        if statement.edge != self.edge or not self.env.registry.verify(
+            response.signature, statement
+        ):
+            self.stats["verification_failures"] += 1
+            self.tracker.mark_failed(record.operation_id, now, "bad read signature")
+            return
+        record.details["read_statement"] = statement
+        record.details["read_signature"] = response.signature
+
+        if not statement.found:
+            if self.gossip_view.block_should_exist(statement.block_id):
+                # Gossip says the block exists: omission attack.
+                self._record_suspicion(
+                    "omission", statement.block_id, record.operation_id
+                )
+                self._send_dispute(record, kind="omission")
+            self.tracker.mark_failed(record.operation_id, now, "block not available")
+            return
+
+        block = response.block
+        if block is None:
+            self.tracker.mark_failed(record.operation_id, now, "empty read response")
+            return
+        self.env.charge(params.hash_cost(block.wire_size))
+        recomputed = block.digest()
+        if recomputed != statement.block_digest:
+            self.stats["verification_failures"] += 1
+            self._record_suspicion(
+                "read-digest-mismatch", statement.block_id, record.operation_id
+            )
+            self.tracker.mark_failed(record.operation_id, now, "digest mismatch")
+            return
+
+        record.details["block_digest"] = recomputed
+        record.details["num_entries"] = block.num_entries
+        if response.proof is not None and response.proof.certifies(block):
+            if response.proof.verify(self.env.registry):
+                self.tracker.mark_phase_one(record.operation_id, now, statement.block_id)
+                self.tracker.mark_phase_two(record.operation_id, now, response.proof)
+                return
+        # Phase I read: wait for the block proof, keep the evidence.
+        self.tracker.mark_phase_one(record.operation_id, now, statement.block_id)
+        self.tracker.watch_block(record.operation_id, statement.block_id)
+        self._arm_dispute_timer(record.operation_id)
+
+    # ----------------------------------------------------------------- gets
+    def _handle_get_response(self, sender: NodeId, response: GetResponse) -> None:
+        params = self.env.params
+        if response.statement.operation_id not in self.tracker:
+            return
+        record = self.tracker.get(response.statement.operation_id)
+        now = self.env.now()
+        statement = response.statement
+
+        # Verification cost: the paper attributes ~0.19 ms of the best-case
+        # edge read to client-side verification (Figure 5d).
+        num_proof_items = len(response.proof.level_zero) + len(response.proof.level_pages)
+        verification_cost = params.verify_seconds * (
+            2 + num_proof_items
+        ) + params.hash_cost(response.proof.wire_size)
+        self.env.charge(verification_cost)
+        self.stats["verification_seconds"] += verification_cost
+
+        if statement.edge != self.edge or not self.env.registry.verify(
+            response.signature, statement
+        ):
+            self.stats["verification_failures"] += 1
+            self.tracker.mark_failed(record.operation_id, now, "bad get signature")
+            return
+        record.details["get_statement"] = statement
+        record.details["get_signature"] = response.signature
+
+        try:
+            verified = verify_get_proof(
+                registry=self.env.registry,
+                cloud=self.cloud,
+                edge=self.edge,
+                key=statement.key,
+                proof=response.proof,
+                now=now,
+                freshness_window_s=self.freshness.effective_window(),
+            )
+        except ProofVerificationError as exc:
+            self.stats["verification_failures"] += 1
+            self._record_suspicion("get-proof-invalid", None, record.operation_id)
+            self.tracker.mark_failed(record.operation_id, now, str(exc))
+            return
+
+        claimed_value = response.value
+        derived_value = verified.record.value if verified.record is not None else None
+        if verified.found != statement.found or claimed_value != derived_value:
+            self.stats["verification_failures"] += 1
+            self._record_suspicion("get-value-mismatch", None, record.operation_id)
+            self.tracker.mark_failed(
+                record.operation_id, now, "returned value disagrees with proof"
+            )
+            return
+        if claimed_value is not None:
+            expected_digest = digest_value(claimed_value)
+            if statement.value_digest != expected_digest:
+                self.stats["verification_failures"] += 1
+                self.tracker.mark_failed(
+                    record.operation_id, now, "value digest mismatch in statement"
+                )
+                return
+
+        if verified.root_version is not None:
+            if verified.root_version < self._last_root_version:
+                # Session consistency: the edge served a snapshot older than
+                # one this client has already read from.
+                self.stats["verification_failures"] += 1
+                self._record_suspicion(
+                    "session-consistency-violation", None, record.operation_id
+                )
+                self.tracker.mark_failed(
+                    record.operation_id,
+                    now,
+                    "response verified against an older global root than "
+                    "previously observed (session consistency)",
+                )
+                return
+            self._last_root_version = verified.root_version
+
+        record.details["value"] = derived_value
+        record.details["found"] = verified.found
+        record.details["root_timestamp"] = verified.root_timestamp
+        record.details["root_version"] = verified.root_version
+        self.tracker.mark_phase_one(record.operation_id, now)
+        if verified.phase is CommitPhase.PHASE_TWO:
+            self.tracker.mark_phase_two(record.operation_id, now)
+            return
+        for block_id in verified.uncertified_block_ids:
+            self.tracker.watch_block(record.operation_id, block_id)
+        self._arm_dispute_timer(record.operation_id)
+
+    # --------------------------------------------------------------- gossip
+    def _handle_gossip(self, sender: NodeId, message: GossipMessage) -> None:
+        if not verify_gossip(self.env.registry, message, cloud=self.cloud):
+            return
+        self.gossip_view.update(message)
+
+    # ------------------------------------------------------------------
+    # Disputes
+    # ------------------------------------------------------------------
+    def _arm_dispute_timer(self, operation_id: OperationId) -> None:
+        timeout = self.config.security.dispute_timeout_s
+
+        def check() -> None:
+            if operation_id not in self.tracker:
+                return
+            record = self.tracker.get(operation_id)
+            if record.phase in (CommitPhase.PHASE_TWO, CommitPhase.FAILED):
+                return
+            kind = "missing-proof" if record.is_write else "read-mismatch"
+            self._record_suspicion("proof-timeout", record.block_id, operation_id)
+            self._send_dispute(record, kind=kind)
+
+        self.env.schedule(timeout, check, label=f"{self.node_id}:dispute-timer")
+
+    def _send_dispute(self, record: OperationRecord, kind: str) -> None:
+        statement = record.details.get("read_statement")
+        signature = record.details.get("read_signature")
+        dispute = DisputeRequest(
+            client=self.node_id,
+            edge=self.edge,
+            block_id=record.block_id if record.block_id is not None else -1,
+            kind=kind,
+            receipt=record.receipt,
+            read_statement=statement,
+            read_signature=signature,
+            claimed_digest=record.details.get("block_digest"),
+        )
+        self.stats["disputes_sent"] += 1
+        self.env.send(self.node_id, self.cloud, dispute)
+
+    def _record_suspicion(
+        self,
+        kind: str,
+        block_id: Optional[int],
+        operation_id: Optional[OperationId],
+    ) -> None:
+        self.malicious_events.append(
+            {
+                "kind": kind,
+                "block_id": block_id,
+                "operation_id": operation_id,
+                "at": self.env.now(),
+            }
+        )

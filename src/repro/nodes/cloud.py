@@ -1,0 +1,314 @@
+"""The trusted cloud node.
+
+The cloud node never sits in the execution path of client requests.  Its
+jobs are (Section III & IV):
+
+* certify block digests (at most one digest per ``(edge, block id)``) —
+  flagging edge nodes that try to certify two different digests;
+* execute and certify LSMerkle merges, signing the new per-level Merkle
+  roots and global root;
+* judge disputes raised by clients and punish proven misbehaviour;
+* periodically gossip the certified log size of each edge so clients can
+  detect omission attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..common.config import SystemConfig
+from ..common.identifiers import BlockId, NodeId, cloud_id
+from ..common.regions import Region
+from ..lsmerkle.merge import CloudIndexMirror
+from ..messages.kv_messages import (
+    MergeRejection,
+    MergeRequest,
+    MergeResponse,
+    RootRefreshRequest,
+    RootRefreshResponse,
+)
+from ..messages.log_messages import (
+    BlockCertifyRequest,
+    BlockProofMessage,
+    CertifyRejection,
+    DisputeRequest,
+    DisputeVerdict,
+)
+from ..common.errors import MergeProtocolError
+from ..core.dispute import PunishmentLedger, judge_dispute
+from ..core.gossip import build_gossip
+from ..log.proofs import BlockProof, issue_block_proof
+from ..sim.environment import Environment
+
+
+class CloudNode:
+    """Trusted certifier, merger, judge, and gossip source."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[SystemConfig] = None,
+        name: str = "cloud-0",
+        region: Optional[Region] = None,
+    ) -> None:
+        self.env = env
+        self.config = config if config is not None else SystemConfig.paper_default()
+        self.node_id = cloud_id(name)
+        self.region = region if region is not None else self.config.placement.cloud_region
+        self.ledger = PunishmentLedger(self.config.security.punishment_score)
+
+        #: Certified digests: edge -> block id -> digest.
+        self._certified: dict[NodeId, dict[BlockId, str]] = {}
+        #: Issued proofs: (edge, block id) -> proof.
+        self._proofs: dict[tuple[NodeId, BlockId], BlockProof] = {}
+        #: Digest-level index mirrors used to validate merges.
+        self._mirrors: dict[NodeId, CloudIndexMirror] = {}
+        #: Clients that receive gossip.
+        self._gossip_targets: list[NodeId] = []
+        self._gossip_stopper = None
+
+        self.stats = {
+            "certifications": 0,
+            "certify_conflicts": 0,
+            "merges": 0,
+            "merge_rejections": 0,
+            "disputes": 0,
+            "punishments": 0,
+            "gossip_messages": 0,
+            "root_refreshes": 0,
+        }
+        env.attach(self)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def certified_digest(self, edge: NodeId, block_id: BlockId) -> Optional[str]:
+        return self._certified.get(edge, {}).get(block_id)
+
+    def certified_log_size(self, edge: NodeId) -> int:
+        return len(self._certified.get(edge, {}))
+
+    def proof_for(self, edge: NodeId, block_id: BlockId) -> Optional[BlockProof]:
+        return self._proofs.get((edge, block_id))
+
+    def mirror_for(self, edge: NodeId) -> CloudIndexMirror:
+        if edge not in self._mirrors:
+            self._mirrors[edge] = CloudIndexMirror(
+                edge=edge,
+                config=self.config.lsmerkle,
+                page_capacity=self.config.logging.block_size,
+            )
+        return self._mirrors[edge]
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def register_gossip_target(self, client: NodeId) -> None:
+        if client not in self._gossip_targets:
+            self._gossip_targets.append(client)
+
+    def start_gossip(self) -> None:
+        """Begin periodic gossip to registered clients."""
+
+        if self._gossip_stopper is not None:
+            return
+        interval = self.config.security.gossip_interval_s
+        self._gossip_stopper = self.env.schedule_periodic(
+            interval, self._emit_gossip, "cloud-gossip"
+        )
+
+    def stop_gossip(self) -> None:
+        if self._gossip_stopper is not None:
+            self._gossip_stopper()
+            self._gossip_stopper = None
+
+    def _emit_gossip(self) -> None:
+        now = self.env.now()
+        for edge, blocks in self._certified.items():
+            message = build_gossip(
+                self.env.registry, self.node_id, edge, len(blocks), now
+            )
+            for client in self._gossip_targets:
+                self.env.send(self.node_id, client, message)
+                self.stats["gossip_messages"] += 1
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, BlockCertifyRequest):
+            self._handle_certify(sender, message)
+        elif isinstance(message, MergeRequest):
+            self._handle_merge(sender, message)
+        elif isinstance(message, RootRefreshRequest):
+            self._handle_root_refresh(sender, message)
+        elif isinstance(message, DisputeRequest):
+            self._handle_dispute(sender, message)
+        # Unknown messages are ignored (the cloud is conservative).
+
+    # -------------------------------------------------------- certification
+    def _handle_certify(self, sender: NodeId, request: BlockCertifyRequest) -> None:
+        params = self.env.params
+        self.env.charge(params.certification_cost())
+
+        statement = request.statement
+        if statement.edge != sender or not self.env.registry.verify(
+            request.signature, statement
+        ):
+            # Unsigned or mis-attributed requests are dropped.
+            return
+
+        edge_digests = self._certified.setdefault(statement.edge, {})
+        existing = edge_digests.get(statement.block_id)
+        if existing is None:
+            edge_digests[statement.block_id] = statement.block_digest
+            proof = issue_block_proof(
+                registry=self.env.registry,
+                cloud=self.node_id,
+                edge=statement.edge,
+                block_id=statement.block_id,
+                block_digest=statement.block_digest,
+                certified_at=self.env.now(),
+            )
+            self._proofs[(statement.edge, statement.block_id)] = proof
+            self.stats["certifications"] += 1
+            self.env.send(self.node_id, sender, BlockProofMessage(proof=proof))
+        elif existing == statement.block_digest:
+            # Idempotent retry: resend the proof already issued.
+            proof = self._proofs[(statement.edge, statement.block_id)]
+            self.env.send(self.node_id, sender, BlockProofMessage(proof=proof))
+        else:
+            # Two different digests for the same block id: malicious.
+            self.stats["certify_conflicts"] += 1
+            self._punish(
+                statement.edge,
+                reason="attempted to certify two different digests for block "
+                f"{statement.block_id}",
+                block_id=statement.block_id,
+            )
+            rejection = CertifyRejection(
+                cloud=self.node_id,
+                edge=statement.edge,
+                block_id=statement.block_id,
+                existing_digest=existing,
+                offending_digest=statement.block_digest,
+                reason="conflicting digest for an already certified block id",
+            )
+            self.env.send(self.node_id, sender, rejection)
+
+    # ---------------------------------------------------------------- merges
+    def _handle_merge(self, sender: NodeId, request: MergeRequest) -> None:
+        params = self.env.params
+        proposal = request.proposal
+        records_in = sum(block.num_entries for block in proposal.source_blocks)
+        records_in += sum(page.num_records for page in proposal.source_pages)
+        records_in += sum(page.num_records for page in proposal.target_pages)
+        self.env.charge(
+            params.request_overhead_seconds
+            + params.verify_seconds
+            + params.merge_seconds_per_entry * records_in
+            + params.sign_seconds
+        )
+
+        if proposal.edge != sender:
+            return
+        mirror = self.mirror_for(proposal.edge)
+        certified = self._certified.get(proposal.edge, {})
+        try:
+            outcome = mirror.execute_merge(
+                proposal=proposal,
+                certified_digests=certified,
+                registry=self.env.registry,
+                cloud=self.node_id,
+                now=self.env.now(),
+            )
+        except MergeProtocolError as exc:
+            self.stats["merge_rejections"] += 1
+            self._punish(
+                proposal.edge,
+                reason=f"invalid merge proposal: {exc}",
+                block_id=None,
+            )
+            self.env.send(
+                self.node_id,
+                sender,
+                MergeRejection(
+                    cloud=self.node_id,
+                    edge=proposal.edge,
+                    level_index=proposal.level_index,
+                    reason=str(exc),
+                ),
+            )
+            return
+        self.stats["merges"] += 1
+        self.env.send(
+            self.node_id, sender, MergeResponse(cloud=self.node_id, outcome=outcome)
+        )
+
+    def _handle_root_refresh(self, sender: NodeId, request: RootRefreshRequest) -> None:
+        if request.edge != sender:
+            return
+        self.env.charge(self.env.params.sign_seconds)
+        mirror = self.mirror_for(request.edge)
+        signed_root = mirror.sign_current_root(
+            self.env.registry, self.node_id, self.env.now()
+        )
+        self.stats["root_refreshes"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            RootRefreshResponse(
+                cloud=self.node_id, edge=request.edge, signed_root=signed_root
+            ),
+        )
+
+    # -------------------------------------------------------------- disputes
+    def _handle_dispute(self, sender: NodeId, dispute: DisputeRequest) -> None:
+        params = self.env.params
+        self.env.charge(params.request_overhead_seconds + 2 * params.verify_seconds)
+        self.stats["disputes"] += 1
+
+        certified = self.certified_digest(dispute.edge, dispute.block_id)
+        judgement = judge_dispute(
+            dispute=dispute,
+            certified_digest=certified,
+            registry=self.env.registry,
+            certified_log_size=self.certified_log_size(dispute.edge),
+        )
+        if judgement.edge_punished:
+            self._punish(
+                dispute.edge,
+                reason=judgement.reason,
+                block_id=dispute.block_id,
+                reported_by=dispute.client,
+            )
+        verdict = DisputeVerdict(
+            cloud=self.node_id,
+            client=dispute.client,
+            edge=dispute.edge,
+            block_id=dispute.block_id,
+            edge_punished=judgement.edge_punished,
+            reason=judgement.reason,
+            certified_digest=judgement.certified_digest,
+            proof=self.proof_for(dispute.edge, dispute.block_id),
+        )
+        self.env.send(self.node_id, sender, verdict)
+
+    # ------------------------------------------------------------------
+    # Punishment
+    # ------------------------------------------------------------------
+    def _punish(
+        self,
+        edge: NodeId,
+        reason: str,
+        block_id: Optional[BlockId],
+        reported_by: Optional[NodeId] = None,
+    ) -> None:
+        self.ledger.punish(
+            edge=edge,
+            reason=reason,
+            recorded_at=self.env.now(),
+            block_id=block_id,
+            reported_by=reported_by,
+        )
+        self.stats["punishments"] += 1

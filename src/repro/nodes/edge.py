@@ -1,0 +1,555 @@
+"""The (honest) untrusted edge node.
+
+The edge node is where all client requests are served.  It batches incoming
+entries into blocks, Phase I commits them by returning signed receipts, and
+lazily certifies block digests with the cloud in the background (Section IV).
+For key-value workloads it additionally maintains the LSMerkle index whose
+level 0 is backed by the same blocks, serves ``get`` requests with index
+proofs, and coordinates merges with the cloud (Section V).
+
+Malicious behaviours are implemented as subclasses in
+:mod:`repro.nodes.malicious`; the hooks they override are small and explicit
+so the honest logic stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..common.config import SystemConfig
+from ..common.errors import ProtocolError
+from ..common.identifiers import BlockId, NodeId, OperationId, edge_id
+from ..common.regions import Region
+from ..core.certification import LazyCertifier
+from ..crypto.hashing import digest_value
+from ..log.block import Block, build_block
+from ..log.buffer import BlockBuffer, PendingBatch
+from ..log.proofs import issue_phase_one_receipt
+from ..log.wedge_log import WedgeLog
+from ..lsmerkle.codec import page_from_block
+from ..lsmerkle.merge import MergeProposal
+from ..lsmerkle.mlsm import MerkleizedLSM, SignedGlobalRoot
+from ..lsmerkle.read_proof import build_get_proof
+from ..messages.kv_messages import (
+    GetRequest,
+    GetResponse,
+    GetResponseStatement,
+    MergeRejection,
+    MergeRequest,
+    MergeResponse,
+    RootRefreshRequest,
+    RootRefreshResponse,
+)
+from ..messages.log_messages import (
+    AppendBatchRequest,
+    AppendBatchResponse,
+    BlockCertifyRequest,
+    BlockProofMessage,
+    CertifyRejection,
+    CertifyStatement,
+    ReadRequest,
+    ReadResponse,
+    ReadResponseStatement,
+)
+from ..sim.environment import Environment
+
+
+class EdgeNode:
+    """An honest edge node serving one partition of clients."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: NodeId,
+        config: Optional[SystemConfig] = None,
+        name: str = "edge-0",
+        region: Optional[Region] = None,
+    ) -> None:
+        self.env = env
+        self.config = config if config is not None else SystemConfig.paper_default()
+        self.node_id = edge_id(name)
+        self.region = region if region is not None else self.config.placement.edge_region
+        self.cloud = cloud
+
+        self.log = WedgeLog(self.node_id)
+        self.buffer = BlockBuffer(self.config.logging.block_size)
+        self.certifier = LazyCertifier()
+        self.index = MerkleizedLSM(
+            config=self.config.lsmerkle,
+            page_capacity=self.config.logging.block_size,
+        )
+        #: Block ids backing the current level-0 pages, in arrival order.
+        self.level_zero_blocks: list[BlockId] = []
+        #: Latest cloud-signed global root (None before the first merge).
+        self.signed_root: Optional[SignedGlobalRoot] = None
+        #: Replay protection (Section IV-E): where each client entry landed,
+        #: and the Phase I receipt of every formed block so that replayed
+        #: requests can be answered idempotently instead of re-appended.
+        self._entry_locations: dict[tuple[NodeId, int], BlockId] = {}
+        self._receipts: dict[BlockId, object] = {}
+
+        self._merge_in_flight = False
+        self._merge_source_bids: tuple[BlockId, ...] = ()
+        self._flush_timer_active = False
+
+        self.stats = {
+            "append_requests": 0,
+            "blocks_formed": 0,
+            "entries_logged": 0,
+            "reads": 0,
+            "gets": 0,
+            "certify_requests": 0,
+            "proofs_received": 0,
+            "proofs_forwarded": 0,
+            "merges_started": 0,
+            "merges_completed": 0,
+            "merges_rejected": 0,
+            "root_refreshes": 0,
+            "timeout_flushes": 0,
+        }
+        env.attach(self)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, AppendBatchRequest):
+            self._handle_append(sender, message)
+        elif isinstance(message, ReadRequest):
+            self._handle_read(sender, message)
+        elif isinstance(message, GetRequest):
+            self._handle_get(sender, message)
+        elif isinstance(message, BlockProofMessage):
+            self._handle_block_proof(sender, message)
+        elif isinstance(message, MergeResponse):
+            self._handle_merge_response(sender, message)
+        elif isinstance(message, MergeRejection):
+            self._handle_merge_rejection(sender, message)
+        elif isinstance(message, RootRefreshResponse):
+            self._handle_root_refresh_response(sender, message)
+        elif isinstance(message, CertifyRejection):
+            self._handle_certify_rejection(sender, message)
+
+    # ------------------------------------------------------------------
+    # Appending (add / put)
+    # ------------------------------------------------------------------
+    def _handle_append(self, sender: NodeId, request: AppendBatchRequest) -> None:
+        params = self.env.params
+        self.stats["append_requests"] += 1
+        payload_bytes = sum(len(entry.payload) for entry in request.entries)
+        self.env.charge(
+            params.request_overhead_seconds
+            + params.verify_seconds
+            + params.append_seconds_per_op * len(request.entries)
+            + params.hash_cost(payload_bytes)
+        )
+
+        now = self.env.now()
+        fresh_entries = []
+        replayed_blocks: set[BlockId] = set()
+        for entry in request.entries:
+            location = self._entry_locations.get((entry.producer, entry.sequence))
+            if location is not None:
+                # Replay protection (Section IV-E): the same signed entry was
+                # appended before — applying it again would duplicate data.
+                replayed_blocks.add(location)
+                continue
+            fresh_entries.append(entry)
+        if replayed_blocks:
+            self.stats.setdefault("replayed_entries", 0)
+            self.stats["replayed_entries"] += len(request.entries) - len(fresh_entries)
+            self._answer_replay(sender, request, replayed_blocks)
+
+        batch: Optional[PendingBatch] = None
+        for entry in fresh_entries:
+            batch = self.buffer.append(
+                entry,
+                now=now,
+                operation_id=request.operation_id,
+                requester=sender,
+            )
+            if batch is not None:
+                self._form_block(batch)
+        if not self.buffer.is_empty:
+            self._arm_flush_timer()
+
+    def _answer_replay(
+        self,
+        sender: NodeId,
+        request: AppendBatchRequest,
+        replayed_blocks: set[BlockId],
+    ) -> None:
+        """Answer a replayed request idempotently with the original receipt."""
+
+        for block_id in sorted(replayed_blocks):
+            receipt = self._receipts.get(block_id)
+            record = self.log.try_get(block_id)
+            if receipt is None or record is None:
+                continue
+            response = AppendBatchResponse(
+                edge=self.node_id,
+                operation_id=request.operation_id,
+                block_id=block_id,
+                receipt=receipt,
+                block=self._block_for_response(record.block),
+            )
+            self.env.send(self.node_id, sender, response)
+            if block_id in self.certifier:
+                self.certifier.subscribe(block_id, sender, request.operation_id)
+            if record.proof is not None:
+                self.env.send(self.node_id, sender, BlockProofMessage(proof=record.proof))
+
+    def _arm_flush_timer(self) -> None:
+        if self._flush_timer_active:
+            return
+        self._flush_timer_active = True
+        timeout = self.config.logging.block_timeout_s
+
+        def flush() -> None:
+            self._flush_timer_active = False
+            batch = self.buffer.flush()
+            if batch is not None:
+                self.stats["timeout_flushes"] += 1
+                self._form_block(batch)
+            if not self.buffer.is_empty:
+                self._arm_flush_timer()
+
+        self.env.schedule(timeout, flush, label=f"{self.node_id}:flush")
+
+    def _form_block(self, batch: PendingBatch) -> None:
+        """Build a block from a full batch, Phase I commit it, start Phase II."""
+
+        params = self.env.params
+        now = self.env.now()
+        block_id = self.log.allocate_block_id()
+        block = self._build_block_for(batch, block_id, now)
+        self.env.charge(params.block_build_cost(block.num_entries, block.wire_size))
+
+        self.log.append(block)
+        self.stats["blocks_formed"] += 1
+        self.stats["entries_logged"] += block.num_entries
+
+        receipt = issue_phase_one_receipt(self.env.registry, self.node_id, block, now)
+        digest = self._digest_to_certify(block)
+        self.certifier.track(block.block_id, digest, now)
+        self._receipts[block.block_id] = receipt
+        for entry in block.entries:
+            self._entry_locations[(entry.producer, entry.sequence)] = block.block_id
+
+        # Respond to every distinct (requester, operation) in the batch and
+        # subscribe them to the eventual block proof.
+        requesters = self._batch_requesters(batch)
+        for requester, operation_id in requesters:
+            self.certifier.subscribe(block.block_id, requester, operation_id)
+        self._dispatch_phase_one_responses(requesters, block, receipt)
+
+        # Index the block's put operations into LSMerkle level 0.
+        page = page_from_block(block)
+        if page is not None:
+            self.index.add_level_zero_page(page)
+            self.level_zero_blocks.append(block.block_id)
+
+        # Lazy certification: data-free digest to the cloud, off the critical path.
+        self._send_certify_request(block, digest)
+        self._maybe_start_merge()
+
+    @staticmethod
+    def _batch_requesters(batch: PendingBatch) -> list[tuple[NodeId, OperationId]]:
+        """Distinct (requester, operation) pairs contributing to a batch."""
+
+        seen: list[tuple[NodeId, OperationId]] = []
+        for item in batch.entries:
+            if item.requester is None or item.operation_id is None:
+                continue
+            pair = (item.requester, item.operation_id)
+            if pair not in seen:
+                seen.append(pair)
+        return seen
+
+    def _dispatch_phase_one_responses(
+        self,
+        requesters: list[tuple[NodeId, OperationId]],
+        block: Block,
+        receipt,
+    ) -> None:
+        """Send the signed Phase I acknowledgements (overridden by baselines)."""
+
+        for requester, operation_id in requesters:
+            response = AppendBatchResponse(
+                edge=self.node_id,
+                operation_id=operation_id,
+                block_id=block.block_id,
+                receipt=receipt,
+                block=self._block_for_response(block),
+            )
+            self.env.send(self.node_id, requester, response)
+
+    # Hooks overridden by malicious subclasses -------------------------------
+    def _build_block_for(
+        self, batch: PendingBatch, block_id: BlockId, now: float
+    ) -> Block:
+        return build_block(self.node_id, block_id, batch.log_entries, now)
+
+    def _block_for_response(self, block: Block) -> Optional[Block]:
+        return block if self.config.logging.return_block_on_add else None
+
+    def _digest_to_certify(self, block: Block) -> str:
+        return block.digest()
+
+    def _send_certify_request(self, block: Block, digest: str) -> None:
+        statement = CertifyStatement(
+            edge=self.node_id,
+            block_id=block.block_id,
+            block_digest=digest,
+            num_entries=block.num_entries,
+        )
+        signature = self.env.registry.sign(self.node_id, statement)
+        self.stats["certify_requests"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            BlockCertifyRequest(statement=statement, signature=signature),
+        )
+
+    # ------------------------------------------------------------------
+    # Block proofs from the cloud
+    # ------------------------------------------------------------------
+    def _handle_block_proof(self, sender: NodeId, message: BlockProofMessage) -> None:
+        params = self.env.params
+        self.env.charge(params.verify_seconds)
+        proof = message.proof
+        if proof.edge != self.node_id or not proof.verify(self.env.registry):
+            return
+        record = self.log.try_get(proof.block_id)
+        if record is not None and record.block.digest() == proof.block_digest:
+            self.log.attach_proof(proof)
+        self.stats["proofs_received"] += 1
+        try:
+            subscribers = self.certifier.complete(proof)
+        except ProtocolError:
+            subscribers = []
+        for client, _operation in subscribers:
+            self.env.send(self.node_id, client, BlockProofMessage(proof=proof))
+            self.stats["proofs_forwarded"] += 1
+        self._maybe_start_merge()
+
+    def _handle_certify_rejection(
+        self, sender: NodeId, message: CertifyRejection
+    ) -> None:
+        # An honest edge should never be rejected; record it for diagnostics.
+        self.stats.setdefault("certify_rejections", 0)
+        self.stats["certify_rejections"] += 1
+
+    # ------------------------------------------------------------------
+    # Log reads
+    # ------------------------------------------------------------------
+    def _handle_read(self, sender: NodeId, request: ReadRequest) -> None:
+        params = self.env.params
+        self.stats["reads"] += 1
+        self.env.charge(
+            params.request_overhead_seconds
+            + params.lookup_seconds_per_op
+            + params.sign_seconds
+        )
+        record = self._read_record(request.block_id)
+        now = self.env.now()
+        if record is None:
+            statement = ReadResponseStatement(
+                edge=self.node_id,
+                operation_id=request.operation_id,
+                block_id=request.block_id,
+                found=False,
+                block_digest=None,
+                issued_at=now,
+            )
+            response = ReadResponse(
+                statement=statement,
+                signature=self.env.registry.sign(self.node_id, statement),
+            )
+            self.env.send(self.node_id, sender, response)
+            return
+
+        block = self._block_for_read(record.block)
+        statement = ReadResponseStatement(
+            edge=self.node_id,
+            operation_id=request.operation_id,
+            block_id=request.block_id,
+            found=True,
+            block_digest=block.digest(),
+            issued_at=now,
+        )
+        response = ReadResponse(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
+            block=block,
+            proof=record.proof,
+        )
+        self.env.send(self.node_id, sender, response)
+        if record.proof is None and request.block_id in self.certifier:
+            # Phase I read: forward the proof once it arrives.
+            self.certifier.subscribe(request.block_id, sender, request.operation_id)
+
+    # Hooks overridden by malicious subclasses -------------------------------
+    def _read_record(self, block_id: BlockId):
+        return self.log.try_get(block_id)
+
+    def _block_for_read(self, block: Block) -> Block:
+        return block
+
+    # ------------------------------------------------------------------
+    # Key-value gets
+    # ------------------------------------------------------------------
+    def _handle_get(self, sender: NodeId, request: GetRequest) -> None:
+        params = self.env.params
+        self.stats["gets"] += 1
+        level_zero_pages = self.index.tree.level_zero.num_pages
+        self.env.charge(
+            params.request_overhead_seconds
+            + params.lookup_seconds_per_op * (1 + level_zero_pages)
+            + params.sign_seconds
+        )
+        now = self.env.now()
+        result = self._index_lookup(request.key)
+        found = result.found
+        value = result.record.value if found else None
+
+        evidence = self._level_zero_evidence()
+        proof = build_get_proof(
+            key=request.key,
+            index=self.index,
+            level_zero_blocks=evidence,
+            signed_root=self.signed_root,
+            found_level=result.level_index,
+        )
+        statement = GetResponseStatement(
+            edge=self.node_id,
+            operation_id=request.operation_id,
+            key=request.key,
+            found=found,
+            value_digest=digest_value(value) if value is not None else None,
+            issued_at=now,
+        )
+        response = GetResponse(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
+            value=value,
+            proof=proof,
+        )
+        self.env.send(self.node_id, sender, response)
+
+        # Phase I gets: forward proofs of the still-uncertified blocks.
+        for block_id in proof.uncertified_block_ids:
+            if block_id in self.certifier:
+                self.certifier.subscribe(block_id, sender, request.operation_id)
+
+    # Hooks overridden by malicious subclasses -------------------------------
+    def _index_lookup(self, key: str):
+        return self.index.get(key)
+
+    def _level_zero_evidence(self) -> list[tuple[Block, Optional[Any]]]:
+        return [
+            (self.log.block(block_id), self.log.proof_for(block_id))
+            for block_id in self.level_zero_blocks
+        ]
+
+    # ------------------------------------------------------------------
+    # Merges
+    # ------------------------------------------------------------------
+    def _maybe_start_merge(self) -> None:
+        if self._merge_in_flight:
+            return
+        levels_due = self.index.levels_needing_merge()
+        if not levels_due:
+            return
+        level_index = levels_due[0]
+        proposal = self._build_merge_proposal(level_index)
+        if proposal is None:
+            return
+        self._merge_in_flight = True
+        self.stats["merges_started"] += 1
+        self.env.send(
+            self.node_id, self.cloud, MergeRequest(edge=self.node_id, proposal=proposal)
+        )
+
+    def _build_merge_proposal(self, level_index: int) -> Optional[MergeProposal]:
+        if level_index == 0:
+            certified_bids = [
+                block_id
+                for block_id in self.level_zero_blocks
+                if self.log.proof_for(block_id) is not None
+            ]
+            if not certified_bids:
+                # Nothing certified yet; retry when block proofs arrive.
+                return None
+            source_blocks = tuple(self.log.block(block_id) for block_id in certified_bids)
+            self._merge_source_bids = tuple(certified_bids)
+            return MergeProposal(
+                edge=self.node_id,
+                level_index=0,
+                source_blocks=source_blocks,
+                target_pages=tuple(self.index.tree.levels[1].pages),
+            )
+        return MergeProposal(
+            edge=self.node_id,
+            level_index=level_index,
+            source_pages=tuple(self.index.tree.levels[level_index].pages),
+            target_pages=tuple(self.index.tree.levels[level_index + 1].pages),
+        )
+
+    def _handle_merge_response(self, sender: NodeId, message: MergeResponse) -> None:
+        params = self.env.params
+        outcome = message.outcome
+        self.env.charge(
+            params.verify_seconds
+            + params.append_seconds_per_op * sum(
+                page.num_records for page in outcome.merged_pages
+            )
+        )
+        if not outcome.signed_root.verify(self.env.registry, self.cloud):
+            self._merge_in_flight = False
+            return
+
+        if outcome.level_index == 0:
+            merged_bids = set(self._merge_source_bids)
+            self._merge_source_bids = ()
+            remaining_pages = [
+                page
+                for page in self.index.tree.levels[0].pages
+                if page.source_block_id not in merged_bids
+            ]
+            self.index.install_merge(0, outcome.merged_pages, remaining_pages)
+            self.level_zero_blocks = [
+                block_id
+                for block_id in self.level_zero_blocks
+                if block_id not in merged_bids
+            ]
+        else:
+            self.index.install_merge(outcome.level_index, outcome.merged_pages, ())
+
+        self.signed_root = outcome.signed_root
+        self.stats["merges_completed"] += 1
+        self._merge_in_flight = False
+        self._maybe_start_merge()
+
+    def _handle_merge_rejection(self, sender: NodeId, message: MergeRejection) -> None:
+        self.stats["merges_rejected"] += 1
+        self._merge_in_flight = False
+
+    # ------------------------------------------------------------------
+    # Root refresh (freshness support)
+    # ------------------------------------------------------------------
+    def request_root_refresh(self) -> None:
+        """Ask the cloud to re-sign the current roots with a fresh timestamp."""
+
+        self.env.send(
+            self.node_id, self.cloud, RootRefreshRequest(edge=self.node_id)
+        )
+
+    def _handle_root_refresh_response(
+        self, sender: NodeId, message: RootRefreshResponse
+    ) -> None:
+        if message.edge != self.node_id:
+            return
+        if message.signed_root.verify(self.env.registry, self.cloud):
+            self.signed_root = message.signed_root
+            self.stats["root_refreshes"] += 1

@@ -1,0 +1,192 @@
+"""The simulated edge-cloud network.
+
+Messages between nodes experience:
+
+* a propagation delay of half the region-to-region RTT (Table I), with a
+  small configurable jitter;
+* a serialization delay of ``bytes / bandwidth`` on the sender's uplink,
+  where the WAN bandwidth (edge ↔ cloud) is far smaller than the metro
+  bandwidth (client ↔ edge) — this is what makes *data-free* certification
+  matter and what degrades the synchronous edge-baseline at large batches;
+* FIFO ordering per sender uplink (transfers on the same uplink queue behind
+  each other).
+
+Message sizes come from the message's ``wire_size`` attribute when present
+(protocol messages compute a realistic payload size cheaply) and otherwise
+from the canonical encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Protocol, Tuple
+
+from ..common.encoding import encoded_size
+from ..common.errors import TransportError
+from ..common.identifiers import NodeId, NodeRole
+from ..common.regions import Region
+from .events import EventScheduler
+from .parameters import SimulationParameters
+from .rng import DeterministicRng
+from .topology import Topology
+
+
+class NetworkEndpoint(Protocol):
+    """The minimal interface a node must expose to be attached to the network."""
+
+    node_id: NodeId
+    region: Region
+
+    def deliver(self, sender: NodeId, message: Any) -> None:
+        """Called by the network when a message arrives at this node."""
+
+
+def message_wire_size(message: Any) -> int:
+    """Size in bytes a message occupies on the wire."""
+
+    size = getattr(message, "wire_size", None)
+    if size is not None:
+        return int(size)
+    return encoded_size(message)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, split by link class.
+
+    The data-free certification claim of the paper is fundamentally a
+    bandwidth claim, so the network keeps byte counters that the ablation
+    benchmarks report.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    wan_messages: int = 0
+    wan_bytes: int = 0
+    lan_messages: int = 0
+    lan_bytes: int = 0
+    per_link_bytes: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, src: NodeId, dst: NodeId, size: int, wan: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if wan:
+            self.wan_messages += 1
+            self.wan_bytes += size
+        else:
+            self.lan_messages += 1
+            self.lan_bytes += size
+        key = (str(src), str(dst))
+        self.per_link_bytes[key] = self.per_link_bytes.get(key, 0) + size
+
+
+class SimNetwork:
+    """Latency- and bandwidth-aware message delivery between registered nodes."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        topology: Topology,
+        params: SimulationParameters,
+        rng: DeterministicRng,
+    ) -> None:
+        self._scheduler = scheduler
+        self._topology = topology
+        self._params = params
+        self._rng = rng
+        self._nodes: Dict[NodeId, NetworkEndpoint] = {}
+        #: Time until which each sender's uplink is busy serializing data.
+        self._uplink_busy: Dict[NodeId, float] = {}
+        self.stats = NetworkStats()
+        #: Optional hook invoked for every send; used by fault-injection tests.
+        self.send_interceptor: Callable[[NodeId, NodeId, Any], bool] | None = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node: NetworkEndpoint) -> None:
+        if node.node_id in self._nodes:
+            raise TransportError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+        self._uplink_busy[node.node_id] = 0.0
+
+    def node(self, node_id: NodeId) -> NetworkEndpoint:
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise TransportError(f"unknown node {node_id}") from exc
+
+    def knows(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def _is_wan(self, src: NetworkEndpoint, dst: NetworkEndpoint) -> bool:
+        return src.region != dst.region
+
+    def _propagation_delay(self, src: NetworkEndpoint, dst: NetworkEndpoint) -> float:
+        if src.region != dst.region:
+            base = self._topology.one_way_latency_s(src.region, dst.region)
+        else:
+            roles = {src.node_id.role, dst.node_id.role}
+            if roles == {NodeRole.CLIENT, NodeRole.EDGE}:
+                base = self._topology.client_edge_latency_s()
+            else:
+                base = self._topology.intra_region_rtt_ms / 2.0 / 1000.0
+        return self._rng.jitter(base, self._params.latency_jitter_fraction)
+
+    def one_way_delay_estimate(self, src_id: NodeId, dst_id: NodeId) -> float:
+        """Jitter-free one-way delay between two registered nodes (seconds)."""
+
+        src, dst = self.node(src_id), self.node(dst_id)
+        if src.region != dst.region:
+            return self._topology.one_way_latency_s(src.region, dst.region)
+        roles = {src.node_id.role, dst.node_id.role}
+        if roles == {NodeRole.CLIENT, NodeRole.EDGE}:
+            return self._topology.client_edge_latency_s()
+        return self._topology.intra_region_rtt_ms / 2.0 / 1000.0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src_id: NodeId,
+        dst_id: NodeId,
+        message: Any,
+        depart_at: float | None = None,
+    ) -> float:
+        """Send *message* from *src_id* to *dst_id*.
+
+        Returns the simulated delivery time.  ``depart_at`` lets the caller
+        model CPU time spent before the message leaves the sender (defaults
+        to "now").
+        """
+
+        src = self.node(src_id)
+        dst = self.node(dst_id)
+        if self.send_interceptor is not None:
+            if not self.send_interceptor(src_id, dst_id, message):
+                # Interceptor dropped the message (partition / fault injection).
+                return float("inf")
+
+        now = self._scheduler.now()
+        depart = max(now, depart_at if depart_at is not None else now)
+        size = message_wire_size(message)
+        wan = self._is_wan(src, dst)
+        self.stats.record(src_id, dst_id, size, wan)
+
+        # Uplink serialization: transfers from the same sender queue up.
+        transfer = self._params.transfer_time(size, wan)
+        uplink_free = max(depart, self._uplink_busy.get(src_id, 0.0))
+        serialization_done = uplink_free + transfer
+        self._uplink_busy[src_id] = serialization_done
+
+        delivery_time = serialization_done + self._propagation_delay(src, dst)
+        self._scheduler.schedule_at(
+            delivery_time,
+            lambda: dst.deliver(src_id, message),
+            label=f"{src_id}->{dst_id}:{type(message).__name__}",
+        )
+        return delivery_time

@@ -1,0 +1,23 @@
+"""Workload generation and closed-loop drivers for the evaluation."""
+
+from .driver import ClientProgress, ClosedLoopDriver, DriverResult
+from .generator import (
+    KeySpace,
+    KeyValueWorkload,
+    Operation,
+    ReadOp,
+    WriteOp,
+    format_key,
+)
+
+__all__ = [
+    "ClientProgress",
+    "ClosedLoopDriver",
+    "DriverResult",
+    "KeySpace",
+    "KeyValueWorkload",
+    "Operation",
+    "ReadOp",
+    "WriteOp",
+    "format_key",
+]

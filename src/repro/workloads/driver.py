@@ -1,0 +1,178 @@
+"""Closed-loop workload driver.
+
+The paper's throughput experiments use closed-loop clients: each client has
+one outstanding request at a time, issues the next one as soon as the current
+one commits (Phase I for WedgeChain; the single synchronous commit for the
+baselines), buffers writes into batches, and sends reads interactively.  The
+driver reproduces that behaviour on top of any of the three systems — they
+all expose clients with ``put_batch``/``get`` and a :class:`CommitTracker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.config import WorkloadConfig
+from ..common.identifiers import OperationId
+from ..log.proofs import CommitPhase
+from .generator import KeyValueWorkload, ReadOp, WriteOp
+
+
+@dataclass
+class ClientProgress:
+    """Per-client driver state."""
+
+    workload: KeyValueWorkload
+    operations_left: int
+    write_buffer: list[tuple[str, bytes]] = field(default_factory=list)
+    outstanding: Optional[OperationId] = None
+    operations_completed: int = 0
+    requests_sent: int = 0
+    finished: bool = False
+    #: Number of logical operations carried by each in-flight request.
+    in_flight_ops: int = 0
+
+
+@dataclass
+class DriverResult:
+    """Aggregate outcome of a driver run."""
+
+    operations_completed: int
+    requests_sent: int
+    started_at: float
+    finished_at: float
+    all_finished: bool
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.finished_at - self.started_at, 1e-9)
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        return self.operations_completed / self.duration_s
+
+
+class ClosedLoopDriver:
+    """Drives closed-loop clients against a system until quotas are met."""
+
+    def __init__(
+        self,
+        system,
+        workload_config: WorkloadConfig,
+        clients: Optional[Sequence] = None,
+        commit_phase: CommitPhase = CommitPhase.PHASE_ONE,
+    ) -> None:
+        self.system = system
+        self.env = system.env
+        self.workload_config = workload_config
+        self.commit_phase = commit_phase
+        self.clients = list(clients) if clients is not None else list(system.clients)
+        self._progress: dict[int, ClientProgress] = {}
+        self._started_at: Optional[float] = None
+        self._last_completion_at: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup and start
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install completion hooks and issue the first request of each client."""
+
+        self._started_at = self.env.now()
+        self._last_completion_at = self._started_at
+        for index, client in enumerate(self.clients):
+            progress = ClientProgress(
+                workload=KeyValueWorkload(self.workload_config, client_index=index),
+                operations_left=self.workload_config.operations_per_client,
+            )
+            self._progress[index] = progress
+            client.tracker.on_phase_change = self._make_hook(index)
+            self._issue_next(index)
+
+    def _make_hook(self, index: int):
+        def hook(record, phase: CommitPhase) -> None:
+            self._on_phase_change(index, record, phase)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Closed-loop issue logic
+    # ------------------------------------------------------------------
+    def _issue_next(self, index: int) -> None:
+        progress = self._progress[index]
+        client = self.clients[index]
+        batch_size = self.workload_config.batch_size
+
+        while True:
+            if progress.operations_left <= 0 and not progress.write_buffer:
+                progress.finished = True
+                return
+            if progress.operations_left <= 0:
+                # Flush the remaining buffered writes as a final short batch.
+                items = progress.write_buffer
+                progress.write_buffer = []
+                progress.outstanding = client.put_batch(items)
+                progress.in_flight_ops = len(items)
+                progress.requests_sent += 1
+                return
+
+            operation = progress.workload.next_operation()
+            progress.operations_left -= 1
+            if isinstance(operation, WriteOp):
+                progress.write_buffer.append((operation.key, operation.value))
+                if len(progress.write_buffer) >= batch_size:
+                    items = progress.write_buffer
+                    progress.write_buffer = []
+                    progress.outstanding = client.put_batch(items)
+                    progress.in_flight_ops = len(items)
+                    progress.requests_sent += 1
+                    return
+                # Buffered write: keep generating until a request goes out.
+                continue
+            if isinstance(operation, ReadOp):
+                progress.outstanding = client.get(operation.key)
+                progress.in_flight_ops = 1
+                progress.requests_sent += 1
+                return
+
+    def _on_phase_change(self, index: int, record, phase: CommitPhase) -> None:
+        progress = self._progress[index]
+        if progress.outstanding is None or record.operation_id != progress.outstanding:
+            return
+        committed = phase in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
+        if phase is CommitPhase.FAILED:
+            committed = True  # count it as done so the loop does not stall
+        if not committed:
+            return
+        if phase is not CommitPhase.FAILED:
+            progress.operations_completed += progress.in_flight_ops
+        progress.outstanding = None
+        progress.in_flight_ops = 0
+        self._last_completion_at = self.env.now()
+        self._issue_next(index)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def all_finished(self) -> bool:
+        return all(progress.finished for progress in self._progress.values())
+
+    def run(self, max_time_s: float = 600.0) -> DriverResult:
+        """Start (if needed) and run the simulation until all clients finish."""
+
+        if self._started_at is None:
+            self.start()
+        self.env.run_until_condition(
+            self.all_finished, self.env.now() + max_time_s
+        )
+        operations = sum(
+            progress.operations_completed for progress in self._progress.values()
+        )
+        requests = sum(progress.requests_sent for progress in self._progress.values())
+        return DriverResult(
+            operations_completed=operations,
+            requests_sent=requests,
+            started_at=self._started_at,
+            finished_at=self._last_completion_at,
+            all_finished=self.all_finished(),
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for canonical encoding (the basis of digests and signatures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import pytest
+
+from repro.common import SerializationError
+from repro.common.encoding import (
+    canonical_decode,
+    canonical_encode,
+    encoded_size,
+    to_jsonable,
+)
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    y: int
+
+
+class _Colour(Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+class TestCanonicalEncode:
+    def test_deterministic_for_dicts(self):
+        a = canonical_encode({"b": 1, "a": 2})
+        b = canonical_encode({"a": 2, "b": 1})
+        assert a == b
+
+    def test_dataclass_encodes_fields_and_type(self):
+        tree = to_jsonable(_Point(1, 2))
+        assert tree["__type__"] == "_Point"
+        assert tree["x"] == 1 and tree["y"] == 2
+
+    def test_bytes_roundtrip_as_hex(self):
+        tree = to_jsonable(b"\x00\xff")
+        assert tree == {"__bytes__": "00ff"}
+
+    def test_enum_encoding(self):
+        tree = to_jsonable(_Colour.RED)
+        assert tree == {"__enum__": "_Colour", "value": "red"}
+
+    def test_tuples_and_lists_equal(self):
+        assert canonical_encode((1, 2, 3)) == canonical_encode([1, 2, 3])
+
+    def test_nested_structures(self):
+        value = {"points": [_Point(0, 1), _Point(2, 3)], "tag": b"xy"}
+        encoded = canonical_encode(value)
+        decoded = canonical_decode(encoded)
+        assert decoded["tag"] == {"__bytes__": "7879"}
+        assert len(decoded["points"]) == 2
+
+    def test_different_values_different_encodings(self):
+        assert canonical_encode(_Point(1, 2)) != canonical_encode(_Point(2, 1))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            canonical_encode(object())
+
+    def test_non_string_dict_keys_coerced(self):
+        encoded = canonical_encode({1: "a", 2: "b"})
+        decoded = canonical_decode(encoded)
+        assert decoded == {"1": "a", "2": "b"}
+
+    def test_frozenset_is_order_independent(self):
+        assert canonical_encode(frozenset({3, 1, 2})) == canonical_encode(
+            frozenset({2, 3, 1})
+        )
+
+
+class TestCanonicalDecode:
+    def test_invalid_bytes_raise(self):
+        with pytest.raises(SerializationError):
+            canonical_decode(b"\xff\xfe not json")
+
+    def test_roundtrip_scalars(self):
+        for value in (None, True, 1, 1.5, "text"):
+            assert canonical_decode(canonical_encode(value)) == value
+
+
+class TestEncodedSize:
+    def test_size_matches_encoding_length(self):
+        value = {"key": "value", "n": 42}
+        assert encoded_size(value) == len(canonical_encode(value))
+
+    def test_larger_payloads_are_larger(self):
+        small = encoded_size({"data": "x"})
+        large = encoded_size({"data": "x" * 1000})
+        assert large > small + 900

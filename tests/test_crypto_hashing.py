@@ -1,0 +1,70 @@
+"""Unit tests for hashing helpers (digests underpin data-free certification)."""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import (
+    DIGEST_HEX_LENGTH,
+    EMPTY_DIGEST,
+    digest_chain,
+    digest_leaf,
+    digest_pair,
+    digest_value,
+    is_hex_digest,
+    sha256_hex,
+)
+
+
+class TestBasicDigests:
+    def test_sha256_known_vector(self):
+        assert (
+            sha256_hex(b"abc")
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_empty_digest_constant(self):
+        assert EMPTY_DIGEST == sha256_hex(b"")
+
+    def test_digest_value_is_deterministic(self):
+        assert digest_value({"a": 1, "b": 2}) == digest_value({"b": 2, "a": 1})
+
+    def test_digest_value_distinguishes_values(self):
+        assert digest_value([1, 2, 3]) != digest_value([1, 2, 4])
+
+    def test_digest_length(self):
+        assert len(digest_value("x")) == DIGEST_HEX_LENGTH
+
+
+class TestDomainSeparation:
+    def test_leaf_and_pair_are_domain_separated(self):
+        leaf = digest_leaf(b"data")
+        # Interpreting the same bytes as a pair input must give a different hash.
+        assert leaf != sha256_hex(b"data")
+
+    def test_pair_is_order_sensitive(self):
+        a, b = digest_leaf(b"a"), digest_leaf(b"b")
+        assert digest_pair(a, b) != digest_pair(b, a)
+
+    def test_chain_is_order_sensitive(self):
+        a, b = digest_leaf(b"a"), digest_leaf(b"b")
+        assert digest_chain([a, b]) != digest_chain([b, a])
+
+    def test_chain_of_empty_sequence(self):
+        assert is_hex_digest(digest_chain([]))
+
+    def test_chain_prefix_is_not_ambiguous(self):
+        a, b, c = (digest_leaf(x) for x in (b"a", b"b", b"c"))
+        assert digest_chain([a, b]) != digest_chain([a, b, c])
+
+
+class TestIsHexDigest:
+    def test_accepts_real_digest(self):
+        assert is_hex_digest(sha256_hex(b"x"))
+
+    def test_rejects_wrong_length(self):
+        assert not is_hex_digest("abcd")
+
+    def test_rejects_non_hex(self):
+        assert not is_hex_digest("z" * DIGEST_HEX_LENGTH)
+
+    def test_rejects_non_string(self):
+        assert not is_hex_digest(12345)

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion and prints what it
+promises.  The examples are part of the public deliverable, so regressions in
+them should fail the test suite, not surprise a reader."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["Phase I", "Phase II", "get('sensor-003')"]),
+    ("smart_traffic.py", ["Phase I", "bandwidth", "punishments recorded: 0"]),
+    ("iot_fleet_logging.py", ["LSMerkle level page counts", "merges completed"]),
+    ("malicious_edge_audit.py", ["punishments recorded", "Omission attack"]),
+    ("baseline_comparison.py", ["WedgeChain", "Edge-baseline", "wan_megabytes"]),
+]
+
+
+@pytest.mark.parametrize("script,expected_fragments", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_and_reports(script, expected_fragments):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in expected_fragments:
+        assert fragment in completed.stdout, (
+            f"{script} output missing {fragment!r}\n--- stdout ---\n"
+            f"{completed.stdout[-2000:]}"
+        )

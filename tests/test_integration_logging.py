@@ -1,0 +1,171 @@
+"""Integration tests: the WedgeChain logging protocol end to end.
+
+These tests run full deployments (cloud + edge + clients) over the simulated
+network and check the paper's protocol-level guarantees: Phase I before
+Phase II, validity (only client-proposed entries appear in blocks), agreement
+(all readers see identical certified content), and the behaviour of reads of
+missing blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import LoggingConfig, SystemConfig
+from repro.core.system import WedgeChainSystem
+from repro.log.proofs import CommitPhase
+from repro.sim.environment import Environment, local_environment
+
+
+@pytest.fixture
+def system(small_config):
+    return WedgeChainSystem.build(
+        config=small_config, num_clients=2, env=local_environment(seed=21)
+    )
+
+
+class TestAddPath:
+    def test_add_reaches_both_phases(self, system):
+        client = system.client(0)
+        op = client.add_batch([f"entry-{i}".encode() for i in range(5)])
+        phase = system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        assert phase is CommitPhase.PHASE_TWO
+        record = client.operation(op)
+        assert record.phase_one_at is not None
+        assert record.phase_two_at is not None
+        assert record.phase_one_at <= record.phase_two_at
+        assert record.receipt is not None and record.proof is not None
+
+    def test_phase_one_precedes_phase_two_in_wide_area(self, small_config):
+        system = WedgeChainSystem.build(config=small_config, num_clients=1, seed=5)
+        client = system.client(0)
+        op = client.put_batch([(f"k{i}", b"v") for i in range(5)])
+        system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        record = client.operation(op)
+        # Phase I must not pay the wide-area RTT (61 ms RTT to Virginia);
+        # Phase II must.
+        assert record.phase_one_latency < 0.050
+        assert record.phase_two_latency > 0.030
+
+    def test_validity_only_client_entries_in_block(self, system):
+        client = system.client(0)
+        payloads = [f"entry-{i}".encode() for i in range(5)]
+        op = client.add_batch(payloads)
+        system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        block_id = client.operation(op).block_id
+        block = system.edge().log.block(block_id)
+        assert {entry.payload for entry in block.entries} == set(payloads)
+        assert all(entry.verify(system.env.registry) for entry in block.entries)
+
+    def test_block_timeout_flushes_partial_batches(self, small_config):
+        system = WedgeChainSystem.build(
+            config=small_config, num_clients=1, env=local_environment(seed=8)
+        )
+        client = system.client(0)
+        # Fewer entries than the block size: only the timeout can flush them.
+        op = client.add_batch([b"lonely-entry"])
+        phase = system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        assert phase is CommitPhase.PHASE_TWO
+        assert system.edge().stats["timeout_flushes"] >= 1
+
+    def test_entries_from_two_clients_share_blocks(self, system):
+        first, second = system.clients
+        op_a = first.add_batch([b"from-first", b"from-first-2"])
+        op_b = second.add_batch([b"from-second", b"from-second-2", b"from-second-3"])
+        assert system.wait_for_all(
+            [(first, op_a), (second, op_b)], CommitPhase.PHASE_TWO, max_time_s=30
+        )
+        # Five entries with block_size=5: they end up in the same block.
+        assert first.operation(op_a).block_id == second.operation(op_b).block_id
+
+    def test_cloud_certifies_each_block_exactly_once(self, system):
+        client = system.client(0)
+        ops = [client.add_batch([f"e{i}-{j}".encode() for j in range(5)]) for i in range(4)]
+        assert system.wait_for_all(
+            [(client, op) for op in ops], CommitPhase.PHASE_TWO, max_time_s=60
+        )
+        assert system.cloud.stats["certifications"] == 4
+        assert system.cloud.stats["punishments"] == 0
+        assert system.edge().log.certified_count() == 4
+
+
+class TestReadPath:
+    def _committed_block(self, system) -> int:
+        client = system.client(0)
+        op = client.add_batch([f"entry-{i}".encode() for i in range(5)])
+        system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        return client.operation(op).block_id
+
+    def test_certified_read_is_phase_two_immediately(self, system):
+        block_id = self._committed_block(system)
+        reader = system.client(1)
+        op = reader.read(block_id)
+        phase = system.wait_for(reader, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        assert phase is CommitPhase.PHASE_TWO
+        assert reader.operation(op).details["num_entries"] == 5
+
+    def test_read_of_missing_block_fails_cleanly(self, system):
+        reader = system.client(1)
+        op = reader.read(999)
+        system.run_for(5.0)
+        record = reader.operation(op)
+        assert record.phase is CommitPhase.FAILED
+        assert "not available" in record.failure_reason
+
+    def test_agreement_two_readers_see_identical_content(self, system):
+        block_id = self._committed_block(system)
+        first, second = system.clients
+        op_a, op_b = first.read(block_id), second.read(block_id)
+        assert system.wait_for_all(
+            [(first, op_a), (second, op_b)], CommitPhase.PHASE_TWO, max_time_s=30
+        )
+        assert (
+            first.operation(op_a).details["block_digest"]
+            == second.operation(op_b).details["block_digest"]
+        )
+
+    def test_phase_one_read_upgrades_when_certification_arrives(self, small_config):
+        """A read served before certification completes later via the proof."""
+
+        # Put the cloud far away so certification takes a while.
+        system = WedgeChainSystem.build(config=small_config, num_clients=2, seed=9)
+        writer, reader = system.clients
+        op = writer.add_batch([f"e{i}".encode() for i in range(5)])
+        # Wait only for Phase I, then read immediately.
+        system.wait_for(writer, op, CommitPhase.PHASE_ONE, max_time_s=10)
+        block_id = writer.operation(op).block_id
+        read_op = reader.read(block_id)
+        system.wait_for(reader, read_op, CommitPhase.PHASE_ONE, max_time_s=10)
+        read_record = reader.operation(read_op)
+        # Eventually the block proof arrives and the read becomes Phase II.
+        system.wait_for(reader, read_op, CommitPhase.PHASE_TWO, max_time_s=30)
+        assert read_record.phase is CommitPhase.PHASE_TWO
+
+
+class TestSystemFacade:
+    def test_stats_aggregation(self, system):
+        client = system.client(0)
+        op = client.add_batch([b"a", b"b", b"c", b"d", b"e"])
+        system.wait_for(client, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        stats = system.stats()
+        assert stats.phase_two_commits >= 1
+        assert stats.blocks_formed >= 1
+        assert stats.certifications >= 1
+        assert stats.punishments == 0
+        assert stats.wan_bytes > 0
+
+    def test_build_with_multiple_edges_partitions_clients(self, small_config):
+        config = small_config.with_overrides(num_edge_nodes=2)
+        system = WedgeChainSystem.build(config=config, num_clients=4, seed=3)
+        assert len(system.edges) == 2
+        edges_used = {client.edge for client in system.clients}
+        assert len(edges_used) == 2
+
+    def test_build_rejects_zero_clients(self, small_config):
+        with pytest.raises(Exception):
+            WedgeChainSystem.build(config=small_config, num_clients=0)
+
+    def test_environment_reuse_is_supported(self, small_config):
+        env = Environment(seed=4)
+        system = WedgeChainSystem.build(config=small_config, num_clients=1, env=env)
+        assert system.env is env

@@ -1,0 +1,213 @@
+"""Integration tests: malicious edge nodes are detected and punished.
+
+The paper's central security argument (Sections II-D, IV-B, IV-E) is that a
+lying edge node is always caught eventually: the client holds signed evidence
+(a Phase I receipt or a signed read/get response), the cloud holds the
+certified digests, and disputes reconcile the two.  Each test drives one
+adversary and asserts both the client-side detection and the cloud-side
+punishment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import LoggingConfig, LSMerkleConfig, SecurityConfig, SystemConfig
+from repro.core.system import WedgeChainSystem
+from repro.log.proofs import CommitPhase
+from repro.nodes.edge import EdgeNode
+from repro.nodes.malicious import (
+    BrokenPromiseEdgeNode,
+    EquivocatingCertifierEdgeNode,
+    NonCertifyingEdgeNode,
+    OmittingEdgeNode,
+    StaleServingEdgeNode,
+    TamperingReadEdgeNode,
+)
+from repro.sim.environment import local_environment
+from repro.workloads.generator import format_key
+
+BLOCK_SIZE = 5
+
+
+def build_system(edge_class, num_clients=2, seed=61, freshness=None, gossip=True):
+    config = SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(block_size=BLOCK_SIZE, block_timeout_s=0.02),
+        lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
+        security=SecurityConfig(
+            dispute_timeout_s=1.0,
+            gossip_interval_s=0.2,
+            freshness_window_s=freshness,
+        ),
+    )
+
+    def factory(env, cloud, cfg, name, region):
+        return edge_class(env=env, cloud=cloud, config=cfg, name=name, region=region)
+
+    return WedgeChainSystem.build(
+        config=config,
+        num_clients=num_clients,
+        env=local_environment(seed=seed),
+        edge_factory=factory,
+        enable_gossip=gossip,
+    )
+
+
+def write_block(system, client, prefix="k"):
+    items = [(f"{prefix}-{i}", b"value") for i in range(BLOCK_SIZE)]
+    return client.put_batch(items)
+
+
+class TestHonestBaselineSanity:
+    def test_honest_edge_is_never_punished(self):
+        system = build_system(EdgeNode)
+        client = system.client(0)
+        op = write_block(system, client)
+        system.run_for(10.0)
+        assert client.operation(op).phase is CommitPhase.PHASE_TWO
+        assert system.cloud.stats["punishments"] == 0
+        assert not system.cloud.ledger.is_punished(system.edge().node_id)
+
+
+class TestBrokenPromise:
+    def test_detected_and_punished(self):
+        system = build_system(BrokenPromiseEdgeNode)
+        client = system.client(0)
+        op = write_block(system, client)
+        system.run_for(15.0)
+        record = client.operation(op)
+        # The write never legitimately reaches Phase II.
+        assert record.phase is not CommitPhase.PHASE_TWO
+        assert any(
+            event["kind"] in ("certified-digest-mismatch", "proof-timeout")
+            for event in client.malicious_events
+        )
+        assert system.cloud.ledger.is_punished(system.edge().node_id)
+        assert any(verdict.edge_punished for verdict in client.verdicts)
+
+
+class TestNonCertifying:
+    def test_dispute_timeout_exposes_silent_edge(self):
+        system = build_system(NonCertifyingEdgeNode)
+        client = system.client(0)
+        op = write_block(system, client)
+        system.run_for(15.0)
+        assert client.operation(op).phase is CommitPhase.PHASE_ONE
+        assert system.cloud.ledger.is_punished(system.edge().node_id)
+        punishments = system.cloud.ledger.records_for(system.edge().node_id)
+        assert any("never certified" in record.reason for record in punishments)
+
+
+class TestEquivocatingCertifier:
+    def test_cloud_detects_conflicting_digests_directly(self):
+        system = build_system(EquivocatingCertifierEdgeNode)
+        client = system.client(0)
+        write_block(system, client)
+        system.run_for(10.0)
+        assert system.cloud.stats["certify_conflicts"] >= 1
+        assert system.cloud.ledger.is_punished(system.edge().node_id)
+
+
+class TestOmissionAttack:
+    def test_gossip_lets_reader_prove_omission(self):
+        system = build_system(OmittingEdgeNode)
+        writer, reader = system.clients
+        op = write_block(system, writer)
+        system.run_for(5.0)  # certification + at least one gossip round
+        assert writer.operation(op).phase is CommitPhase.PHASE_TWO
+        read_op = reader.read(0)
+        system.run_for(10.0)
+        assert reader.operation(read_op).phase is CommitPhase.FAILED
+        assert any(event["kind"] == "omission" for event in reader.malicious_events)
+        assert system.cloud.ledger.is_punished(system.edge().node_id)
+
+    def test_without_gossip_omission_goes_undetected(self):
+        """The detection window genuinely depends on gossip (Section IV-E)."""
+
+        system = build_system(OmittingEdgeNode, gossip=False)
+        writer, reader = system.clients
+        write_block(system, writer)
+        system.run_for(5.0)
+        read_op = reader.read(0)
+        system.run_for(10.0)
+        assert reader.operation(read_op).phase is CommitPhase.FAILED
+        assert not any(event["kind"] == "omission" for event in reader.malicious_events)
+        assert not system.cloud.ledger.is_punished(system.edge().node_id)
+
+
+class TestTamperingRead:
+    def test_reader_detects_content_substitution(self):
+        system = build_system(TamperingReadEdgeNode)
+        writer, reader = system.clients
+        op = write_block(system, writer)
+        system.run_for(5.0)
+        assert writer.operation(op).phase is CommitPhase.PHASE_TWO
+        read_op = reader.read(0)
+        system.run_for(15.0)
+        record = reader.operation(read_op)
+        assert record.phase is not CommitPhase.PHASE_TWO
+        assert any(
+            event["kind"] in ("read-content-mismatch", "proof-timeout")
+            for event in reader.malicious_events
+        )
+        assert system.cloud.ledger.is_punished(system.edge().node_id)
+
+
+class TestStaleServing:
+    def test_freshness_window_rejects_stale_snapshot(self):
+        system = build_system(StaleServingEdgeNode, freshness=5.0, seed=71)
+        writer, reader = system.clients
+        # Build some merged, certified state.
+        for block in range(4):
+            op = writer.put_batch(
+                [(format_key(block * BLOCK_SIZE + i), b"x") for i in range(BLOCK_SIZE)]
+            )
+            system.wait_for(writer, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        system.run_for(2.0)
+        edge = system.edge()
+        edge.freeze()
+        # Time passes; new writes keep arriving but the frozen snapshot ages.
+        system.run_for(30.0)
+        op = writer.put_batch([(format_key(100 + i), b"y") for i in range(BLOCK_SIZE)])
+        system.wait_for(writer, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        read_op = reader.get(format_key(1))
+        system.run_for(5.0)
+        record = reader.operation(read_op)
+        assert record.phase is CommitPhase.FAILED
+
+    def test_without_freshness_window_staleness_is_accepted(self):
+        """Matches the paper: plain LSMerkle does not guarantee recency."""
+
+        system = build_system(StaleServingEdgeNode, freshness=None, seed=72)
+        writer, reader = system.clients
+        for block in range(4):
+            op = writer.put_batch(
+                [(format_key(block * BLOCK_SIZE + i), b"old") for i in range(BLOCK_SIZE)]
+            )
+            system.wait_for(writer, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        system.run_for(2.0)
+        system.edge().freeze()
+        op = writer.put_batch([(format_key(0), b"new")] + [
+            (format_key(200 + i), b"pad") for i in range(BLOCK_SIZE - 1)
+        ])
+        system.wait_for(writer, op, CommitPhase.PHASE_TWO, max_time_s=30)
+        read_op = reader.get(format_key(0))
+        system.run_for(5.0)
+        record = reader.operation(read_op)
+        # The stale (old) value is served and verifies: staleness is invisible
+        # without the freshness extension.
+        assert record.phase in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
+        assert reader.value_of(read_op) == b"old"
+
+
+class TestPunishedEdgeExclusion:
+    def test_punished_edges_are_banned_from_reentry(self):
+        system = build_system(NonCertifyingEdgeNode)
+        client = system.client(0)
+        write_block(system, client)
+        system.run_for(15.0)
+        ledger = system.cloud.ledger
+        edge = system.edge().node_id
+        assert ledger.is_punished(edge)
+        # Model assumption 2: identities cannot be fabricated, so the ban holds.
+        assert ledger.total_score(edge) >= system.config.security.punishment_score

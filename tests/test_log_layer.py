@@ -1,0 +1,253 @@
+"""Unit tests for the logging layer: entries, blocks, buffer, log, proofs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import BlockNotFoundError, InvalidMessageError, ProtocolError
+from repro.common.identifiers import client_id, edge_id
+from repro.log.block import Block, BlockSummary, build_block, compute_block_digest
+from repro.log.buffer import BlockBuffer
+from repro.log.entry import make_entry, require_valid_entry
+from repro.log.proofs import (
+    CommitPhase,
+    issue_block_proof,
+    issue_phase_one_receipt,
+)
+from repro.log.wedge_log import WedgeLog
+from tests.conftest import make_signed_entries
+
+ALICE = client_id("alice")
+BOB = client_id("bob")
+EDGE = edge_id("edge-0")
+CLOUD_NAME = "cloud-0"
+
+
+class TestLogEntry:
+    def test_entry_signature_verifies(self, registry):
+        entry = make_entry(registry, ALICE, 0, b"payload", 1.0)
+        assert entry.verify(registry)
+        require_valid_entry(registry, entry)
+
+    def test_tampered_payload_fails_verification(self, registry):
+        entry = make_entry(registry, ALICE, 0, b"payload", 1.0)
+        from dataclasses import replace
+
+        tampered = type(entry)(
+            body=replace(entry.body, payload=b"other"), signature=entry.signature
+        )
+        assert not tampered.verify(registry)
+        with pytest.raises(InvalidMessageError):
+            require_valid_entry(registry, tampered)
+
+    def test_unsigned_entry_fails(self, registry):
+        entry = make_entry(registry, ALICE, 0, b"payload", 1.0)
+        unsigned = type(entry)(body=entry.body, signature=None)
+        assert not unsigned.verify(registry)
+
+    def test_wire_size_tracks_payload(self, registry):
+        small = make_entry(registry, ALICE, 0, b"x", 1.0)
+        large = make_entry(registry, ALICE, 1, b"x" * 1000, 1.0)
+        assert large.wire_size > small.wire_size + 900
+
+
+class TestBlock:
+    def test_digest_is_deterministic_and_content_sensitive(self, registry):
+        entries = make_signed_entries(registry, ALICE, 3)
+        block_a = build_block(EDGE, 0, entries, 1.0)
+        block_b = build_block(EDGE, 0, entries, 5.0)  # created_at not in digest
+        assert block_a.digest() == block_b.digest()
+        different = build_block(EDGE, 1, entries, 1.0)
+        assert block_a.digest() != different.digest()
+
+    def test_digest_matches_standalone_function(self, sample_block):
+        assert sample_block.digest() == compute_block_digest(
+            sample_block.edge, sample_block.block_id, sample_block.entries
+        )
+
+    def test_contains_entry(self, registry):
+        entries = make_signed_entries(registry, ALICE, 3)
+        block = build_block(EDGE, 0, entries, 1.0)
+        assert block.contains_entry(ALICE, 1)
+        assert not block.contains_entry(ALICE, 99)
+        assert not block.contains_entry(BOB, 1)
+
+    def test_entries_for_and_producers(self, registry):
+        entries = make_signed_entries(registry, ALICE, 2) + make_signed_entries(
+            registry, BOB, 3, start=10
+        )
+        block = build_block(EDGE, 0, entries, 1.0)
+        assert len(block.entries_for(ALICE)) == 2
+        assert len(block.entries_for(BOB)) == 3
+        assert block.producers() == frozenset({ALICE, BOB})
+
+    def test_summary_carries_digest(self, sample_block):
+        summary = BlockSummary.of(sample_block, certified_at=9.0)
+        assert summary.digest == sample_block.digest()
+        assert summary.num_entries == sample_block.num_entries
+        assert summary.certified_at == 9.0
+
+
+class TestBlockBuffer:
+    def test_emits_batch_when_full(self, registry):
+        buffer = BlockBuffer(block_size=3)
+        entries = make_signed_entries(registry, ALICE, 3)
+        assert buffer.append(entries[0], now=0.0) is None
+        assert buffer.append(entries[1], now=0.0) is None
+        batch = buffer.append(entries[2], now=0.0)
+        assert batch is not None
+        assert len(batch.log_entries) == 3
+        assert buffer.is_empty
+
+    def test_flush_returns_partial_batch(self, registry):
+        buffer = BlockBuffer(block_size=10)
+        entries = make_signed_entries(registry, ALICE, 2)
+        for entry in entries:
+            buffer.append(entry, now=1.0)
+        batch = buffer.flush()
+        assert batch is not None and len(batch.log_entries) == 2
+        assert buffer.flush() is None
+
+    def test_tracks_requesters(self, registry):
+        from repro.common.identifiers import OperationId
+
+        buffer = BlockBuffer(block_size=2)
+        entries = make_signed_entries(registry, ALICE, 2)
+        buffer.append(entries[0], now=0.0, operation_id=OperationId(ALICE, 0), requester=ALICE)
+        batch = buffer.append(
+            entries[1], now=0.0, operation_id=OperationId(BOB, 0), requester=BOB
+        )
+        assert set(batch.requesters) == {ALICE, BOB}
+
+    def test_oldest_age(self, registry):
+        buffer = BlockBuffer(block_size=10)
+        assert buffer.oldest_age(now=5.0) is None
+        buffer.append(make_signed_entries(registry, ALICE, 1)[0], now=2.0)
+        assert buffer.oldest_age(now=5.0) == pytest.approx(3.0)
+
+    def test_rejects_non_positive_block_size(self):
+        with pytest.raises(Exception):
+            BlockBuffer(block_size=0)
+
+    def test_total_buffered_is_monotonic(self, registry):
+        buffer = BlockBuffer(block_size=2)
+        for entry in make_signed_entries(registry, ALICE, 4):
+            buffer.append(entry, now=0.0)
+        assert buffer.total_buffered == 4
+
+
+class TestWedgeLog:
+    def test_monotonic_block_ids(self):
+        log = WedgeLog(EDGE)
+        assert log.allocate_block_id() == 0
+        assert log.allocate_block_id() == 1
+        assert log.next_block_id == 2
+
+    def test_append_and_get(self, registry):
+        log = WedgeLog(EDGE)
+        entries = make_signed_entries(registry, ALICE, 2)
+        block = build_block(EDGE, log.allocate_block_id(), entries, 1.0)
+        log.append(block)
+        assert log.block(0) is block
+        assert 0 in log
+        assert len(log) == 1
+        assert log.total_entries() == 2
+
+    def test_get_missing_block_raises(self):
+        log = WedgeLog(EDGE)
+        with pytest.raises(BlockNotFoundError):
+            log.get(5)
+        assert log.try_get(5) is None
+
+    def test_rejects_foreign_blocks(self, registry):
+        log = WedgeLog(EDGE)
+        entries = make_signed_entries(registry, ALICE, 1)
+        foreign = build_block(edge_id("edge-1"), 0, entries, 1.0)
+        with pytest.raises(ProtocolError):
+            log.append(foreign)
+
+    def test_rejects_duplicate_block_ids(self, registry, sample_block):
+        log = WedgeLog(EDGE)
+        log.append(sample_block)
+        duplicate = build_block(EDGE, sample_block.block_id, sample_block.entries, 2.0)
+        with pytest.raises(ProtocolError):
+            log.append(duplicate)
+
+    def test_attach_proof_and_certification_tracking(self, registry, sample_block):
+        from repro.common.identifiers import cloud_id
+
+        log = WedgeLog(EDGE)
+        log.append(sample_block)
+        assert log.uncertified_block_ids() == (0,)
+        proof = issue_block_proof(
+            registry,
+            cloud_id(),
+            EDGE,
+            sample_block.block_id,
+            sample_block.digest(),
+            certified_at=2.0,
+        )
+        log.attach_proof(proof)
+        assert log.certified_count() == 1
+        assert log.uncertified_block_ids() == ()
+        assert log.proof_for(0) is proof
+
+    def test_attach_proof_with_wrong_digest_rejected(self, registry, sample_block):
+        from repro.common.identifiers import cloud_id
+
+        log = WedgeLog(EDGE)
+        log.append(sample_block)
+        bad_proof = issue_block_proof(
+            registry, cloud_id(), EDGE, sample_block.block_id, "0" * 64, certified_at=2.0
+        )
+        with pytest.raises(ProtocolError):
+            log.attach_proof(bad_proof)
+
+    def test_summaries_in_block_order(self, registry):
+        log = WedgeLog(EDGE)
+        for index in range(3):
+            entries = make_signed_entries(registry, ALICE, 1, start=index)
+            log.append(build_block(EDGE, log.allocate_block_id(), entries, float(index)))
+        summaries = log.summaries()
+        assert [summary.block_id for summary in summaries] == [0, 1, 2]
+
+
+class TestProofs:
+    def test_phase_one_receipt_roundtrip(self, registry, sample_block):
+        receipt = issue_phase_one_receipt(registry, EDGE, sample_block, issued_at=1.0)
+        assert receipt.verify(registry)
+        assert receipt.matches_block(sample_block)
+
+    def test_receipt_detects_block_substitution(self, registry, sample_block):
+        receipt = issue_phase_one_receipt(registry, EDGE, sample_block, issued_at=1.0)
+        other_entries = make_signed_entries(registry, BOB, 5)
+        other_block = build_block(EDGE, sample_block.block_id, other_entries, 1.0)
+        assert not receipt.matches_block(other_block)
+
+    def test_block_proof_roundtrip(self, registry, sample_block):
+        from repro.common.identifiers import cloud_id
+
+        proof = issue_block_proof(
+            registry, cloud_id(), EDGE, sample_block.block_id, sample_block.digest(), 3.0
+        )
+        assert proof.verify(registry)
+        assert proof.certifies(sample_block)
+
+    def test_block_proof_wrong_signer_rejected(self, registry, sample_block):
+        from repro.common.identifiers import cloud_id
+        from repro.crypto.signatures import Signature
+
+        proof = issue_block_proof(
+            registry, cloud_id(), EDGE, sample_block.block_id, sample_block.digest(), 3.0
+        )
+        forged = type(proof)(
+            statement=proof.statement,
+            signature=Signature(signer=EDGE, scheme=proof.signature.scheme, value=proof.signature.value),
+        )
+        assert not forged.verify(registry)
+
+    def test_commit_phase_semantics(self):
+        assert CommitPhase.PHASE_ONE.is_committed
+        assert CommitPhase.PHASE_TWO.is_committed
+        assert not CommitPhase.PENDING.is_committed
+        assert not CommitPhase.FAILED.is_committed

@@ -1,0 +1,262 @@
+"""Unit and property-based tests for the LSM substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, ProtocolError
+from repro.common.config import LSMerkleConfig
+from repro.lsm.compaction import merge_levels, newest_versions, partition_into_pages
+from repro.lsm.level import Level
+from repro.lsm.lsm_tree import LSMTree
+from repro.lsm.page import build_page
+from repro.lsm.records import KEY_MIN, KeyFence, KVRecord, fences_are_contiguous
+
+
+def record(key: str, sequence: int, value: bytes = b"v") -> KVRecord:
+    return KVRecord(key=key, sequence=sequence, value=value)
+
+
+class TestKeyFence:
+    def test_contains_half_open_semantics(self):
+        fence = KeyFence(lower="b", upper="d")
+        assert fence.contains("b")
+        assert fence.contains("c")
+        assert not fence.contains("d")
+        assert not fence.contains("a")
+
+    def test_unbounded_upper(self):
+        fence = KeyFence(lower="m", upper=None)
+        assert fence.contains("zzz")
+        assert fence.is_unbounded_above
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            KeyFence(lower="z", upper="a")
+
+    def test_abuts_and_overlaps(self):
+        left = KeyFence(lower=KEY_MIN, upper="m")
+        right = KeyFence(lower="m", upper=None)
+        assert left.abuts(right)
+        assert not left.overlaps(right)
+        assert left.overlaps(KeyFence(lower="a", upper="c"))
+
+    def test_fences_are_contiguous(self):
+        fences = [
+            KeyFence(lower=KEY_MIN, upper="g"),
+            KeyFence(lower="g", upper="p"),
+            KeyFence(lower="p", upper=None),
+        ]
+        assert fences_are_contiguous(fences)
+        assert not fences_are_contiguous(list(reversed(fences)))
+        assert fences_are_contiguous([])
+
+
+class TestPage:
+    def test_records_sorted_and_lookup_latest(self):
+        page = build_page(
+            [record("b", 2), record("a", 1), record("b", 5)], created_at=1.0
+        )
+        assert page.keys() == ("a", "b", "b")
+        assert page.lookup("b").sequence == 5
+        assert page.lookup("missing") is None
+
+    def test_rejects_unsorted_records(self):
+        from repro.lsm.page import Page
+
+        with pytest.raises(ProtocolError):
+            Page(
+                records=(record("b", 1), record("a", 2)),
+                fence=KeyFence.covering_everything(),
+                created_at=0.0,
+            )
+
+    def test_rejects_records_outside_fence(self):
+        from repro.lsm.page import Page
+
+        with pytest.raises(ProtocolError):
+            Page(
+                records=(record("a", 1),),
+                fence=KeyFence(lower="b", upper=None),
+                created_at=0.0,
+            )
+
+    def test_digest_is_content_sensitive_and_cached(self):
+        page_a = build_page([record("a", 1)], created_at=1.0)
+        page_b = build_page([record("a", 2)], created_at=1.0)
+        assert page_a.digest() != page_b.digest()
+        assert page_a.digest() == page_a.digest()
+
+    def test_min_max_keys(self):
+        page = build_page([record("c", 1), record("a", 2)], created_at=0.0)
+        assert page.min_key == "a"
+        assert page.max_key == "c"
+
+
+class TestLevel:
+    def test_level_zero_append_order_and_lookup(self):
+        level = Level(index=0, threshold=4)
+        level.append_page(build_page([record("x", 1)], created_at=0.0))
+        level.append_page(build_page([record("x", 7)], created_at=1.0))
+        assert level.lookup("x").sequence == 7
+        assert level.num_pages == 2
+        assert not level.exceeds_threshold
+
+    def test_append_page_only_on_level_zero(self):
+        level = Level(index=1, threshold=4)
+        with pytest.raises(ProtocolError):
+            level.append_page(build_page([record("x", 1)], created_at=0.0))
+
+    def test_sorted_level_requires_contiguous_fences(self):
+        level = Level(index=1, threshold=4)
+        good = partition_into_pages(
+            [record("a", 1), record("b", 2), record("c", 3)], page_capacity=2, created_at=0.0
+        )
+        level.replace_pages(good)
+        assert level.num_pages == 2
+        bad = [build_page([record("a", 1)], created_at=0.0, fence=KeyFence("a", "b"))]
+        with pytest.raises(ProtocolError):
+            level.replace_pages(bad)
+
+    def test_intersecting_page_unique(self):
+        level = Level(index=1, threshold=4)
+        pages = partition_into_pages(
+            [record(k, i) for i, k in enumerate("abcdef")], page_capacity=2, created_at=0.0
+        )
+        level.replace_pages(pages)
+        page = level.intersecting_page("d")
+        assert page is not None and page.lookup("d") is not None
+        assert level.intersecting_page("zzz") is not None  # last fence is unbounded
+
+
+class TestCompaction:
+    def test_newest_versions_keeps_latest_only(self):
+        survivors = newest_versions(
+            [record("a", 1), record("a", 9), record("b", 3), record("a", 5)]
+        )
+        assert [r.key for r in survivors] == ["a", "b"]
+        assert survivors[0].sequence == 9
+
+    def test_partition_fences_cover_whole_key_space(self):
+        records = [record(f"k{i:03d}", i) for i in range(10)]
+        pages = partition_into_pages(records, page_capacity=3, created_at=0.0)
+        assert fences_are_contiguous([page.fence for page in pages])
+        assert pages[0].fence.lower == KEY_MIN
+        assert pages[-1].fence.is_unbounded_above
+        assert sum(page.num_records for page in pages) == 10
+
+    def test_partition_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            partition_into_pages([record("a", 1)], page_capacity=0, created_at=0.0)
+
+    def test_partition_empty_records(self):
+        assert partition_into_pages([], page_capacity=5, created_at=0.0) == ()
+
+    def test_merge_levels_removes_redundancy(self):
+        source = [build_page([record("a", 10), record("b", 11)], created_at=1.0)]
+        target = partition_into_pages(
+            [record("a", 1), record("b", 2), record("c", 3)], page_capacity=2, created_at=0.0
+        )
+        result = merge_levels(source, target, created_at=2.0, page_capacity=2)
+        assert result.records_in == 5
+        assert result.records_out == 3
+        assert result.redundancy_removed == 2
+        merged_lookup = {
+            r.key: r.sequence for page in result.pages for r in page.records
+        }
+        assert merged_lookup == {"a": 10, "b": 11, "c": 3}
+
+
+class TestLSMTree:
+    def _tree(self) -> LSMTree:
+        return LSMTree(
+            config=LSMerkleConfig(level_thresholds=(2, 2, 4)), page_capacity=2
+        )
+
+    def test_get_prefers_level_zero(self):
+        tree = self._tree()
+        tree.add_level_zero_page(build_page([record("k", 1)], created_at=0.0))
+        tree.add_level_zero_page(build_page([record("k", 9)], created_at=1.0))
+        result = tree.get("k")
+        assert result.found and result.record.sequence == 9
+        assert result.level_index == 0
+
+    def test_merge_cascade_respects_thresholds(self):
+        tree = self._tree()
+        for index in range(8):
+            tree.add_level_zero_page(
+                build_page([record(f"k{index:02d}", index)], created_at=float(index))
+            )
+            tree.compact_all(created_at=float(index))
+        assert tree.levels_needing_merge() == ()
+        counts = tree.level_page_counts()
+        assert counts[0] <= 2 and counts[1] <= 2
+        # All 8 keys must still be reachable.
+        for index in range(8):
+            assert tree.get(f"k{index:02d}").found
+
+    def test_get_missing_key(self):
+        tree = self._tree()
+        assert not tree.get("nope").found
+
+    def test_plan_and_apply_merge_bounds(self):
+        tree = self._tree()
+        with pytest.raises(ConfigurationError):
+            tree.plan_merge(2)
+        with pytest.raises(ConfigurationError):
+            tree.apply_merge(5, ())
+
+    def test_total_records_and_pages(self):
+        tree = self._tree()
+        tree.add_level_zero_page(build_page([record("a", 1), record("b", 2)], created_at=0.0))
+        assert tree.total_records() == 2
+        assert tree.total_pages() == 1
+
+
+class TestLSMPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=60))
+    def test_merged_tree_always_returns_newest_version(self, keys):
+        """After arbitrary writes + full compaction, gets return the last write.
+
+        Sequence numbers are assigned in write order, matching the system's
+        invariant that later blocks always carry higher sequence numbers.
+        """
+
+        tree = LSMTree(config=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)), page_capacity=3)
+        expected: dict[str, int] = {}
+        for sequence, key in enumerate(keys):
+            record_obj = KVRecord(key=key, sequence=sequence, value=str(sequence).encode())
+            expected[key] = sequence
+            tree.add_level_zero_page(build_page([record_obj], created_at=float(sequence)))
+            tree.compact_all(created_at=float(sequence))
+        for key, sequence in expected.items():
+            result = tree.get(key)
+            assert result.found
+            assert result.record.sequence == sequence
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.text(alphabet="abcxyz", min_size=1, max_size=4), st.integers(0, 999)),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    def test_newest_versions_is_idempotent_and_sorted(self, pairs):
+        records = [KVRecord(key=k, sequence=s, value=b"") for k, s in pairs]
+        once = newest_versions(records)
+        twice = newest_versions(once)
+        assert once == twice
+        assert [r.key for r in once] == sorted({r.key for r in records})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 80), st.integers(1, 10))
+    def test_partition_preserves_all_records(self, count, capacity):
+        records = [record(f"k{i:04d}", i) for i in range(count)]
+        pages = partition_into_pages(records, page_capacity=capacity, created_at=0.0)
+        flattened = [r for page in pages for r in page.records]
+        assert flattened == records
+        assert fences_are_contiguous([page.fence for page in pages])

@@ -1,0 +1,287 @@
+"""Unit tests for LSMerkle read proofs, the cloud merge mirror, and freshness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import (
+    FreshnessViolationError,
+    MergeProtocolError,
+    ProofVerificationError,
+)
+from repro.common.config import LSMerkleConfig
+from repro.common.identifiers import client_id, cloud_id, edge_id
+from repro.log.block import build_block
+from repro.log.entry import make_entry
+from repro.log.proofs import CommitPhase, issue_block_proof
+from repro.lsmerkle.codec import encode_put, page_from_block
+from repro.lsmerkle.freshness import FreshnessPolicy
+from repro.lsmerkle.merge import CloudIndexMirror, MergeProposal
+from repro.lsmerkle.mlsm import MerkleizedLSM, sign_global_root
+from repro.lsmerkle.read_proof import build_get_proof, verify_get_proof
+
+ALICE = client_id("alice")
+EDGE = edge_id("edge-0")
+CLOUD = cloud_id()
+CONFIG = LSMerkleConfig(level_thresholds=(2, 2, 4))
+
+
+def put_block(registry, block_id: int, items):
+    entries = [
+        make_entry(registry, ALICE, index, encode_put(key, value), 1.0)
+        for index, (key, value) in enumerate(items)
+    ]
+    return build_block(EDGE, block_id, entries, created_at=float(block_id))
+
+
+class _Fixture:
+    """A small certified LSMerkle state shared by the proof tests."""
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.index = MerkleizedLSM(config=CONFIG, page_capacity=2)
+        self.mirror = CloudIndexMirror(edge=EDGE, config=CONFIG, page_capacity=2)
+        self.certified: dict[int, str] = {}
+        self.blocks = {}
+        self.proofs = {}
+        self.signed_root = None
+
+    def ingest_block(self, block_id, items, certify=True):
+        block = put_block(self.registry, block_id, items)
+        self.blocks[block_id] = block
+        page = page_from_block(block)
+        self.index.add_level_zero_page(page)
+        if certify:
+            digest = block.digest()
+            self.certified[block_id] = digest
+            self.proofs[block_id] = issue_block_proof(
+                self.registry, CLOUD, EDGE, block_id, digest, certified_at=float(block_id)
+            )
+        return block
+
+    def merge_level_zero(self, now=10.0):
+        proposal = MergeProposal(
+            edge=EDGE,
+            level_index=0,
+            source_blocks=tuple(
+                self.blocks[block_id] for block_id in sorted(self.certified)
+            ),
+            target_pages=tuple(self.index.tree.levels[1].pages),
+        )
+        outcome = self.mirror.execute_merge(
+            proposal, self.certified, self.registry, CLOUD, now=now
+        )
+        self.index.install_merge(0, outcome.merged_pages, remaining_source_pages=[])
+        self.signed_root = outcome.signed_root
+        return outcome
+
+    def level_zero_evidence(self):
+        return [
+            (self.blocks[block_id], self.proofs.get(block_id))
+            for block_id in sorted(self.blocks)
+            if any(
+                page.source_block_id == block_id
+                for page in self.index.tree.levels[0].pages
+            )
+        ]
+
+    def get_proof(self, key):
+        result = self.index.get(key)
+        return build_get_proof(
+            key=key,
+            index=self.index,
+            level_zero_blocks=self.level_zero_evidence(),
+            signed_root=self.signed_root,
+            found_level=result.level_index,
+        ), result
+
+
+class TestGetProofVerification:
+    def test_key_found_in_level_zero(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        proof, result = fx.get_proof("alpha")
+        verified = verify_get_proof(registry, CLOUD, EDGE, "alpha", proof)
+        assert verified.found and verified.record.value == b"1"
+        assert verified.phase is CommitPhase.PHASE_TWO
+
+    def test_uncertified_level_zero_is_phase_one(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1")], certify=False)
+        proof, _ = fx.get_proof("alpha")
+        verified = verify_get_proof(registry, CLOUD, EDGE, "alpha", proof)
+        assert verified.phase is CommitPhase.PHASE_ONE
+        assert verified.uncertified_block_ids == (0,)
+
+    def test_key_found_in_merged_level(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.ingest_block(1, [("gamma", b"3"), ("delta", b"4")])
+        fx.merge_level_zero()
+        proof, result = fx.get_proof("gamma")
+        assert result.level_index == 1
+        verified = verify_get_proof(registry, CLOUD, EDGE, "gamma", proof)
+        assert verified.found and verified.record.value == b"3"
+        assert verified.phase is CommitPhase.PHASE_TWO
+
+    def test_missing_key_requires_full_coverage(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.merge_level_zero()
+        proof, result = fx.get_proof("nothing-here")
+        verified = verify_get_proof(registry, CLOUD, EDGE, "nothing-here", proof)
+        assert not verified.found
+
+    def test_wrong_key_in_proof_rejected(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1")])
+        proof, _ = fx.get_proof("alpha")
+        with pytest.raises(ProofVerificationError):
+            verify_get_proof(registry, CLOUD, EDGE, "beta", proof)
+
+    def test_omitted_level_evidence_detected(self, registry):
+        """An edge hiding the level that holds the key is caught by coverage."""
+
+        from dataclasses import replace
+
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.merge_level_zero()
+        proof, _ = fx.get_proof("alpha")
+        stripped = replace(proof, level_pages=())
+        with pytest.raises(ProofVerificationError):
+            verify_get_proof(registry, CLOUD, EDGE, "alpha", stripped)
+
+    def test_tampered_level_page_detected(self, registry):
+        from dataclasses import replace
+
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.merge_level_zero()
+        proof, _ = fx.get_proof("alpha")
+        evidence = proof.level_pages[0]
+        tampered_page = page_from_block(put_block(registry, 9, [("alpha", b"evil")]))
+        tampered_evidence = replace(evidence, page=tampered_page)
+        tampered = replace(proof, level_pages=(tampered_evidence,))
+        with pytest.raises(ProofVerificationError):
+            verify_get_proof(registry, CLOUD, EDGE, "alpha", tampered)
+
+    def test_foreign_block_in_level_zero_rejected(self, registry):
+        from dataclasses import replace
+        from repro.lsmerkle.read_proof import LevelZeroEvidence
+
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1")])
+        proof, _ = fx.get_proof("alpha")
+        foreign_entries = [
+            make_entry(registry, ALICE, 0, encode_put("alpha", b"fake"), 1.0)
+        ]
+        foreign_block = build_block(edge_id("edge-1"), 0, foreign_entries, 0.0)
+        tampered = replace(
+            proof, level_zero=(LevelZeroEvidence(block=foreign_block, proof=None),)
+        )
+        with pytest.raises(ProofVerificationError):
+            verify_get_proof(registry, CLOUD, EDGE, "alpha", tampered)
+
+    def test_freshness_window_enforced(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.merge_level_zero(now=10.0)
+        proof, _ = fx.get_proof("alpha")
+        # Fresh enough:
+        verify_get_proof(
+            registry, CLOUD, EDGE, "alpha", proof, now=12.0, freshness_window_s=5.0
+        )
+        # Too old:
+        with pytest.raises(ProofVerificationError):
+            verify_get_proof(
+                registry, CLOUD, EDGE, "alpha", proof, now=100.0, freshness_window_s=5.0
+            )
+
+
+class TestCloudIndexMirror:
+    def test_rejects_uncertified_source_block(self, registry):
+        fx = _Fixture(registry)
+        block = fx.ingest_block(0, [("alpha", b"1")], certify=False)
+        proposal = MergeProposal(edge=EDGE, level_index=0, source_blocks=(block,))
+        with pytest.raises(MergeProtocolError):
+            fx.mirror.execute_merge(proposal, fx.certified, registry, CLOUD, now=1.0)
+
+    def test_rejects_tampered_source_block(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1")])
+        tampered = put_block(registry, 0, [("alpha", b"evil")])
+        proposal = MergeProposal(edge=EDGE, level_index=0, source_blocks=(tampered,))
+        with pytest.raises(MergeProtocolError):
+            fx.mirror.execute_merge(proposal, fx.certified, registry, CLOUD, now=1.0)
+
+    def test_rejects_replayed_merge(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        fx.merge_level_zero()
+        proposal = MergeProposal(
+            edge=EDGE,
+            level_index=0,
+            source_blocks=(fx.blocks[0],),
+            target_pages=tuple(fx.index.tree.levels[1].pages),
+        )
+        with pytest.raises(MergeProtocolError):
+            fx.mirror.execute_merge(proposal, fx.certified, registry, CLOUD, now=2.0)
+
+    def test_rejects_target_pages_not_matching_mirror(self, registry):
+        fx = _Fixture(registry)
+        block = fx.ingest_block(0, [("alpha", b"1")])
+        bogus_target = page_from_block(put_block(registry, 7, [("zzz", b"9")]))
+        proposal = MergeProposal(
+            edge=EDGE, level_index=0, source_blocks=(block,), target_pages=(bogus_target,)
+        )
+        with pytest.raises(MergeProtocolError):
+            fx.mirror.execute_merge(proposal, fx.certified, registry, CLOUD, now=1.0)
+
+    def test_rejects_out_of_range_level(self, registry):
+        fx = _Fixture(registry)
+        proposal = MergeProposal(edge=EDGE, level_index=5)
+        with pytest.raises(MergeProtocolError):
+            fx.mirror.execute_merge(proposal, fx.certified, registry, CLOUD, now=1.0)
+
+    def test_successful_merge_updates_version_and_roots(self, registry):
+        fx = _Fixture(registry)
+        fx.ingest_block(0, [("alpha", b"1"), ("beta", b"2")])
+        outcome = fx.merge_level_zero()
+        assert outcome.signed_root.statement.version == 1
+        assert fx.mirror.version == 1
+        assert outcome.records_out == 2
+        second = fx.mirror.sign_current_root(registry, CLOUD, now=20.0)
+        assert second.statement.version == 2
+        assert second.statement.timestamp == 20.0
+
+
+class TestFreshnessPolicy:
+    def test_disabled_policy_accepts_anything(self):
+        policy = FreshnessPolicy(window_s=None)
+        assert policy.is_fresh(None, now=100.0)
+
+    def test_fresh_and_stale_roots(self, registry):
+        from repro.lsmerkle.mlsm import empty_level_root
+
+        policy = FreshnessPolicy(window_s=5.0, clock_skew_s=0.0)
+        signed = sign_global_root(
+            registry, CLOUD, EDGE, (empty_level_root(),), version=1, timestamp=10.0
+        )
+        assert policy.is_fresh(signed, now=14.0)
+        assert not policy.is_fresh(signed, now=16.0)
+        with pytest.raises(FreshnessViolationError):
+            policy.require_fresh(signed, now=100.0)
+
+    def test_missing_root_violates_when_enabled(self):
+        policy = FreshnessPolicy(window_s=5.0)
+        with pytest.raises(FreshnessViolationError):
+            policy.require_fresh(None, now=1.0)
+
+    def test_invalid_configuration(self):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FreshnessPolicy(window_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FreshnessPolicy(window_s=1.0, clock_skew_s=-0.5)

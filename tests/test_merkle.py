@@ -1,0 +1,121 @@
+"""Unit and property-based tests for the Merkle tree substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ProofVerificationError
+from repro.crypto.hashing import digest_leaf
+from repro.merkle.tree import InclusionProof, MerkleTree, ProofStep, verify_inclusion
+
+
+def _leaves(count: int) -> list[str]:
+    return [digest_leaf(f"page-{index}".encode()) for index in range(count)]
+
+
+class TestMerkleTreeStructure:
+    def test_empty_tree_has_stable_root(self):
+        assert MerkleTree([]).root == MerkleTree([]).root
+        assert MerkleTree([]).num_leaves == 0
+
+    def test_single_leaf_root_is_leaf(self):
+        leaves = _leaves(1)
+        tree = MerkleTree(leaves)
+        assert tree.root == leaves[0]
+        assert tree.height == 0
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree(_leaves(4)).root != MerkleTree(_leaves(5)).root
+        reordered = list(reversed(_leaves(4)))
+        assert MerkleTree(_leaves(4)).root != MerkleTree(reordered).root
+
+    def test_from_leaf_data(self):
+        tree = MerkleTree.from_leaf_data([b"a", b"b", b"c"])
+        assert tree.num_leaves == 3
+        assert tree.leaves[0] == digest_leaf(b"a")
+
+    @pytest.mark.parametrize("count", [2, 3, 4, 5, 7, 8, 16, 33])
+    def test_height_is_logarithmic(self, count):
+        tree = MerkleTree(_leaves(count))
+        assert tree.height <= count.bit_length()
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 9, 16, 31])
+    def test_every_leaf_proves_against_root(self, count):
+        tree = MerkleTree(_leaves(count))
+        for index in range(count):
+            proof = tree.prove(index)
+            assert tree.verify(proof)
+            assert verify_inclusion(tree.root, proof)
+
+    def test_proof_fails_against_other_root(self):
+        tree_a = MerkleTree(_leaves(8))
+        tree_b = MerkleTree(_leaves(9))
+        proof = tree_a.prove(3)
+        assert not verify_inclusion(tree_b.root, proof)
+
+    def test_tampered_leaf_digest_fails(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.prove(2)
+        tampered = InclusionProof(
+            leaf_index=proof.leaf_index,
+            leaf_digest=digest_leaf(b"evil"),
+            steps=proof.steps,
+        )
+        assert not verify_inclusion(tree.root, tampered)
+
+    def test_tampered_sibling_fails(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.prove(2)
+        bad_steps = (ProofStep(sibling=digest_leaf(b"evil"), side="left"),) + proof.steps[1:]
+        tampered = InclusionProof(
+            leaf_index=proof.leaf_index, leaf_digest=proof.leaf_digest, steps=bad_steps
+        )
+        assert not verify_inclusion(tree.root, tampered)
+
+    def test_out_of_range_index_raises(self):
+        tree = MerkleTree(_leaves(4))
+        with pytest.raises(ProofVerificationError):
+            tree.prove(4)
+        with pytest.raises(ProofVerificationError):
+            tree.prove(-1)
+
+    def test_invalid_proof_side_rejected(self):
+        with pytest.raises(ProofVerificationError):
+            ProofStep(sibling=digest_leaf(b"x"), side="up")
+
+    def test_proof_wire_size_grows_with_depth(self):
+        shallow = MerkleTree(_leaves(2)).prove(0)
+        deep = MerkleTree(_leaves(64)).prove(0)
+        assert deep.wire_size > shallow.wire_size
+
+
+class TestMerklePropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=40),
+           st.data())
+    def test_any_leaf_of_any_tree_verifies(self, blobs, data):
+        tree = MerkleTree.from_leaf_data(blobs)
+        index = data.draw(st.integers(min_value=0, max_value=len(blobs) - 1))
+        proof = tree.prove(index)
+        assert verify_inclusion(tree.root, proof)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=20))
+    def test_swapping_two_leaves_changes_root(self, blobs):
+        tree = MerkleTree.from_leaf_data(blobs)
+        swapped = list(blobs)
+        swapped[0], swapped[-1] = swapped[-1], swapped[0]
+        other = MerkleTree.from_leaf_data(swapped)
+        if blobs[0] != blobs[-1]:
+            assert tree.root != other.root
+        else:
+            assert tree.root == other.root
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=30))
+    def test_rebuilding_same_leaves_gives_same_root(self, blobs):
+        assert MerkleTree.from_leaf_data(blobs).root == MerkleTree.from_leaf_data(blobs).root

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on the core data structures and codecs.
+
+These complement the example-based unit tests by checking invariants over a
+broad input space: canonical encoding stability, put-codec roundtrips, block
+digest sensitivity, commit-tracker monotonicity, and fence partitioning.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import canonical_encode
+from repro.common.identifiers import OperationId, OperationKind, client_id, edge_id
+from repro.core.commit import CommitTracker
+from repro.crypto.hashing import digest_value
+from repro.crypto.signatures import KeyRegistry
+from repro.log.block import build_block, compute_block_digest
+from repro.log.entry import EntryBody, LogEntry
+from repro.log.proofs import CommitPhase
+from repro.lsm.compaction import newest_versions
+from repro.lsm.records import KVRecord
+from repro.lsmerkle.codec import decode_put, encode_put, is_put_payload
+
+ALICE = client_id("alice")
+EDGE = edge_id("edge-0")
+
+# Keys must not contain NUL (the codec rejects it explicitly).
+key_strategy = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=40,
+)
+value_strategy = st.binary(min_size=0, max_size=200)
+
+
+class TestCodecProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(key_strategy, value_strategy)
+    def test_put_roundtrip(self, key, value):
+        payload = encode_put(key, value)
+        assert is_put_payload(payload)
+        assert decode_put(payload) == (key, value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(key_strategy, value_strategy, value_strategy)
+    def test_different_values_give_different_payloads(self, key, a, b):
+        if a != b:
+            assert encode_put(key, a) != encode_put(key, b)
+
+
+class TestEncodingProperties:
+    scalar = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=30),
+        st.binary(max_size=30),
+    )
+    tree = st.recursive(
+        scalar,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree)
+    def test_digest_is_stable_and_hex(self, value):
+        digest = digest_value(value)
+        assert digest == digest_value(value)
+        assert len(digest) == 64
+
+
+class TestBlockDigestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=0, max_size=60), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_digest_depends_on_every_entry(self, payloads, block_id):
+        entries = tuple(
+            LogEntry(
+                body=EntryBody(
+                    producer=ALICE, sequence=index, payload=payload, produced_at=0.0
+                ),
+                signature=None,
+            )
+            for index, payload in enumerate(payloads)
+        )
+        block = build_block(EDGE, block_id, entries, created_at=0.0)
+        baseline = compute_block_digest(EDGE, block_id, entries)
+        assert block.digest() == baseline
+        # Tampering with any single entry changes the digest.
+        for index in range(len(entries)):
+            tampered_entry = LogEntry(
+                body=EntryBody(
+                    producer=ALICE,
+                    sequence=entries[index].sequence,
+                    payload=entries[index].payload + b"!",
+                    produced_at=0.0,
+                ),
+                signature=None,
+            )
+            tampered = entries[:index] + (tampered_entry,) + entries[index + 1 :]
+            assert compute_block_digest(EDGE, block_id, tampered) != baseline
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_digest_depends_on_block_id(self, block_id):
+        entries = (
+            LogEntry(
+                body=EntryBody(producer=ALICE, sequence=0, payload=b"x", produced_at=0.0),
+                signature=None,
+            ),
+        )
+        assert compute_block_digest(EDGE, block_id, entries) != compute_block_digest(
+            EDGE, block_id + 1, entries
+        )
+
+
+class TestSignatureProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=100), st.binary(min_size=0, max_size=100))
+    def test_hmac_signatures_bind_to_message(self, message, other):
+        registry = KeyRegistry("hmac")
+        registry.register(ALICE)
+        signature = registry.sign(ALICE, message)
+        assert registry.verify(signature, message)
+        if other != message:
+            assert not registry.verify(signature, other)
+
+
+class TestCommitTrackerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from(["p1", "p2", "fail"]), min_size=0, max_size=12))
+    def test_phase_never_regresses(self, events):
+        """Whatever order phase events arrive in, the phase never moves backwards
+        (FAILED and PHASE_TWO are terminal)."""
+
+        rank = {
+            CommitPhase.PENDING: 0,
+            CommitPhase.PHASE_ONE: 1,
+            CommitPhase.PHASE_TWO: 2,
+            CommitPhase.FAILED: 3,
+        }
+        tracker = CommitTracker()
+        op = OperationId(ALICE, 0)
+        tracker.register(op, OperationKind.PUT, 0.0)
+        previous = tracker.get(op).phase
+        terminal = False
+        for time, event in enumerate(events, start=1):
+            if event == "p1":
+                tracker.mark_phase_one(op, float(time))
+            elif event == "p2":
+                tracker.mark_phase_two(op, float(time))
+            else:
+                tracker.mark_failed(op, float(time), "injected")
+            current = tracker.get(op).phase
+            if terminal:
+                assert current == previous
+            else:
+                if previous is CommitPhase.PHASE_TWO:
+                    assert current in (CommitPhase.PHASE_TWO,)
+                assert rank[current] >= 0  # always a valid phase
+            if current in (CommitPhase.FAILED,):
+                terminal = True
+            previous = current
+
+
+class TestNewestVersionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(0, 1000)),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    def test_newest_versions_matches_reference_implementation(self, pairs):
+        records = [KVRecord(key=k, sequence=s, value=b"") for k, s in pairs]
+        reference: dict[str, int] = {}
+        for key, sequence in pairs:
+            reference[key] = max(reference.get(key, -1), sequence)
+        survivors = {record.key: record.sequence for record in newest_versions(records)}
+        assert survivors == reference
