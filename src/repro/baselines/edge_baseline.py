@@ -17,10 +17,9 @@ from typing import Iterable, Optional, Sequence
 from ..common.config import SystemConfig
 from ..common.errors import ConfigurationError
 from ..common.identifiers import NodeId, OperationId
-from ..common.regions import Region
 from ..core.commit import CommitTracker
 from ..log.block import Block, compute_block_digest
-from ..log.proofs import BlockProof, CommitPhase, issue_block_proof
+from ..log.proofs import CommitPhase, issue_block_proof
 from ..messages.log_messages import AppendBatchResponse, BlockProofMessage
 from ..nodes.client import Client
 from ..nodes.cloud import CloudNode

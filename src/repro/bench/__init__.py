@@ -15,6 +15,13 @@ from .experiments import (
     section6e_dataset_size,
     table1_rtt,
 )
+from .perf import (
+    BenchResult,
+    attach_speedups,
+    format_summary,
+    load_seed_reference,
+    run_perf_suite,
+)
 from .results import ResultTable, print_tables
 from .runner import (
     SYSTEM_KINDS,
@@ -27,10 +34,15 @@ from .runner import (
 )
 
 __all__ = [
+    "BenchResult",
     "FIGURE4_BATCH_SIZES",
     "FIGURE5_CLIENT_COUNTS",
     "FIGURE6_BATCH_SIZES",
     "ResultTable",
+    "attach_speedups",
+    "format_summary",
+    "load_seed_reference",
+    "run_perf_suite",
     "SYSTEM_KINDS",
     "SYSTEM_LABELS",
     "WorkloadMetrics",

@@ -28,7 +28,6 @@ from ..common.regions import PAPER_REGION_ORDER, Region
 from ..core.system import WedgeChainSystem
 from ..log.proofs import CommitPhase
 from ..nodes.variants import FullDataLazyEdgeNode
-from ..sim.environment import Environment, local_environment
 from ..sim.parameters import SimulationParameters
 from ..sim.topology import Topology, paper_topology
 from ..workloads.driver import ClosedLoopDriver

@@ -1,0 +1,432 @@
+"""Hot-path micro-benchmarks with seeded inputs and percentile reporting.
+
+Every simulated experiment spends the bulk of its wall-clock time in a
+handful of hot paths: canonical encoding (digests, signatures, ``wire_size``),
+Merkle tree (re)builds, page lookups, merges, and read-proof verification.
+This module times those paths in isolation with deterministic, seeded inputs
+and reports throughput plus per-repeat latency percentiles (the reporting
+shape follows the seeded-percentile harness idiom of faas-offloading-sim).
+
+Results are written as ``BENCH_hotpath.json`` so later PRs can diff against
+the recorded trajectory; ``benchmarks/BENCH_seed_reference.json`` holds the
+numbers measured on the unoptimized seed implementation and is used to
+compute the ``speedup_vs_seed`` section.
+
+Run via::
+
+    python benchmarks/perf_baseline.py --mode quick
+
+or programmatically through :func:`run_perf_suite`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+from ..common.config import LSMerkleConfig
+from ..common.encoding import encoded_size
+from ..common.identifiers import client_id, cloud_id, edge_id
+from ..crypto.signatures import KeyRegistry, Signature
+from ..log.block import build_block, compute_block_digest
+from ..log.entry import EntryBody, LogEntry
+from ..lsm.compaction import merge_levels, newest_versions, partition_into_pages
+from ..lsm.lsm_tree import LSMTree
+from ..lsm.page import build_page
+from ..lsm.records import KVRecord
+from ..lsmerkle.merge import CloudIndexMirror
+from ..lsmerkle.mlsm import MerkleizedLSM, sign_global_root
+from ..lsmerkle.read_proof import build_get_proof, verify_get_proof
+from ..merkle.tree import MerkleTree
+
+#: Percentiles reported for per-repeat wall times.
+PERCENTILES = (0.50, 0.90, 0.99)
+
+#: Default location of the recorded seed measurement (relative to the repo
+#: root); captured once from the unoptimized seed implementation.
+SEED_REFERENCE_PATH = "benchmarks/BENCH_seed_reference.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing summary of one micro-benchmark."""
+
+    name: str
+    ops: int
+    repeats: int
+    total_s: float
+    ops_per_s: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+
+
+def _percentile_ms(ordered: list[float], fraction: float) -> float:
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index] * 1000.0
+
+
+def _time_repeats(
+    name: str, fn: Callable[[], None], ops_per_repeat: int, repeats: int
+) -> BenchResult:
+    """Run *fn* ``repeats`` times and summarise the per-repeat wall times."""
+
+    times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    total = sum(times)
+    ordered = sorted(times)
+    total_ops = ops_per_repeat * repeats
+    return BenchResult(
+        name=name,
+        ops=total_ops,
+        repeats=repeats,
+        total_s=total,
+        ops_per_s=total_ops / total if total > 0 else float("inf"),
+        p50_ms=_percentile_ms(ordered, PERCENTILES[0]),
+        p90_ms=_percentile_ms(ordered, PERCENTILES[1]),
+        p99_ms=_percentile_ms(ordered, PERCENTILES[2]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Input builders (deterministic for a given seed)
+# ----------------------------------------------------------------------
+def _make_blocks(rng: random.Random, num_blocks: int, entries_per_block: int):
+    edge = edge_id("bench-edge")
+    producer = client_id("bench-client")
+    blocks = []
+    for block_id in range(num_blocks):
+        entries = []
+        for index in range(entries_per_block):
+            payload = bytes(rng.getrandbits(8) for _ in range(64))
+            body = EntryBody(
+                producer=producer,
+                sequence=block_id * entries_per_block + index,
+                payload=payload,
+                produced_at=float(block_id),
+            )
+            signature = Signature(
+                signer=producer,
+                scheme="hmac",
+                value=bytes(rng.getrandbits(8) for _ in range(32)),
+            )
+            entries.append(LogEntry(body=body, signature=signature))
+        blocks.append(
+            build_block(
+                edge=edge,
+                block_id=block_id,
+                entries=entries,
+                created_at=float(block_id),
+            )
+        )
+    return blocks
+
+
+def _make_records(rng: random.Random, count: int, key_space: int) -> list[KVRecord]:
+    return [
+        KVRecord(
+            key=f"key-{rng.randrange(key_space):08d}",
+            sequence=sequence,
+            value=bytes(rng.getrandbits(8) for _ in range(32)),
+            written_at=float(sequence),
+        )
+        for sequence in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Individual micro-benchmarks
+# ----------------------------------------------------------------------
+def bench_digest_encode(rng: random.Random, quick: bool) -> BenchResult:
+    """Digest + ``encoded_size`` over blocks: the canonical-encoder hot path.
+
+    This is the micro-benchmark the perf ratchet tracks: every repeat
+    recomputes each block's digest from its entries and charges its wire
+    size, exactly what certification, gossip, and dispute verification do.
+    """
+
+    num_blocks = 10 if quick else 30
+    entries_per_block = 60 if quick else 100
+    repeats = 12 if quick else 30
+    blocks = _make_blocks(rng, num_blocks, entries_per_block)
+
+    def run() -> None:
+        for block in blocks:
+            compute_block_digest(block.edge, block.block_id, block.entries)
+            encoded_size(block)
+
+    # One digest per entry plus one per block, plus one full-block encode.
+    ops_per_repeat = num_blocks * (entries_per_block + 2)
+    return _time_repeats("digest_encode", run, ops_per_repeat, repeats)
+
+
+def bench_merkle_roots(rng: random.Random, quick: bool) -> BenchResult:
+    """``CloudIndexMirror.level_roots()`` with occasional digest changes."""
+
+    num_digests = 300 if quick else 1000
+    calls = 200 if quick else 600
+    change_every = 10
+    mirror = CloudIndexMirror(
+        edge=edge_id("bench-edge"),
+        config=LSMerkleConfig.paper_default(),
+    )
+    mirror.level_page_digests[1] = [
+        f"{rng.getrandbits(256):064x}" for _ in range(num_digests)
+    ]
+    mirror.level_page_digests[2] = [
+        f"{rng.getrandbits(256):064x}" for _ in range(num_digests // 2)
+    ]
+    counter = {"calls": 0}
+
+    def run() -> None:
+        counter["calls"] += 1
+        if counter["calls"] % change_every == 0:
+            slot = rng.randrange(num_digests)
+            mirror.level_page_digests[1][slot] = f"{rng.getrandbits(256):064x}"
+        mirror.level_roots()
+
+    return _time_repeats("merkle_roots", run, 1, calls)
+
+
+def bench_merkle_update(rng: random.Random, quick: bool) -> BenchResult:
+    """Replace a few leaves of a large tree and read the new root.
+
+    Uses the incremental ``replace_leaf`` API when available and falls back
+    to a full rebuild (the seed behaviour) otherwise, so the same workload is
+    comparable across implementations.
+    """
+
+    num_leaves = 512 if quick else 2048
+    updates_per_repeat = 8
+    repeats = 60 if quick else 200
+    leaves = [f"{rng.getrandbits(256):064x}" for _ in range(num_leaves)]
+    state = {"tree": MerkleTree(leaves), "leaves": list(leaves)}
+    incremental = hasattr(MerkleTree, "replace_leaf")
+
+    def run() -> None:
+        for _ in range(updates_per_repeat):
+            slot = rng.randrange(num_leaves)
+            digest = f"{rng.getrandbits(256):064x}"
+            state["leaves"][slot] = digest
+            if incremental:
+                state["tree"].replace_leaf(slot, digest)
+            else:
+                state["tree"] = MerkleTree(state["leaves"])
+        assert state["tree"].root
+
+    return _time_repeats("merkle_update", run, updates_per_repeat, repeats)
+
+
+def bench_page_lookup(rng: random.Random, quick: bool) -> BenchResult:
+    """Point lookups (hits and misses) against one large sorted page."""
+
+    num_records = 1000 if quick else 4000
+    lookups_per_repeat = 2000
+    repeats = 15 if quick else 40
+    records = _make_records(rng, num_records, key_space=num_records * 2)
+    page = build_page(records, created_at=1.0)
+    keys = [record.key for record in records]
+    probe_keys = [
+        rng.choice(keys) if rng.random() < 0.5 else f"key-{rng.randrange(10**8):08d}"
+        for _ in range(lookups_per_repeat)
+    ]
+
+    def run() -> None:
+        for key in probe_keys:
+            page.lookup(key)
+
+    return _time_repeats("page_lookup", run, lookups_per_repeat, repeats)
+
+
+def bench_merge(rng: random.Random, quick: bool) -> BenchResult:
+    """``merge_levels`` of overlapping source and target levels."""
+
+    records_per_side = 2000 if quick else 6000
+    page_capacity = 100
+    repeats = 20 if quick else 50
+    source = partition_into_pages(
+        newest_versions(_make_records(rng, records_per_side, key_space=records_per_side)),
+        page_capacity=page_capacity,
+        created_at=1.0,
+    )
+    target = partition_into_pages(
+        newest_versions(_make_records(rng, records_per_side, key_space=records_per_side)),
+        page_capacity=page_capacity,
+        created_at=0.5,
+    )
+
+    def run() -> None:
+        merge_levels(source, target, created_at=2.0, page_capacity=page_capacity)
+
+    return _time_repeats("merge", run, records_per_side * 2, repeats)
+
+
+def bench_put_pipeline(rng: random.Random, quick: bool) -> BenchResult:
+    """Build level-0 pages from records and compact through the LSM tree."""
+
+    batches = 40 if quick else 120
+    batch_size = 100
+    repeats = 6 if quick else 12
+    batches_of_records = [
+        _make_records(rng, batch_size, key_space=batch_size * batches)
+        for _ in range(batches)
+    ]
+
+    def run() -> None:
+        tree = LSMTree(config=LSMerkleConfig(level_thresholds=(4, 8, 64, 512)))
+        for index, records in enumerate(batches_of_records):
+            page = build_page(records, created_at=float(index))
+            if tree.add_level_zero_page(page):
+                tree.compact_all(created_at=float(index))
+
+    return _time_repeats("put_pipeline", run, batches * batch_size, repeats)
+
+
+def bench_get_verify(rng: random.Random, quick: bool) -> BenchResult:
+    """End-to-end read proofs: ``build_get_proof`` + ``verify_get_proof``."""
+
+    gets_per_repeat = 30 if quick else 60
+    repeats = 10 if quick else 25
+    registry = KeyRegistry()
+    cloud = cloud_id("bench-cloud")
+    edge = edge_id("bench-edge")
+    registry.register(cloud)
+    registry.register(edge)
+
+    index = MerkleizedLSM(
+        config=LSMerkleConfig(level_thresholds=(4, 8, 64, 512)), page_capacity=50
+    )
+    merged_records = _make_records(rng, 2000, key_space=4000)
+    known_keys = sorted({record.key for record in merged_records})
+    for start in range(0, len(merged_records), 200):
+        chunk = merged_records[start : start + 200]
+        page = build_page(chunk, created_at=1.0)
+        if index.add_level_zero_page(page):
+            for level_index in index.levels_needing_merge():
+                source, target = index.tree.plan_merge(level_index)
+                result = merge_levels(
+                    source, target, created_at=2.0, page_capacity=50
+                )
+                index.apply_merge(level_index, result.pages)
+    signed_root = sign_global_root(
+        registry=registry,
+        cloud=cloud,
+        edge=edge,
+        level_roots=index.level_roots(),
+        version=1,
+        timestamp=3.0,
+    )
+    probe_keys = [
+        rng.choice(known_keys)
+        if rng.random() < 0.7
+        else f"key-{rng.randrange(10**8):08d}"
+        for _ in range(gets_per_repeat)
+    ]
+
+    def run() -> None:
+        for key in probe_keys:
+            result = index.get(key)
+            proof = build_get_proof(
+                key=key,
+                index=index,
+                level_zero_blocks=(),
+                signed_root=signed_root,
+                found_level=result.level_index,
+            )
+            verified = verify_get_proof(
+                registry=registry,
+                cloud=cloud,
+                edge=edge,
+                key=key,
+                proof=proof,
+            )
+            assert verified.found == result.found
+
+    return _time_repeats("get_verify", run, gets_per_repeat, repeats)
+
+
+#: All registered micro-benchmarks, in reporting order.
+BENCHMARKS = (
+    bench_digest_encode,
+    bench_merkle_roots,
+    bench_merkle_update,
+    bench_page_lookup,
+    bench_merge,
+    bench_put_pipeline,
+    bench_get_verify,
+)
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_perf_suite(mode: str = "quick", seed: int = 7) -> dict:
+    """Run every micro-benchmark and return a JSON-compatible summary."""
+
+    quick = mode != "full"
+    results: dict[str, dict] = {}
+    for bench in BENCHMARKS:
+        rng = random.Random(seed)
+        result = bench(rng, quick)
+        results[result.name] = asdict(result)
+    return {
+        "schema": 1,
+        "suite": "hotpath",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def load_seed_reference(path: str = SEED_REFERENCE_PATH) -> Optional[dict]:
+    """Load the recorded seed measurement, or ``None`` when absent."""
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def attach_speedups(summary: dict, reference: Optional[dict]) -> dict:
+    """Add a ``speedup_vs_seed`` section comparing against *reference*."""
+
+    if not reference or reference.get("mode") != summary.get("mode"):
+        summary["speedup_vs_seed"] = None
+        return summary
+    speedups: dict[str, float] = {}
+    for name, result in summary["results"].items():
+        ref = reference.get("results", {}).get(name)
+        if not ref or not ref.get("ops_per_s"):
+            continue
+        speedups[name] = round(result["ops_per_s"] / ref["ops_per_s"], 2)
+    summary["speedup_vs_seed"] = speedups
+    return summary
+
+
+def format_summary(summary: dict) -> str:
+    """Render the suite summary as an aligned text table."""
+
+    lines = [
+        f"hot-path perf suite — mode={summary['mode']} seed={summary['seed']} "
+        f"python={summary['python']}",
+        f"{'benchmark':<16}{'ops/s':>14}{'p50 ms':>10}{'p90 ms':>10}"
+        f"{'p99 ms':>10}{'vs seed':>10}",
+    ]
+    speedups = summary.get("speedup_vs_seed") or {}
+    for name, result in summary["results"].items():
+        speedup = speedups.get(name)
+        lines.append(
+            f"{name:<16}{result['ops_per_s']:>14,.0f}{result['p50_ms']:>10.3f}"
+            f"{result['p90_ms']:>10.3f}{result['p99_ms']:>10.3f}"
+            f"{(f'{speedup:.2f}x' if speedup is not None else '—'):>10}"
+        )
+    return "\n".join(lines)

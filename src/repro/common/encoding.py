@@ -7,6 +7,33 @@ encoder: values are converted to a JSON-compatible tree (dataclasses become
 serialized with sorted keys and no whitespace.  The encoding is intentionally
 simple and human-inspectable; it is a stand-in for the protobuf/CBOR encoding
 a production deployment would use.
+
+The encoder has two implementations that produce byte-identical output:
+
+* :func:`to_jsonable` + ``json.dumps`` — the reference path, kept for
+  decoding, debugging, and as the oracle in equivalence tests;
+* a fragment encoder that serializes each value directly to its canonical
+  JSON text and **memoizes the fragment on frozen dataclass instances**.
+  Records, pages, blocks, and messages are frozen and deeply immutable, but
+  their encodings are requested over and over (digests, signatures,
+  ``wire_size`` accounting), so the memo turns repeated full-tree walks into
+  a dictionary lookup.  A fragment is only cached when everything beneath it
+  is immutable (scalars, bytes, tuples, enums, other frozen dataclasses);
+  values containing lists, dicts, sets, or non-frozen dataclasses are
+  re-encoded on every call, exactly like the reference path.
+
+Because ``json.dumps`` is used with ``ensure_ascii=True``, canonical text is
+pure ASCII and the encoded byte length equals the fragment string length —
+which makes :func:`encoded_size` O(1) for memoized values.
+
+Trust-model note: the simulator delivers messages by reference, so an
+instance memo is technically state the sender could have attached (this has
+always been true of ``Block.digest()``'s cache, which verifiers consult).
+The modeled adversaries (:mod:`repro.nodes.malicious`) tamper with *content*,
+never with caches — a real deployment would deserialize received bytes and
+no attached memo would survive the wire.  Code that must not rely on this
+simulation artifact (e.g. forensic tooling) should use
+:func:`reference_encode`, which ignores all memos.
 """
 
 from __future__ import annotations
@@ -17,6 +44,126 @@ from enum import Enum
 from typing import Any
 
 from .errors import SerializationError
+
+#: Attribute name used to memoize canonical fragments on frozen dataclass
+#: instances (set via ``object.__setattr__``; invisible to ``fields()``,
+#: equality, and the encoding itself).
+_FRAGMENT_ATTR = "_canonical_fragment"
+
+#: Canonical JSON text of scalars: identical to how ``json.dumps`` renders
+#: them inside a larger document (separators only affect containers).
+_scalar_text = json.dumps
+
+#: Per-dataclass serialization plan: the payload keys in canonical (sorted)
+#: order, each as ``(encoded_key_prefix, field_name_or_None, literal)``.
+_CLASS_PLANS: dict[type, tuple[tuple[str, Any, str], ...]] = {}
+
+#: Canonical fragments of enum members (enum members are singletons).
+_ENUM_FRAGMENTS: dict[Enum, str] = {}
+
+
+def _class_plan(cls: type) -> tuple[tuple[str, Any, str], ...]:
+    plan = _CLASS_PLANS.get(cls)
+    if plan is None:
+        entries: list[tuple[str, Any, str]] = [
+            (field.name, field.name, "") for field in dataclasses.fields(cls)
+        ]
+        entries.append(("__type__", None, _scalar_text(cls.__name__)))
+        entries.sort(key=lambda entry: entry[0])
+        plan = tuple(
+            (_scalar_text(name) + ":", field_name, literal)
+            for name, field_name, literal in entries
+        )
+        _CLASS_PLANS[cls] = plan
+    return plan
+
+
+def _fragment(value: Any) -> tuple[str, bool]:
+    """Return ``(canonical JSON text, cacheable)`` for *value*.
+
+    ``cacheable`` is ``True`` only when the value (and everything beneath
+    it) is immutable, i.e. when memoizing the fragment can never observe a
+    stale encoding.
+    """
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return _scalar_text(value), True
+    if isinstance(value, bytes):
+        return '{"__bytes__":' + _scalar_text(value.hex()) + "}", True
+    if isinstance(value, Enum):
+        cached = _ENUM_FRAGMENTS.get(value)
+        if cached is not None:
+            return cached, True
+        inner, inner_cacheable = _fragment(value.value)
+        text = (
+            '{"__enum__":'
+            + _scalar_text(type(value).__name__)
+            + ',"value":'
+            + inner
+            + "}"
+        )
+        if inner_cacheable:
+            _ENUM_FRAGMENTS[value] = text
+        return text, inner_cacheable
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        frozen = type(value).__dataclass_params__.frozen
+        if frozen:
+            cached = getattr(value, _FRAGMENT_ATTR, None)
+            if cached is not None:
+                return cached, True
+        parts: list[str] = []
+        cacheable = frozen
+        for key_prefix, field_name, literal in _class_plan(type(value)):
+            if field_name is None:
+                parts.append(key_prefix + literal)
+            else:
+                text, child_cacheable = _fragment(getattr(value, field_name))
+                cacheable = cacheable and child_cacheable
+                parts.append(key_prefix + text)
+        text = "{" + ",".join(parts) + "}"
+        if cacheable:
+            try:
+                object.__setattr__(value, _FRAGMENT_ATTR, text)
+            except AttributeError:
+                # Slotted dataclasses have nowhere to stash the memo.
+                cacheable = False
+        return text, cacheable
+    if isinstance(value, (list, tuple)):
+        parts = []
+        cacheable = isinstance(value, tuple)
+        for item in value:
+            text, child_cacheable = _fragment(item)
+            cacheable = cacheable and child_cacheable
+            parts.append(text)
+        return "[" + ",".join(parts) + "]", cacheable
+    if isinstance(value, frozenset):
+        # Matches the reference path: items become jsonable trees, are sorted,
+        # and serialize as a list (mixed/unorderable items raise TypeError,
+        # which canonical_encode rewraps, exactly like the reference).
+        items = sorted(to_jsonable(item) for item in value)
+        parts = [
+            json.dumps(item, sort_keys=True, separators=(",", ":"))
+            for item in items
+        ]
+        cacheable = all(
+            item is None or isinstance(item, (bool, int, float, str))
+            for item in items
+        )
+        return "[" + ",".join(parts) + "]", cacheable
+    if isinstance(value, dict):
+        # Coercing through a dict mirrors the reference path's key-collision
+        # semantics (later duplicates of a coerced key win).
+        coerced: dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, (str, int, float, bool)):
+                key = str(key)
+            coerced[str(key)] = item
+        parts = [
+            _scalar_text(key) + ":" + _fragment(coerced[key])[0]
+            for key in sorted(coerced)
+        ]
+        return "{" + ",".join(parts) + "}", False
+    raise SerializationError(f"cannot canonically encode value of type {type(value)!r}")
 
 
 def to_jsonable(value: Any) -> Any:
@@ -59,6 +206,21 @@ def canonical_encode(value: Any) -> bytes:
     """Encode *value* into canonical bytes suitable for hashing and signing."""
 
     try:
+        text, _ = _fragment(value)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(str(exc)) from exc
+    return text.encode("utf-8")
+
+
+def reference_encode(value: Any) -> bytes:
+    """Encode via the memo-free reference path (``to_jsonable`` + dumps).
+
+    Used by tests to assert that the fragment encoder is byte-identical to
+    the original implementation, and available to callers that must not
+    trust any cached state attached to a received object.
+    """
+
+    try:
         tree = to_jsonable(value)
         return json.dumps(tree, sort_keys=True, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -84,7 +246,12 @@ def encoded_size(value: Any) -> int:
     The simulator uses this to charge bandwidth for messages; it is the
     single place where "message size" is defined so that data-free
     certification (sending digests) and full-data transfer (sending blocks)
-    are compared consistently.
+    are compared consistently.  Canonical text is pure ASCII, so the byte
+    size equals the fragment length — O(1) for memoized values.
     """
 
-    return len(canonical_encode(value))
+    try:
+        text, _ = _fragment(value)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(str(exc)) from exc
+    return len(text)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..common.errors import ProtocolError
-from ..common.identifiers import BlockId, NodeId, OperationId, OperationKind
+from ..common.identifiers import BlockId, OperationId, OperationKind
 from ..log.proofs import BlockProof, CommitPhase, PhaseOneReceipt
 
 

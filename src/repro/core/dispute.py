@@ -11,12 +11,11 @@ system; the ledger records the proof).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
-from ..log.proofs import PhaseOneReceipt
 from ..messages.log_messages import DisputeRequest
 
 

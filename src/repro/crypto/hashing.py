@@ -63,13 +63,16 @@ def digest_chain(digests: Iterable[str]) -> str:
     return hasher.hexdigest()
 
 
+#: Exactly the characters a digest produced by this module may contain
+#: (``int(value, 16)`` would also accept ``0x`` prefixes, sign characters,
+#: underscores, and surrounding whitespace — none of which appear in a
+#: ``hexdigest()``).
+_HEX_DIGEST_CHARS = frozenset("0123456789abcdefABCDEF")
+
+
 def is_hex_digest(value: str) -> bool:
     """Return ``True`` if *value* looks like a digest produced here."""
 
     if not isinstance(value, str) or len(value) != DIGEST_HEX_LENGTH:
         return False
-    try:
-        int(value, 16)
-    except ValueError:
-        return False
-    return True
+    return all(char in _HEX_DIGEST_CHARS for char in value)

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry, Signature
-from .block import Block, compute_block_digest
+from .block import Block
 
 
 class CommitPhase(Enum):
@@ -153,6 +153,24 @@ class BlockProof:
         if self.signature.signer != self.statement.cloud:
             return False
         return registry.verify(self.signature, self.statement)
+
+    def verify_cached(self, registry: KeyRegistry) -> bool:
+        """Like :meth:`verify`, memoized on the verifier's registry.
+
+        Read proofs re-present the same block proofs on every get until the
+        underlying blocks are merged away; proofs and registry keys are
+        immutable, so the verification outcome can be reused within one
+        simulation.  The verdict lives in the registry's cache, never on
+        this (sender-constructed) object, so a malicious edge cannot attach
+        a forged verdict.
+        """
+
+        memo = registry.verdict_memo(self)
+        verdict = memo.get("proof")
+        if verdict is None:
+            verdict = self.verify(registry)
+            memo["proof"] = verdict
+        return verdict
 
     def certifies(self, block: Block) -> bool:
         """Whether this proof certifies exactly *block* (content digest)."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..common.errors import ConfigurationError
+from ..common.errors import ConfigurationError, ProtocolError
 from .page import Page
 from .records import KEY_MIN, KeyFence, KVRecord
 
@@ -67,18 +67,26 @@ def partition_into_pages(
         raise ConfigurationError("page_capacity must be positive")
     if not records:
         return ()
+    for left, right in zip(records, records[1:]):
+        if left.key >= right.key:
+            raise ProtocolError(
+                "partition_into_pages requires strictly key-sorted, "
+                f"key-unique records ({left.key!r} before {right.key!r})"
+            )
 
     chunks: list[Sequence[KVRecord]] = [
         records[start : start + page_capacity]
         for start in range(0, len(records), page_capacity)
     ]
     pages: list[Page] = []
+    # The strictly-increasing check above already proves every chunk is
+    # sorted and inside its derived fence; skip the per-page re-validation.
     for position, chunk in enumerate(chunks):
         lower = KEY_MIN if position == 0 else chunks[position][0].key
         upper = None if position == len(chunks) - 1 else chunks[position + 1][0].key
         fence = KeyFence(lower=lower, upper=upper)
         pages.append(
-            Page(records=tuple(chunk), fence=fence, created_at=created_at)
+            Page._trusted(records=tuple(chunk), fence=fence, created_at=created_at)
         )
     return tuple(pages)
 

@@ -5,11 +5,16 @@ of keys in the page and a timestamp of the time the page was created",
 Section V-A).  Pages at level 0 come straight from WedgeChain blocks and may
 contain several versions of the same key; pages at higher levels are produced
 by merges and contain at most one version per key.
+
+Because pages are immutable, lookup-relevant derived state (the key tuple,
+the wire size, the content digest) is computed once and memoized on the
+instance; lookups binary-search the sorted key tuple instead of scanning.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -37,14 +42,44 @@ class Page:
     source_block_id: Optional[BlockId] = None
 
     def __post_init__(self) -> None:
-        keys = [record.key for record in self.records]
-        if keys != sorted(keys):
-            raise ProtocolError("page records must be sorted by key")
-        for record in self.records:
-            if not self.fence.contains(record.key):
-                raise ProtocolError(
-                    f"record key {record.key!r} outside page fence {self.fence}"
-                )
+        records = self.records
+        for left, right in zip(records, records[1:]):
+            if left.key > right.key:
+                raise ProtocolError("page records must be sorted by key")
+        # With sorted keys and an interval fence, checking the two endpoint
+        # records covers every record in between.
+        if records:
+            for record in (records[0], records[-1]):
+                if not self.fence.contains(record.key):
+                    raise ProtocolError(
+                        f"record key {record.key!r} outside page fence {self.fence}"
+                    )
+
+    @classmethod
+    def _trusted(
+        cls,
+        records: tuple[KVRecord, ...],
+        fence: KeyFence,
+        created_at: float,
+        source_block_id: Optional[BlockId] = None,
+    ) -> "Page":
+        """Construct without validation for provably well-formed inputs.
+
+        Merge and codec paths build pages from records they just sorted and
+        fences they just derived; re-validating each page costs an
+        O(n log n) sort plus a fence scan on the hottest write path.  Pages
+        received from other nodes must never be built through this
+        constructor — trust is scoped to the exact call, with no global
+        state, so no concurrent construction can bypass validation.
+        """
+
+        page = object.__new__(cls)
+        object.__setattr__(page, "records", records)
+        object.__setattr__(page, "fence", fence)
+        object.__setattr__(page, "created_at", created_at)
+        object.__setattr__(page, "page_id", _next_page_id())
+        object.__setattr__(page, "source_block_id", source_block_id)
+        return page
 
     # ------------------------------------------------------------------
     # Introspection
@@ -67,7 +102,11 @@ class Page:
 
     @property
     def wire_size(self) -> int:
-        return 64 + sum(record.wire_size for record in self.records)
+        cached = self.__dict__.get("_wire_size_cache")
+        if cached is None:
+            cached = 64 + sum(record.wire_size for record in self.records)
+            object.__setattr__(self, "_wire_size_cache", cached)
+        return cached
 
     def digest(self) -> str:
         """Content digest of the page (what Merkle leaves are built from).
@@ -95,16 +134,30 @@ class Page:
     # Lookups
     # ------------------------------------------------------------------
     def lookup(self, key: str) -> Optional[KVRecord]:
-        """Return the most recent record for *key* within this page."""
+        """Return the most recent record for *key* within this page.
 
-        best: Optional[KVRecord] = None
-        for record in self.records:
-            if record.key == key and (best is None or record.is_newer_than(best)):
+        Binary-searches the sorted key tuple; when a level-0 page carries
+        several versions of the key, the newest one in the equal-key run
+        wins.
+        """
+
+        keys = self.keys()
+        start = bisect_left(keys, key)
+        if start == len(keys) or keys[start] != key:
+            return None
+        stop = bisect_right(keys, key, lo=start)
+        best = self.records[start]
+        for record in self.records[start + 1 : stop]:
+            if record.is_newer_than(best):
                 best = record
         return best
 
     def keys(self) -> tuple[str, ...]:
-        return tuple(record.key for record in self.records)
+        cached = self.__dict__.get("_keys_cache")
+        if cached is None:
+            cached = tuple(record.key for record in self.records)
+            object.__setattr__(self, "_keys_cache", cached)
+        return cached
 
     def could_contain(self, key: str) -> bool:
         """Whether this page's fence covers *key*."""
@@ -133,7 +186,14 @@ def build_page(
             # string ranges; keep it unbounded above, which is always safe.
         else:
             fence = KeyFence.covering_everything()
-    return Page(
+    elif ordered and not (
+        fence.contains(ordered[0].key) and fence.contains(ordered[-1].key)
+    ):
+        offending = ordered[0] if not fence.contains(ordered[0].key) else ordered[-1]
+        raise ProtocolError(
+            f"record key {offending.key!r} outside page fence {fence}"
+        )
+    return Page._trusted(
         records=tuple(ordered),
         fence=fence,
         created_at=created_at,

@@ -68,9 +68,16 @@ def record_sequence(block_id: int, index_in_block: int) -> int:
     return block_id * SEQUENCE_STRIDE + index_in_block
 
 
-def records_from_block(block: Block) -> list[KVRecord]:
-    """Decode every put entry of *block* into key-value records."""
+def records_from_block(block: Block) -> tuple[KVRecord, ...]:
+    """Decode every put entry of *block* into key-value records.
 
+    Blocks are immutable and read proofs decode the same level-0 blocks on
+    every get, so the decoded records are memoized on the block instance.
+    """
+
+    cached = block.__dict__.get("_records_cache")
+    if cached is not None:
+        return cached
     records: list[KVRecord] = []
     for index, entry in enumerate(block.entries):
         if not is_put_payload(entry.payload):
@@ -84,7 +91,9 @@ def records_from_block(block: Block) -> list[KVRecord]:
                 written_at=entry.produced_at,
             )
         )
-    return records
+    result = tuple(records)
+    object.__setattr__(block, "_records_cache", result)
+    return result
 
 
 def page_from_block(block: Block) -> Optional[Page]:

@@ -18,14 +18,15 @@ the merge traffic the paper explicitly accounts for.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..common.config import LSMerkleConfig
 from ..common.errors import MergeProtocolError
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
-from ..log.block import Block, compute_block_digest
+from ..log.block import Block
 from ..lsm.compaction import merge_levels
 from ..lsm.page import Page
 from ..merkle.tree import MerkleTree
@@ -92,6 +93,12 @@ class CloudIndexMirror:
     #: Block ids already consumed by a level-0 merge (prevents replaying the
     #: same blocks into the index twice).
     merged_block_ids: set[BlockId] = field(default_factory=set)
+    #: Memoized per-level Merkle roots, keyed by level index and guarded by a
+    #: fingerprint of the digest list so direct mutation of
+    #: ``level_page_digests`` can never serve a stale root.
+    _root_cache: dict[int, tuple[tuple[str, ...], str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.level_page_digests:
@@ -101,9 +108,17 @@ class CloudIndexMirror:
     # Introspection
     # ------------------------------------------------------------------
     def level_roots(self) -> tuple[str, ...]:
-        return tuple(
-            MerkleTree(digests).root for digests in self.level_page_digests[1:]
-        )
+        roots: list[str] = []
+        for level_index, digests in enumerate(self.level_page_digests[1:], start=1):
+            fingerprint = tuple(digests)
+            cached = self._root_cache.get(level_index)
+            if cached is not None and cached[0] == fingerprint:
+                roots.append(cached[1])
+                continue
+            root = MerkleTree(fingerprint).root
+            self._root_cache[level_index] = (fingerprint, root)
+            roots.append(root)
+        return tuple(roots)
 
     # ------------------------------------------------------------------
     # Verification helpers
@@ -138,9 +153,9 @@ class CloudIndexMirror:
     def _verify_page_digests(
         self, pages: Sequence[Page], level_index: int, label: str
     ) -> None:
-        expected = list(self.level_page_digests[level_index])
-        received = [page.digest() for page in pages]
-        if sorted(received) != sorted(expected):
+        expected = Counter(self.level_page_digests[level_index])
+        received = Counter(page.digest() for page in pages)
+        if received != expected:
             raise MergeProtocolError(
                 f"{label} pages for level {level_index} of {self.edge} do not match "
                 "the cloud's digest mirror"

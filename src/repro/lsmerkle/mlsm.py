@@ -68,6 +68,23 @@ class SignedGlobalRoot:
         expected = compute_global_root(self.statement.level_roots)
         return expected == self.statement.global_root
 
+    def verify_cached(self, registry: KeyRegistry, cloud: Optional[NodeId] = None) -> bool:
+        """Like :meth:`verify`, memoized per signer identity.
+
+        Every get between two merges verifies the same signed root; the
+        statement, signature, and registry keys are immutable, so the result
+        can be reused within one simulation.  The verdict lives in the
+        registry's cache, never on this (edge-relayed) object, so a
+        malicious edge cannot attach a forged verdict.
+        """
+
+        memo = registry.verdict_memo(self)
+        verdict = memo.get(cloud)
+        if verdict is None:
+            verdict = self.verify(registry, cloud)
+            memo[cloud] = verdict
+        return verdict
+
 
 def compute_global_root(level_roots: Sequence[str]) -> str:
     """The global root is the hash chain over all per-level Merkle roots."""
@@ -127,7 +144,12 @@ class MerkleizedLSM:
 
     def _rebuild_level_merkle(self, level_index: int) -> None:
         level = self.tree.levels[level_index]
-        self._level_merkles[level_index] = MerkleTree(level.page_digests())
+        existing = self._level_merkles.get(level_index)
+        if existing is None:
+            self._level_merkles[level_index] = MerkleTree(level.page_digests())
+        else:
+            # Incremental: only the pages that actually changed are re-hashed.
+            existing.update_leaves(level.page_digests())
 
     def level_merkle(self, level_index: int) -> MerkleTree:
         """The Merkle tree of a level above 0."""

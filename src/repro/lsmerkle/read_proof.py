@@ -24,12 +24,12 @@ from typing import Optional, Sequence
 from ..common.errors import ProofVerificationError
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
-from ..log.block import Block, compute_block_digest
+from ..log.block import Block
 from ..log.proofs import BlockProof, CommitPhase
 from ..lsm.page import Page
 from ..lsm.records import KVRecord
 from ..merkle.tree import InclusionProof
-from .codec import page_from_block, records_from_block
+from .codec import records_from_block
 from .mlsm import MerkleizedLSM, SignedGlobalRoot, empty_level_root
 
 
@@ -183,7 +183,7 @@ def _verify_level_zero(
             raise ProofVerificationError(
                 f"block proof identity mismatch for block {item.block_id}"
             )
-        if not item.proof.verify(registry):
+        if not item.proof.verify_cached(registry):
             raise ProofVerificationError(
                 f"block proof signature invalid for block {item.block_id}"
             )
@@ -274,7 +274,9 @@ def verify_get_proof(
             f"proof is for key {proof.key!r}, expected {key!r}"
         )
 
-    if proof.signed_root is not None and not proof.signed_root.verify(registry, cloud):
+    if proof.signed_root is not None and not proof.signed_root.verify_cached(
+        registry, cloud
+    ):
         raise ProofVerificationError("signed global root failed verification")
 
     _verify_level_zero(registry, edge, proof.level_zero)

@@ -61,10 +61,19 @@ class InclusionProof:
 
 
 class MerkleTree:
-    """An immutable Merkle tree built over leaf digests."""
+    """A Merkle tree over leaf digests with incremental update support.
+
+    The tree is cheap to keep in sync with a changing leaf set: single-leaf
+    :meth:`replace_leaf` and :meth:`append_leaf` touch only the O(log n)
+    interior nodes on the affected root path instead of rebuilding every
+    level, and :meth:`update_leaves` diffs a whole new leaf sequence against
+    the current one, choosing incremental repair or a full rebuild, whichever
+    is cheaper.  All update paths produce levels identical to a from-scratch
+    construction (property-tested against :meth:`_build_levels`).
+    """
 
     def __init__(self, leaf_digests: Sequence[str]) -> None:
-        self._leaves: tuple[str, ...] = tuple(leaf_digests)
+        self._leaves: list[str] = list(leaf_digests)
         self._levels: list[list[str]] = self._build_levels(self._leaves)
 
     @staticmethod
@@ -95,6 +104,89 @@ class MerkleTree:
         return cls([digest_leaf(item) for item in items])
 
     # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def _refresh_parent(self, level: int, parent_index: int) -> None:
+        """Recompute one interior node from its children, growing the level
+        list when the appended node opens a new hashing level."""
+
+        children = self._levels[level]
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+        parents = self._levels[level + 1]
+        left = 2 * parent_index
+        if left + 1 < len(children):
+            node = digest_pair(children[left], children[left + 1])
+        else:
+            node = children[left]
+        if parent_index == len(parents):
+            parents.append(node)
+        else:
+            parents[parent_index] = node
+
+    def _bubble_up(self, leaf_index: int) -> None:
+        """Refresh every interior node on the root path of *leaf_index*."""
+
+        level = 0
+        index = leaf_index
+        while len(self._levels[level]) > 1:
+            index //= 2
+            self._refresh_parent(level, index)
+            level += 1
+
+    def replace_leaf(self, leaf_index: int, digest: str) -> None:
+        """Replace one leaf digest, updating only its root path."""
+
+        if not 0 <= leaf_index < len(self._leaves):
+            raise ProofVerificationError(
+                f"leaf index {leaf_index} out of range (0..{len(self._leaves) - 1})"
+            )
+        self._leaves[leaf_index] = digest
+        self._levels[0][leaf_index] = digest
+        self._bubble_up(leaf_index)
+
+    def append_leaf(self, digest: str) -> None:
+        """Append one leaf digest, updating only its root path."""
+
+        if not self._leaves:
+            self._leaves = [digest]
+            self._levels = [[digest]]
+            return
+        self._leaves.append(digest)
+        self._levels[0].append(digest)
+        self._bubble_up(len(self._leaves) - 1)
+
+    def update_leaves(self, leaf_digests: Sequence[str]) -> None:
+        """Make the tree's leaves equal *leaf_digests* with minimal hashing.
+
+        Leaves that changed in place are repaired via :meth:`replace_leaf`
+        and extra trailing leaves via :meth:`append_leaf`; when the new
+        sequence is shorter or mostly different, a full rebuild is cheaper
+        and is used instead.
+        """
+
+        new_leaves = list(leaf_digests)
+        current = self._leaves
+        if len(new_leaves) < len(current) or not current:
+            self._leaves = new_leaves
+            self._levels = self._build_levels(new_leaves)
+            return
+        changed = [
+            index
+            for index in range(len(current))
+            if current[index] != new_leaves[index]
+        ]
+        appended = len(new_leaves) - len(current)
+        if 2 * (len(changed) + appended) >= len(new_leaves):
+            self._leaves = new_leaves
+            self._levels = self._build_levels(new_leaves)
+            return
+        for index in changed:
+            self.replace_leaf(index, new_leaves[index])
+        for digest in new_leaves[len(current):]:
+            self.append_leaf(digest)
+
+    # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
     @property
@@ -103,7 +195,7 @@ class MerkleTree:
 
     @property
     def leaves(self) -> tuple[str, ...]:
-        return self._leaves
+        return tuple(self._leaves)
 
     @property
     def root(self) -> str:

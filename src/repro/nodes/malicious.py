@@ -38,7 +38,6 @@ from typing import Optional
 
 from ..common.identifiers import BlockId
 from ..log.block import Block, build_block
-from ..log.buffer import PendingBatch
 from ..log.entry import LogEntry
 from ..messages.log_messages import BlockCertifyRequest, CertifyStatement
 from .edge import EdgeNode

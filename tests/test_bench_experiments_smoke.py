@@ -7,8 +7,6 @@ series so that harness regressions are caught by the ordinary test suite.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import experiments
 from repro.bench.results import ResultTable
 from repro.common import Region

@@ -11,10 +11,8 @@ from repro.core.certification import LazyCertifier
 from repro.core.commit import CommitTracker
 from repro.core.dispute import PunishmentLedger, judge_dispute
 from repro.core.gossip import GossipView, build_gossip, verify_gossip
-from repro.log.block import build_block
 from repro.log.proofs import CommitPhase, issue_block_proof, issue_phase_one_receipt
 from repro.messages.log_messages import DisputeRequest, ReadResponseStatement
-from tests.conftest import make_signed_entries
 
 ALICE = client_id("alice")
 EDGE = edge_id("edge-0")

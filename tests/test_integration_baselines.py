@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines.cloud_only import CloudOnlySystem
 from repro.baselines.edge_baseline import EdgeBaselineSystem
 from repro.common import LoggingConfig, LSMerkleConfig, SystemConfig

@@ -7,8 +7,6 @@ freshness.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.common import LoggingConfig, LSMerkleConfig, SecurityConfig, SystemConfig
 from repro.core.system import WedgeChainSystem
 from repro.log.proofs import CommitPhase

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common import LoggingConfig, SystemConfig
 from repro.core.system import WedgeChainSystem
 from repro.log.proofs import CommitPhase
 from repro.sim.environment import Environment, local_environment

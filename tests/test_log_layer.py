@@ -6,7 +6,7 @@ import pytest
 
 from repro.common import BlockNotFoundError, InvalidMessageError, ProtocolError
 from repro.common.identifiers import client_id, edge_id
-from repro.log.block import Block, BlockSummary, build_block, compute_block_digest
+from repro.log.block import BlockSummary, build_block, compute_block_digest
 from repro.log.buffer import BlockBuffer
 from repro.log.entry import make_entry, require_valid_entry
 from repro.log.proofs import (

@@ -12,18 +12,16 @@ from __future__ import annotations
 import pytest
 
 from repro.common import LoggingConfig, LSMerkleConfig, SecurityConfig, SystemConfig
-from repro.common.identifiers import OperationId, OperationKind, client_id
+from repro.common.identifiers import client_id
 from repro.core.system import WedgeChainSystem
 from repro.log.entry import make_entry
 from repro.log.proofs import CommitPhase
 from repro.lsmerkle.codec import encode_put
 from repro.messages.log_messages import (
-    AppendBatchRequest,
     BlockCertifyRequest,
     CertifyStatement,
 )
 from repro.nodes.cloud import CloudNode
-from repro.nodes.edge import EdgeNode
 from repro.nodes.variants import FullDataCertifyRequest, FullDataLazyEdgeNode
 from repro.sim.environment import local_environment
 

@@ -9,7 +9,7 @@ from repro.common.identifiers import client_id, cloud_id, edge_id
 from repro.sim.environment import Environment, local_environment
 from repro.sim.network import message_wire_size
 from repro.sim.parameters import SimulationParameters
-from repro.sim.topology import PAPER_RTT_MS, Topology, paper_topology
+from repro.sim.topology import Topology, paper_topology
 
 
 class TestTopology:

@@ -15,7 +15,6 @@ from repro.bench.runner import (
     run_workload,
     write_workload,
 )
-from repro.log.proofs import CommitPhase
 from repro.sim.rng import DeterministicRng
 from repro.workloads.driver import ClosedLoopDriver
 from repro.workloads.generator import KeySpace, KeyValueWorkload, ReadOp, WriteOp, format_key
