@@ -1,0 +1,90 @@
+"""Unit tests for the CI perf-regression gate (`check_perf_regression`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from check_perf_regression import compare, load_results, main
+
+
+def result(ops_per_s: float) -> dict:
+    return {"ops_per_s": ops_per_s}
+
+
+def metrics(**values: float) -> dict:
+    return {name: result(ops) for name, ops in values.items()}
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        baseline = metrics(a=100.0, b=1000.0, c=50.0)
+        current = metrics(a=90.0, b=1100.0, c=48.0)
+        lines, regressions = compare(baseline, current, threshold=0.25)
+        assert regressions == []
+        assert len(lines) == 3
+
+    def test_targeted_regression_flagged(self):
+        baseline = metrics(a=100.0, b=1000.0, c=50.0, d=20.0, e=70.0)
+        current = metrics(a=100.0, b=1000.0, c=50.0, d=20.0, e=30.0)
+        _, regressions = compare(baseline, current, threshold=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("e:")
+
+    def test_uniformly_slower_machine_passes(self):
+        """The median machine-speed calibration: a runner where *every*
+        metric is 2x slower is not a regression."""
+
+        baseline = metrics(a=100.0, b=1000.0, c=50.0, d=20.0)
+        current = metrics(a=50.0, b=500.0, c=25.0, d=10.0)
+        _, regressions = compare(baseline, current, threshold=0.25)
+        assert regressions == []
+
+    def test_raw_mode_flags_uniform_slowdown(self):
+        baseline = metrics(a=100.0, b=1000.0)
+        current = metrics(a=50.0, b=500.0)
+        _, regressions = compare(baseline, current, threshold=0.25, normalize=False)
+        assert len(regressions) == 2
+
+    def test_missing_metric_counts_as_regression(self):
+        baseline = metrics(a=100.0)
+        _, regressions = compare(baseline, {}, threshold=0.25)
+        assert regressions == ["a: missing from the current run"]
+
+    def test_new_metrics_never_gate(self):
+        baseline = metrics(a=100.0, b=100.0)
+        current = metrics(a=100.0, b=100.0, shiny_new=5.0)
+        lines, regressions = compare(baseline, current, threshold=0.25)
+        assert regressions == []
+        assert any("shiny_new" in line and "new" in line for line in lines)
+
+    def test_exact_threshold_passes(self):
+        baseline = metrics(a=100.0, b=100.0, c=100.0)
+        current = metrics(a=75.0, b=100.0, c=100.0)
+        _, regressions = compare(baseline, current, threshold=0.25)
+        assert regressions == []
+
+
+class TestCli:
+    def write(self, path, results):
+        payload = {"schema": 1, "results": results}
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path / "baseline.json", metrics(a=100.0, b=100.0, c=100.0)
+        )
+        good = self.write(tmp_path / "good.json", metrics(a=95.0, b=90.0, c=100.0))
+        bad = self.write(tmp_path / "bad.json", metrics(a=10.0, b=100.0, c=100.0))
+        assert main(["--baseline", baseline, "--current", good]) == 0
+        assert main(["--baseline", baseline, "--current", bad]) == 1
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+
+    def test_malformed_summary_rejected(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        with pytest.raises(SystemExit):
+            load_results(str(empty))

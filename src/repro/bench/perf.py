@@ -31,9 +31,16 @@ from typing import Callable, Optional
 from ..common.config import LSMerkleConfig
 from ..common.encoding import encoded_size
 from ..common.identifiers import client_id, cloud_id, edge_id
+from ..core.gossip import GossipView, build_gossip, build_gossip_batch, verify_gossip
 from ..crypto.signatures import KeyRegistry, Signature
 from ..log.block import build_block, compute_block_digest
 from ..log.entry import EntryBody, LogEntry
+from ..log.proofs import (
+    build_certify_batch_tree,
+    derive_batched_proofs,
+    issue_batch_certificate,
+    issue_block_proof,
+)
 from ..lsm.compaction import merge_levels, newest_versions, partition_into_pages
 from ..lsm.lsm_tree import LSMTree
 from ..lsm.page import build_page
@@ -42,6 +49,7 @@ from ..lsmerkle.merge import CloudIndexMirror
 from ..lsmerkle.mlsm import MerkleizedLSM, sign_global_root
 from ..lsmerkle.read_proof import build_get_proof, verify_get_proof
 from ..merkle.tree import MerkleTree
+from ..messages.log_messages import CertifyBatchStatement, CertifyStatement
 
 #: Percentiles reported for per-repeat wall times.
 PERCENTILES = (0.50, 0.90, 0.99)
@@ -352,6 +360,165 @@ def bench_get_verify(rng: random.Random, quick: bool) -> BenchResult:
     return _time_repeats("get_verify", run, gets_per_repeat, repeats)
 
 
+#: Batch size used by the batched-certification micro-benchmark (the
+#: acceptance target compares certified-blocks/s at this batch size).
+CERTIFY_BENCH_BATCH_SIZE = 32
+
+
+def _certification_registry(scheme: str = "hmac") -> tuple[KeyRegistry, object, object]:
+    registry = KeyRegistry(scheme)
+    cloud = cloud_id("bench-cloud")
+    edge = edge_id("bench-edge")
+    registry.register(cloud)
+    registry.register(edge)
+    return registry, cloud, edge
+
+
+def _make_digest_pairs(rng: random.Random, count: int) -> list[tuple[int, str]]:
+    return [
+        (block_id, f"{rng.getrandbits(256):064x}") for block_id in range(count)
+    ]
+
+
+def bench_certify_per_block(rng: random.Random, quick: bool) -> BenchResult:
+    """The unbatched certification round: one signature per block each way.
+
+    Per block: the edge signs a ``CertifyStatement``, the cloud verifies it
+    and signs a ``BlockProof``, and the edge verifies the proof — four
+    signature operations per certified block.  Uses the Schnorr scheme: the
+    point of batch certification is amortizing genuinely asymmetric
+    signatures on the WAN path (a real deployment cannot use the HMAC
+    oracle), so the signature-bound rows are measured with the scheme whose
+    cost batching actually amortizes.  Reported as certified-blocks/s.
+    """
+
+    num_blocks = 8 if quick else 16
+    repeats = 3 if quick else 5
+    registry, cloud, edge = _certification_registry("schnorr")
+    pairs = _make_digest_pairs(rng, num_blocks)
+    counter = {"repeat": 0}
+
+    def run() -> None:
+        counter["repeat"] += 1
+        now = float(counter["repeat"])
+        for block_id, digest in pairs:
+            statement = CertifyStatement(
+                edge=edge, block_id=block_id, block_digest=digest, num_entries=100
+            )
+            signature = registry.sign(edge, statement)
+            assert registry.verify(signature, statement)
+            proof = issue_block_proof(
+                registry=registry,
+                cloud=cloud,
+                edge=edge,
+                block_id=block_id,
+                block_digest=digest,
+                certified_at=now,
+            )
+            assert proof.verify(registry)
+
+    return _time_repeats("certify_per_block", run, num_blocks, repeats)
+
+
+def bench_certify_batch(rng: random.Random, quick: bool) -> BenchResult:
+    """Batched certification: one signature per batch amortized over N blocks.
+
+    Per batch of ``CERTIFY_BENCH_BATCH_SIZE``: the edge signs one
+    ``CertifyBatchStatement``, the cloud verifies it, builds the Merkle tree
+    over the block digests and signs the single batch root, and the edge
+    derives every per-block proof locally and verifies each one (leaf digest
+    + membership path; the root signature is checked once and memoized).
+    Same Schnorr scheme and reporting unit (certified-blocks/s) as
+    ``certify_per_block``, so the two rows compare directly.
+    """
+
+    batch_size = CERTIFY_BENCH_BATCH_SIZE
+    num_blocks = batch_size if quick else batch_size * 2
+    repeats = 3 if quick else 5
+    registry, cloud, edge = _certification_registry("schnorr")
+    pairs = _make_digest_pairs(rng, num_blocks)
+    counter = {"repeat": 0}
+
+    def run() -> None:
+        counter["repeat"] += 1
+        now = float(counter["repeat"])
+        for start in range(0, len(pairs), batch_size):
+            chunk = tuple(pairs[start : start + batch_size])
+            items = tuple(
+                CertifyStatement(
+                    edge=edge, block_id=bid, block_digest=d, num_entries=100
+                )
+                for bid, d in chunk
+            )
+            batch_statement = CertifyBatchStatement(edge=edge, items=items)
+            signature = registry.sign(edge, batch_statement)
+            assert registry.verify(signature, batch_statement)
+            tree = build_certify_batch_tree(chunk)
+            certificate = issue_batch_certificate(
+                registry=registry,
+                cloud=cloud,
+                edge=edge,
+                batch_root=tree.root,
+                num_blocks=len(chunk),
+                certified_at=now,
+            )
+            for proof in derive_batched_proofs(certificate, chunk):
+                assert proof.verify(registry)
+
+    return _time_repeats("certify_batch", run, num_blocks, repeats)
+
+
+def bench_gossip_per_edge(rng: random.Random, quick: bool) -> BenchResult:
+    """Unbatched gossip: one signed message per edge per interval."""
+
+    num_edges = 12 if quick else 24
+    repeats = 40 if quick else 120
+    registry, cloud, _ = _certification_registry()
+    edges = [edge_id(f"bench-edge-{index}") for index in range(num_edges)]
+    views = {edge: GossipView(edge=edge) for edge in edges}
+    counter = {"repeat": 0}
+
+    def run() -> None:
+        counter["repeat"] += 1
+        now = float(counter["repeat"])
+        for index, edge in enumerate(edges):
+            message = build_gossip(registry, cloud, edge, counter["repeat"] + index, now)
+            assert verify_gossip(registry, message, cloud=cloud)
+            views[edge].update(message)
+
+    return _time_repeats("gossip_per_edge", run, num_edges, repeats)
+
+
+def bench_gossip_batch(rng: random.Random, quick: bool) -> BenchResult:
+    """Batched gossip: one signed multi-edge statement per interval.
+
+    Per repeat: the cloud signs one ``GossipBatchStatement`` covering every
+    edge, and each edge's view verifies the one signature and applies its
+    own entry.  Reported as edge-statements/s — comparable against
+    ``gossip_per_edge``.
+    """
+
+    num_edges = 12 if quick else 24
+    repeats = 40 if quick else 120
+    registry, cloud, _ = _certification_registry()
+    edges = [edge_id(f"bench-edge-{index}") for index in range(num_edges)]
+    views = {edge: GossipView(edge=edge) for edge in edges}
+    counter = {"repeat": 0}
+
+    def run() -> None:
+        counter["repeat"] += 1
+        now = float(counter["repeat"])
+        sizes = {
+            edge: counter["repeat"] + index for index, edge in enumerate(edges)
+        }
+        message = build_gossip_batch(registry, cloud, sizes, now)
+        for edge in edges:
+            assert verify_gossip(registry, message, cloud=cloud)
+            views[edge].update(message)
+
+    return _time_repeats("gossip_batch", run, num_edges, repeats)
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -361,6 +528,10 @@ BENCHMARKS = (
     bench_merge,
     bench_put_pipeline,
     bench_get_verify,
+    bench_certify_per_block,
+    bench_certify_batch,
+    bench_gossip_per_edge,
+    bench_gossip_batch,
 )
 
 

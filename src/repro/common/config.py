@@ -65,12 +65,26 @@ class LoggingConfig:
     #: Whether add responses include the full block (the ``add`` interface's
     #: optional ``block`` output).
     return_block_on_add: bool = True
+    #: How many block digests the edge accumulates before shipping one
+    #: :class:`~repro.messages.log_messages.CertifyBatchRequest` (one edge
+    #: signature and one cloud signature amortized over the whole batch).
+    #: ``1`` preserves the per-block wire format and simulated metrics of
+    #: the unbatched protocol exactly.
+    certify_batch_size: int = 1
+    #: Maximum simulated time (seconds) a queued digest may wait for its
+    #: batch to fill before the partial batch is flushed anyway; bounds the
+    #: extra Phase II latency batching can introduce.
+    certify_flush_timeout_s: float = 0.050
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
             raise ConfigurationError("block_size must be positive")
         if self.block_timeout_s < 0:
             raise ConfigurationError("block_timeout_s must be non-negative")
+        if self.certify_batch_size <= 0:
+            raise ConfigurationError("certify_batch_size must be positive")
+        if self.certify_flush_timeout_s < 0:
+            raise ConfigurationError("certify_flush_timeout_s must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -86,6 +100,11 @@ class SecurityConfig:
     #: Interval between signed gossip messages from the cloud (used to bound
     #: omission attacks, Section IV-E).
     gossip_interval_s: float = 1.0
+    #: When ``True`` the cloud emits one signed multi-edge
+    #: :class:`~repro.messages.log_messages.GossipBatchMessage` per interval
+    #: instead of one signed message per edge (one signature on the WAN path
+    #: per interval, however many edges exist).
+    gossip_batch: bool = False
     #: Freshness window for LSMerkle reads (Section V-D); ``None`` disables
     #: freshness checking.
     freshness_window_s: float | None = None

@@ -3,10 +3,18 @@
 from .certification import CertificationTask, LazyCertifier
 from .commit import CommitTracker, OperationRecord
 from .dispute import DisputeJudgement, PunishmentLedger, PunishmentRecord, judge_dispute
-from .gossip import GossipSchedule, GossipView, build_gossip, verify_gossip
+from .gossip import (
+    AnyGossipMessage,
+    GossipSchedule,
+    GossipView,
+    build_gossip,
+    build_gossip_batch,
+    verify_gossip,
+)
 from .system import SystemStats, WedgeChainSystem
 
 __all__ = [
+    "AnyGossipMessage",
     "CertificationTask",
     "CommitTracker",
     "DisputeJudgement",
@@ -19,6 +27,7 @@ __all__ = [
     "SystemStats",
     "WedgeChainSystem",
     "build_gossip",
+    "build_gossip_batch",
     "judge_dispute",
     "verify_gossip",
 ]

@@ -6,6 +6,12 @@ tracks which blocks still await certification, which clients must be
 forwarded the block proof once it arrives (both writers of the block and
 readers served under Phase I), and which certification requests have been
 outstanding long enough to warrant a retry.
+
+Because certification is asynchronous (Section IV-E), nothing on the
+client-visible path needs the request to leave immediately: the certifier
+also maintains a *dispatch queue* of digests awaiting their batch, so the
+edge can amortize one signature over a whole
+:class:`~repro.messages.log_messages.CertifyBatchRequest`.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Optional
 
 from ..common.errors import ProtocolError
 from ..common.identifiers import BlockId, NodeId, OperationId
-from ..log.proofs import BlockProof
+from ..log.proofs import AnyBlockProof
 
 
 @dataclass
@@ -27,7 +33,7 @@ class CertificationTask:
     requested_at: float
     #: (client, operation) pairs to notify when the proof arrives.
     subscribers: list[tuple[NodeId, OperationId]] = field(default_factory=list)
-    proof: Optional[BlockProof] = None
+    proof: Optional[AnyBlockProof] = None
     retries: int = 0
 
     @property
@@ -41,6 +47,9 @@ class LazyCertifier:
     def __init__(self) -> None:
         self._tasks: dict[BlockId, CertificationTask] = {}
         self._certified_count = 0
+        #: Block ids queued for the next batched certify request, in the
+        #: order they were formed (the cloud sees them in log order).
+        self._dispatch_queue: list[BlockId] = []
 
     # ------------------------------------------------------------------
     # Tracking
@@ -62,7 +71,7 @@ class LazyCertifier:
 
     def subscribe(
         self, block_id: BlockId, client: NodeId, operation_id: OperationId
-    ) -> Optional[BlockProof]:
+    ) -> Optional[AnyBlockProof]:
         """Register a client to be notified of the block's proof.
 
         Returns the proof immediately if the block is already certified (the
@@ -80,9 +89,61 @@ class LazyCertifier:
         return None
 
     # ------------------------------------------------------------------
+    # Batched dispatch
+    # ------------------------------------------------------------------
+    def enqueue_for_dispatch(self, block_id: BlockId) -> int:
+        """Queue a tracked block's digest for the next batched request.
+
+        Returns the queue length after enqueueing; the caller flushes when
+        it reaches the configured batch size.
+        """
+
+        if block_id not in self._tasks:
+            raise ProtocolError(
+                f"block {block_id} is not tracked for certification"
+            )
+        if block_id not in self._dispatch_queue:
+            self._dispatch_queue.append(block_id)
+        return len(self._dispatch_queue)
+
+    def drain_dispatch_queue(
+        self, max_items: Optional[int] = None
+    ) -> tuple[CertificationTask, ...]:
+        """Remove and return the queued tasks (oldest first, in log order).
+
+        Tasks certified while queued (e.g. by an idempotent retry answered
+        through the single-block path) are dropped rather than re-requested.
+        """
+
+        if max_items is None or max_items >= len(self._dispatch_queue):
+            drained, self._dispatch_queue = self._dispatch_queue, []
+        else:
+            drained = self._dispatch_queue[:max_items]
+            self._dispatch_queue = self._dispatch_queue[max_items:]
+        return tuple(
+            self._tasks[block_id]
+            for block_id in drained
+            if not self._tasks[block_id].is_certified
+        )
+
+    @property
+    def pending_dispatch_count(self) -> int:
+        return len(self._dispatch_queue)
+
+    def queued_for_dispatch(self, block_id: BlockId) -> bool:
+        """Whether a block's digest is still waiting for its batch to ship.
+
+        Such a block has never actually been requested from the cloud, so
+        retry logic must not treat it as an unanswered request — the batch
+        flush (timer- or size-triggered) covers it.
+        """
+
+        return block_id in self._dispatch_queue
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
-    def complete(self, proof: BlockProof) -> list[tuple[NodeId, OperationId]]:
+    def complete(self, proof: AnyBlockProof) -> list[tuple[NodeId, OperationId]]:
         """Record an arrived proof; returns the subscribers to notify."""
 
         task = self._tasks.get(proof.block_id)
@@ -102,6 +163,25 @@ class LazyCertifier:
         subscribers = list(task.subscribers)
         task.subscribers = []
         return subscribers
+
+    # ------------------------------------------------------------------
+    # Retry
+    # ------------------------------------------------------------------
+    def record_retry(self, block_id: BlockId, now: float) -> CertificationTask:
+        """Note that the certification request for a block was re-sent.
+
+        Bumps the task's retry counter and resets its request timestamp so
+        :meth:`overdue` measures from the latest attempt.
+        """
+
+        task = self._tasks.get(block_id)
+        if task is None:
+            raise ProtocolError(f"block {block_id} is not tracked for certification")
+        if task.is_certified:
+            raise ProtocolError(f"block {block_id} is already certified")
+        task.retries += 1
+        task.requested_at = now
+        return task
 
     # ------------------------------------------------------------------
     # Introspection

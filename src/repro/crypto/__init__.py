@@ -12,16 +12,22 @@ from .hashing import (
     sha256_hex,
 )
 from .signatures import (
+    BatchRootStatement,
     HmacSignatureScheme,
     KeyPair,
     KeyRegistry,
     SchnorrSignatureScheme,
     Signature,
     SignatureScheme,
+    batch_item_leaf,
+    batch_leaves,
     get_scheme,
+    sign_batch_root,
+    verify_batch_root,
 )
 
 __all__ = [
+    "BatchRootStatement",
     "DIGEST_HEX_LENGTH",
     "EMPTY_DIGEST",
     "Envelope",
@@ -32,6 +38,10 @@ __all__ = [
     "Signature",
     "SignatureScheme",
     "SignedChannel",
+    "batch_item_leaf",
+    "batch_leaves",
+    "sign_batch_root",
+    "verify_batch_root",
     "digest_chain",
     "digest_leaf",
     "digest_pair",

@@ -15,7 +15,7 @@ from typing import Iterator, Optional
 from ..common.errors import BlockNotFoundError, ProtocolError
 from ..common.identifiers import BlockId, NodeId
 from .block import Block, BlockSummary
-from .proofs import BlockProof
+from .proofs import AnyBlockProof
 
 
 @dataclass
@@ -23,7 +23,7 @@ class LogRecord:
     """A block plus its certification state."""
 
     block: Block
-    proof: Optional[BlockProof] = None
+    proof: Optional[AnyBlockProof] = None
     certify_requested_at: Optional[float] = None
 
     @property
@@ -100,7 +100,7 @@ class WedgeLog:
     def block(self, block_id: BlockId) -> Block:
         return self.get(block_id).block
 
-    def proof_for(self, block_id: BlockId) -> Optional[BlockProof]:
+    def proof_for(self, block_id: BlockId) -> Optional[AnyBlockProof]:
         record = self.try_get(block_id)
         return record.proof if record is not None else None
 
@@ -110,7 +110,7 @@ class WedgeLog:
     def mark_certify_requested(self, block_id: BlockId, at: float) -> None:
         self.get(block_id).certify_requested_at = at
 
-    def attach_proof(self, proof: BlockProof) -> LogRecord:
+    def attach_proof(self, proof: AnyBlockProof) -> LogRecord:
         """Store the cloud's block proof next to the block it certifies."""
 
         record = self.get(proof.block_id)

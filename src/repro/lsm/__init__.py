@@ -4,6 +4,7 @@ from .compaction import (
     DEFAULT_PAGE_CAPACITY,
     MergeResult,
     merge_levels,
+    merge_sorted_runs,
     newest_versions,
     partition_into_pages,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "build_page",
     "fences_are_contiguous",
     "merge_levels",
+    "merge_sorted_runs",
     "newest_versions",
     "partition_into_pages",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Iterable, Optional
 
 from ..common.errors import ProtocolError
@@ -178,7 +179,7 @@ def build_page(
     code assigns contiguous fences explicitly for higher levels).
     """
 
-    ordered = sorted(records, key=lambda record: (record.key, record.sequence))
+    ordered = sorted(records, key=attrgetter("key", "sequence"))
     if fence is None:
         if ordered:
             fence = KeyFence(lower=ordered[0].key, upper=None)

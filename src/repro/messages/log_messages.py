@@ -16,7 +16,7 @@ from ..common.identifiers import BlockId, NodeId, OperationId, OperationKind
 from ..crypto.signatures import Signature
 from ..log.block import Block
 from ..log.entry import LogEntry
-from ..log.proofs import BlockProof, PhaseOneReceipt
+from ..log.proofs import AnyBlockProof, BatchCertificate, PhaseOneReceipt
 
 
 # ----------------------------------------------------------------------
@@ -94,9 +94,14 @@ class BlockCertifyRequest:
 
 @dataclass(frozen=True)
 class BlockProofMessage:
-    """block-proof: cloud → edge → clients, certifying one block digest."""
+    """block-proof: cloud → edge → clients, certifying one block digest.
 
-    proof: BlockProof
+    Carries either the per-block signature form (:class:`BlockProof`) or
+    the batch-anchored form (:class:`~repro.log.proofs.BatchedBlockProof`);
+    receivers treat the two interchangeably.
+    """
+
+    proof: AnyBlockProof
 
     @property
     def block_id(self) -> BlockId:
@@ -105,6 +110,61 @@ class BlockProofMessage:
     @property
     def wire_size(self) -> int:
         return self.proof.wire_size + 16
+
+
+# ----------------------------------------------------------------------
+# Batched certification (edge ↔ cloud): one signature per batch
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CertifyBatchStatement:
+    """What the edge signs when it ships a whole batch of digests at once."""
+
+    edge: NodeId
+    items: tuple[CertifyStatement, ...]
+
+
+@dataclass(frozen=True)
+class CertifyBatchRequest:
+    """certify-batch: edge → cloud, N digests under one edge signature."""
+
+    statement: CertifyBatchStatement
+    signature: Signature
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def items(self) -> tuple[CertifyStatement, ...]:
+        return self.statement.items
+
+    @property
+    def wire_size(self) -> int:
+        # One signature (64 bytes) amortized across every item; each item
+        # costs what a single certify request's statement costs (80 bytes).
+        return 64 + 64 + 80 * len(self.statement.items)
+
+
+@dataclass(frozen=True)
+class BatchCertificateMessage:
+    """batch-certificate: cloud → edge, one signed root for N blocks.
+
+    ``blocks`` is the ordered ``(block id, digest)`` list the root was built
+    over; the edge rebuilds the tree locally and derives each per-block
+    :class:`~repro.log.proofs.BatchedBlockProof` itself, so the wire carries
+    one signature plus 40 bytes per block instead of one signed proof each.
+    """
+
+    certificate: BatchCertificate
+    blocks: tuple[tuple[BlockId, str], ...]
+
+    @property
+    def edge(self) -> NodeId:
+        return self.certificate.edge
+
+    @property
+    def wire_size(self) -> int:
+        return self.certificate.wire_size + 16 + 40 * len(self.blocks)
 
 
 @dataclass(frozen=True)
@@ -158,7 +218,7 @@ class ReadResponse:
     statement: ReadResponseStatement
     signature: Signature
     block: Optional[Block] = None
-    proof: Optional[BlockProof] = None
+    proof: Optional[AnyBlockProof] = None
 
     @property
     def edge(self) -> NodeId:
@@ -207,6 +267,45 @@ class GossipMessage:
         return 160
 
 
+@dataclass(frozen=True)
+class GossipEntry:
+    """One edge's certified log size inside a batched gossip statement."""
+
+    edge: NodeId
+    certified_log_size: int
+
+
+@dataclass(frozen=True)
+class GossipBatchStatement:
+    """Signed multi-edge (timestamp, log sizes) snapshot: one signature per
+    gossip interval instead of one per edge (Section IV-E, batched)."""
+
+    cloud: NodeId
+    timestamp: float
+    entries: tuple[GossipEntry, ...]
+
+    def size_for(self, edge: NodeId) -> Optional[int]:
+        """Certified log size for *edge*, or ``None`` if absent."""
+
+        for entry in self.entries:
+            if entry.edge == edge:
+                return entry.certified_log_size
+        return None
+
+
+@dataclass(frozen=True)
+class GossipBatchMessage:
+    """Periodic cloud-signed multi-edge gossip delivered to clients."""
+
+    statement: GossipBatchStatement
+    signature: Signature
+
+    @property
+    def wire_size(self) -> int:
+        # One signature + header amortized over every edge entry.
+        return 96 + 48 * len(self.statement.entries)
+
+
 # ----------------------------------------------------------------------
 # Disputes and punishment
 # ----------------------------------------------------------------------
@@ -239,7 +338,7 @@ class DisputeVerdict:
     edge_punished: bool
     reason: str
     certified_digest: Optional[str] = None
-    proof: Optional[BlockProof] = None
+    proof: Optional[AnyBlockProof] = None
 
     @property
     def wire_size(self) -> int:

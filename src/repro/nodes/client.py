@@ -37,6 +37,7 @@ from ..messages.log_messages import (
     BlockProofMessage,
     DisputeRequest,
     DisputeVerdict,
+    GossipBatchMessage,
     GossipMessage,
     ReadRequest,
     ReadResponse,
@@ -215,7 +216,7 @@ class Client:
             self._handle_read_response(sender, message)
         elif isinstance(message, GetResponse):
             self._handle_get_response(sender, message)
-        elif isinstance(message, GossipMessage):
+        elif isinstance(message, (GossipMessage, GossipBatchMessage)):
             self._handle_gossip(sender, message)
         elif isinstance(message, DisputeVerdict):
             self.verdicts.append(message)
@@ -279,7 +280,14 @@ class Client:
         params = self.env.params
         self.env.charge(params.verify_seconds)
         proof = message.proof
-        if proof.edge != self.edge or not proof.verify(self.env.registry):
+        # The proof must come from this client's actual cloud node: a
+        # self-consistent signature from a node merely *claiming* the cloud
+        # role is not Phase II evidence.
+        if (
+            proof.edge != self.edge
+            or proof.cloud != self.cloud
+            or not proof.verify(self.env.registry)
+        ):
             return
         now = self.env.now()
         self._early_proofs[proof.block_id] = proof
@@ -354,7 +362,11 @@ class Client:
 
         record.details["block_digest"] = recomputed
         record.details["num_entries"] = block.num_entries
-        if response.proof is not None and response.proof.certifies(block):
+        if (
+            response.proof is not None
+            and response.proof.cloud == self.cloud
+            and response.proof.certifies(block)
+        ):
             if response.proof.verify(self.env.registry):
                 self.tracker.mark_phase_one(record.operation_id, now, statement.block_id)
                 self.tracker.mark_phase_two(record.operation_id, now, response.proof)
@@ -455,7 +467,9 @@ class Client:
         self._arm_dispute_timer(record.operation_id)
 
     # --------------------------------------------------------------- gossip
-    def _handle_gossip(self, sender: NodeId, message: GossipMessage) -> None:
+    def _handle_gossip(
+        self, sender: NodeId, message: "GossipMessage | GossipBatchMessage"
+    ) -> None:
         if not verify_gossip(self.env.registry, message, cloud=self.cloud):
             return
         self.gossip_view.update(message)

@@ -28,16 +28,24 @@ from ..messages.kv_messages import (
     RootRefreshResponse,
 )
 from ..messages.log_messages import (
+    BatchCertificateMessage,
     BlockCertifyRequest,
     BlockProofMessage,
+    CertifyBatchRequest,
     CertifyRejection,
     DisputeRequest,
     DisputeVerdict,
 )
 from ..common.errors import MergeProtocolError
 from ..core.dispute import PunishmentLedger, judge_dispute
-from ..core.gossip import build_gossip
-from ..log.proofs import BlockProof, issue_block_proof
+from ..core.gossip import build_gossip, build_gossip_batch
+from ..log.proofs import (
+    AnyBlockProof,
+    build_certify_batch_tree,
+    derive_batched_proofs,
+    issue_batch_certificate,
+    issue_block_proof,
+)
 from ..sim.environment import Environment
 
 
@@ -59,8 +67,8 @@ class CloudNode:
 
         #: Certified digests: edge -> block id -> digest.
         self._certified: dict[NodeId, dict[BlockId, str]] = {}
-        #: Issued proofs: (edge, block id) -> proof.
-        self._proofs: dict[tuple[NodeId, BlockId], BlockProof] = {}
+        #: Issued proofs: (edge, block id) -> proof (per-block or batched).
+        self._proofs: dict[tuple[NodeId, BlockId], AnyBlockProof] = {}
         #: Digest-level index mirrors used to validate merges.
         self._mirrors: dict[NodeId, CloudIndexMirror] = {}
         #: Clients that receive gossip.
@@ -70,11 +78,13 @@ class CloudNode:
         self.stats = {
             "certifications": 0,
             "certify_conflicts": 0,
+            "certify_batches": 0,
             "merges": 0,
             "merge_rejections": 0,
             "disputes": 0,
             "punishments": 0,
             "gossip_messages": 0,
+            "gossip_batches": 0,
             "root_refreshes": 0,
         }
         env.attach(self)
@@ -88,7 +98,7 @@ class CloudNode:
     def certified_log_size(self, edge: NodeId) -> int:
         return len(self._certified.get(edge, {}))
 
-    def proof_for(self, edge: NodeId, block_id: BlockId) -> Optional[BlockProof]:
+    def proof_for(self, edge: NodeId, block_id: BlockId) -> Optional[AnyBlockProof]:
         return self._proofs.get((edge, block_id))
 
     def mirror_for(self, edge: NodeId) -> CloudIndexMirror:
@@ -124,6 +134,22 @@ class CloudNode:
 
     def _emit_gossip(self) -> None:
         now = self.env.now()
+        if self.config.security.gossip_batch:
+            if not self._certified:
+                return
+            # One signature covers every edge's certified log size; each
+            # client receives a single message per interval.
+            message = build_gossip_batch(
+                self.env.registry,
+                self.node_id,
+                {edge: len(blocks) for edge, blocks in self._certified.items()},
+                now,
+            )
+            self.stats["gossip_batches"] += 1
+            for client in self._gossip_targets:
+                self.env.send(self.node_id, client, message)
+                self.stats["gossip_messages"] += 1
+            return
         for edge, blocks in self._certified.items():
             message = build_gossip(
                 self.env.registry, self.node_id, edge, len(blocks), now
@@ -138,6 +164,8 @@ class CloudNode:
     def on_message(self, sender: NodeId, message: Any) -> None:
         if isinstance(message, BlockCertifyRequest):
             self._handle_certify(sender, message)
+        elif isinstance(message, CertifyBatchRequest):
+            self._handle_certify_batch(sender, message)
         elif isinstance(message, MergeRequest):
             self._handle_merge(sender, message)
         elif isinstance(message, RootRefreshRequest):
@@ -195,6 +223,92 @@ class CloudNode:
                 reason="conflicting digest for an already certified block id",
             )
             self.env.send(self.node_id, sender, rejection)
+
+    def _handle_certify_batch(
+        self, sender: NodeId, request: CertifyBatchRequest
+    ) -> None:
+        """Certify a whole batch of digests under one signature each way.
+
+        The edge's signature over the batch statement is verified once; every
+        non-conflicting item is recorded exactly as the single-block path
+        would record it, and one :class:`BatchCertificate` over the Merkle
+        root of the accepted ``(block id, digest)`` pairs replaces N signed
+        block proofs.  Conflicting items (a second digest for an already
+        certified block id) are punished and rejected individually without
+        sinking the rest of the batch.
+        """
+
+        params = self.env.params
+        statement = request.statement
+        self.env.charge(params.batch_certification_cost(len(statement.items)))
+
+        if statement.edge != sender or not self.env.registry.verify(
+            request.signature, statement
+        ):
+            # Unsigned or mis-attributed requests are dropped.
+            return
+        if not statement.items:
+            return
+
+        edge_digests = self._certified.setdefault(statement.edge, {})
+        accepted: list[tuple[BlockId, str]] = []
+        for item in statement.items:
+            if item.edge != statement.edge:
+                # An item smuggled in for another edge: drop it (the batch
+                # signature only attests the sending edge's own blocks).
+                continue
+            existing = edge_digests.get(item.block_id)
+            if existing is None:
+                edge_digests[item.block_id] = item.block_digest
+                self.stats["certifications"] += 1
+                accepted.append((item.block_id, item.block_digest))
+            elif existing == item.block_digest:
+                # Idempotent retry: re-certify under the new batch root.
+                accepted.append((item.block_id, item.block_digest))
+            else:
+                self.stats["certify_conflicts"] += 1
+                self._punish(
+                    statement.edge,
+                    reason="attempted to certify two different digests for "
+                    f"block {item.block_id}",
+                    block_id=item.block_id,
+                )
+                self.env.send(
+                    self.node_id,
+                    sender,
+                    CertifyRejection(
+                        cloud=self.node_id,
+                        edge=statement.edge,
+                        block_id=item.block_id,
+                        existing_digest=existing,
+                        offending_digest=item.block_digest,
+                        reason="conflicting digest for an already certified "
+                        "block id",
+                    ),
+                )
+        if not accepted:
+            return
+
+        blocks = tuple(accepted)
+        tree = build_certify_batch_tree(blocks)
+        certificate = issue_batch_certificate(
+            registry=self.env.registry,
+            cloud=self.node_id,
+            edge=statement.edge,
+            batch_root=tree.root,
+            num_blocks=len(blocks),
+            certified_at=self.env.now(),
+        )
+        # Keep a per-block proof for the dispute path (proof_for), derived
+        # from the tree already built above (the edge rebuilds its own).
+        for proof in derive_batched_proofs(certificate, blocks, tree=tree):
+            self._proofs[(statement.edge, proof.block_id)] = proof
+        self.stats["certify_batches"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            BatchCertificateMessage(certificate=certificate, blocks=blocks),
+        )
 
     # ---------------------------------------------------------------- merges
     def _handle_merge(self, sender: NodeId, request: MergeRequest) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..common.config import SystemConfig
-from ..common.errors import ProtocolError
+from ..common.errors import ProofVerificationError, ProtocolError
 from ..common.identifiers import BlockId, NodeId, OperationId, edge_id
 from ..common.regions import Region
 from ..core.certification import LazyCertifier
@@ -40,11 +40,15 @@ from ..messages.kv_messages import (
     RootRefreshRequest,
     RootRefreshResponse,
 )
+from ..log.proofs import AnyBlockProof, derive_batched_proofs
 from ..messages.log_messages import (
     AppendBatchRequest,
     AppendBatchResponse,
+    BatchCertificateMessage,
     BlockCertifyRequest,
     BlockProofMessage,
+    CertifyBatchRequest,
+    CertifyBatchStatement,
     CertifyRejection,
     CertifyStatement,
     ReadRequest,
@@ -91,6 +95,7 @@ class EdgeNode:
         self._merge_in_flight = False
         self._merge_source_bids: tuple[BlockId, ...] = ()
         self._flush_timer_active = False
+        self._certify_flush_timer: Optional[Any] = None
 
         self.stats = {
             "append_requests": 0,
@@ -99,8 +104,11 @@ class EdgeNode:
             "reads": 0,
             "gets": 0,
             "certify_requests": 0,
+            "certify_batches": 0,
+            "certify_retries": 0,
             "proofs_received": 0,
             "proofs_forwarded": 0,
+            "batch_cert_mismatches": 0,
             "merges_started": 0,
             "merges_completed": 0,
             "merges_rejected": 0,
@@ -121,6 +129,8 @@ class EdgeNode:
             self._handle_get(sender, message)
         elif isinstance(message, BlockProofMessage):
             self._handle_block_proof(sender, message)
+        elif isinstance(message, BatchCertificateMessage):
+            self._handle_batch_certificate(sender, message)
         elif isinstance(message, MergeResponse):
             self._handle_merge_response(sender, message)
         elif isinstance(message, MergeRejection):
@@ -297,11 +307,30 @@ class EdgeNode:
         return block.digest()
 
     def _send_certify_request(self, block: Block, digest: str) -> None:
+        batch_size = self.config.logging.certify_batch_size
+        if batch_size <= 1:
+            # Unbatched wire format: one signed request per block, exactly
+            # the protocol the paper's figures were measured with.
+            self._send_single_certify_request(
+                block.block_id, digest, block.num_entries
+            )
+            return
+        # Lazy certification is asynchronous, so the digest can wait for its
+        # batch: queue it and flush when the batch fills (or on timeout).
+        pending = self.certifier.enqueue_for_dispatch(block.block_id)
+        if pending >= batch_size:
+            self._flush_certify_batch()
+        else:
+            self._arm_certify_flush_timer()
+
+    def _send_single_certify_request(
+        self, block_id: BlockId, digest: str, num_entries: int
+    ) -> None:
         statement = CertifyStatement(
             edge=self.node_id,
-            block_id=block.block_id,
+            block_id=block_id,
             block_digest=digest,
-            num_entries=block.num_entries,
+            num_entries=num_entries,
         )
         signature = self.env.registry.sign(self.node_id, statement)
         self.stats["certify_requests"] += 1
@@ -311,6 +340,59 @@ class EdgeNode:
             BlockCertifyRequest(statement=statement, signature=signature),
         )
 
+    def _arm_certify_flush_timer(self) -> None:
+        if self._certify_flush_timer is not None:
+            return
+        timeout = self.config.logging.certify_flush_timeout_s
+
+        def flush() -> None:
+            self._certify_flush_timer = None
+            self._flush_certify_batch()
+
+        self._certify_flush_timer = self.env.schedule(
+            timeout, flush, label=f"{self.node_id}:certify-flush"
+        )
+
+    def _num_entries_for(self, block_id: BlockId) -> int:
+        """Entry count reported in certify statements (0 for absent blocks)."""
+
+        return self.log.block(block_id).num_entries if block_id in self.log else 0
+
+    def _flush_certify_batch(self) -> None:
+        """Ship every queued digest as one signed CertifyBatchRequest.
+
+        A size-triggered flush cancels the pending timeout timer: the timer
+        exists to bound how long the *current* queue can wait, so once that
+        queue ships, the next digest to arrive starts a fresh window instead
+        of inheriting a stale, near-expired deadline (which would ship
+        undersized batches once per window under steady load).
+        """
+
+        if self._certify_flush_timer is not None:
+            self._certify_flush_timer.cancel()
+            self._certify_flush_timer = None
+        tasks = self.certifier.drain_dispatch_queue()
+        if not tasks:
+            return
+        items = tuple(
+            CertifyStatement(
+                edge=self.node_id,
+                block_id=task.block_id,
+                block_digest=task.block_digest,
+                num_entries=self._num_entries_for(task.block_id),
+            )
+            for task in tasks
+        )
+        statement = CertifyBatchStatement(edge=self.node_id, items=items)
+        signature = self.env.registry.sign(self.node_id, statement)
+        self.stats["certify_requests"] += 1
+        self.stats["certify_batches"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            CertifyBatchRequest(statement=statement, signature=signature),
+        )
+
     # ------------------------------------------------------------------
     # Block proofs from the cloud
     # ------------------------------------------------------------------
@@ -318,8 +400,21 @@ class EdgeNode:
         params = self.env.params
         self.env.charge(params.verify_seconds)
         proof = message.proof
-        if proof.edge != self.node_id or not proof.verify(self.env.registry):
+        # Pin the issuer: a proof must name this edge's actual cloud node,
+        # not merely carry a self-consistent signature from its claimed
+        # signer (any registered node can sign statements naming itself).
+        if (
+            proof.edge != self.node_id
+            or proof.cloud != self.cloud
+            or not proof.verify(self.env.registry)
+        ):
             return
+        self._accept_certified_proof(proof)
+        self._maybe_start_merge()
+
+    def _accept_certified_proof(self, proof: AnyBlockProof) -> None:
+        """Record a verified proof and forward it to waiting subscribers."""
+
         record = self.log.try_get(proof.block_id)
         if record is not None and record.block.digest() == proof.block_digest:
             self.log.attach_proof(proof)
@@ -331,7 +426,71 @@ class EdgeNode:
         for client, _operation in subscribers:
             self.env.send(self.node_id, client, BlockProofMessage(proof=proof))
             self.stats["proofs_forwarded"] += 1
+
+    def _handle_batch_certificate(
+        self, sender: NodeId, message: BatchCertificateMessage
+    ) -> None:
+        """Derive per-block proofs locally from one signed batch root.
+
+        The certificate's single signature is verified once; every per-block
+        proof below it costs only leaf hashing and an O(log N) path.  Any
+        returned item whose digest does not match what this edge asked to
+        certify (a malicious or confused cloud) is rejected individually,
+        and a certificate whose root does not commit to exactly the returned
+        item list is rejected outright.
+        """
+
+        params = self.env.params
+        certificate = message.certificate
+        self.env.charge(params.batch_proof_derivation_cost(len(message.blocks)))
+        if (
+            certificate.edge != self.node_id
+            or certificate.cloud != self.cloud
+            or not certificate.verify(self.env.registry)
+        ):
+            return
+        try:
+            proofs = derive_batched_proofs(certificate, message.blocks)
+        except ProofVerificationError:
+            # Root does not commit to the returned items: the certificate is
+            # unusable as evidence — drop the whole message.
+            self.stats["batch_cert_mismatches"] += 1
+            return
+        for proof in proofs:
+            task = self.certifier.task(proof.block_id)
+            if task is None or task.block_digest != proof.block_digest:
+                # The cloud claims to have certified a digest this edge never
+                # sent for that block id (malicious-cloud path): reject the
+                # item, keep the rest of the batch.
+                self.stats["batch_cert_mismatches"] += 1
+                continue
+            self._accept_certified_proof(proof)
         self._maybe_start_merge()
+
+    def retry_overdue_certifications(self, timeout_s: float) -> int:
+        """Re-send certification requests pending longer than *timeout_s*.
+
+        Overdue digests are re-sent through the single-block path (an
+        idempotent retry the cloud answers with the already issued proof
+        when one exists); returns how many retries were sent.  Blocks still
+        sitting in the dispatch queue are skipped — their first request has
+        not left the edge yet, so there is nothing to retry (the pending
+        batch flush covers them).
+        """
+
+        now = self.env.now()
+        overdue = [
+            task
+            for task in self.certifier.overdue(now, timeout_s)
+            if not self.certifier.queued_for_dispatch(task.block_id)
+        ]
+        for task in overdue:
+            self.certifier.record_retry(task.block_id, now)
+            self.stats["certify_retries"] += 1
+            self._send_single_certify_request(
+                task.block_id, task.block_digest, self._num_entries_for(task.block_id)
+            )
+        return len(overdue)
 
     def _handle_certify_rejection(
         self, sender: NodeId, message: CertifyRejection

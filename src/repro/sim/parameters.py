@@ -113,6 +113,27 @@ class SimulationParameters:
 
         return self.request_overhead_seconds + self.verify_seconds + self.sign_seconds
 
+    def batch_certification_cost(self, num_blocks: int) -> float:
+        """CPU time for the cloud to certify a whole digest batch at once.
+
+        One request overhead, one signature verification (the edge's batch
+        signature), and one signature (the batch root) regardless of the
+        batch size; each block adds only a digest lookup and the Merkle leaf
+        hashing — this is where batching beats ``num_blocks`` separate
+        :meth:`certification_cost` charges.
+        """
+
+        return self.certification_cost() + self.lookup_seconds_per_op * max(
+            num_blocks, 0
+        )
+
+    def batch_proof_derivation_cost(self, num_blocks: int) -> float:
+        """CPU time for the edge to verify a batch certificate and derive
+        every per-block proof from it (one signature verification plus
+        O(num_blocks) hashing)."""
+
+        return self.verify_seconds + self.lookup_seconds_per_op * max(num_blocks, 0)
+
     def full_certification_cost(self, num_entries: int, num_bytes: int) -> float:
         """CPU time for the cloud to certify a full block (edge-baseline)."""
 

@@ -10,7 +10,7 @@ from repro.common.identifiers import OperationId, OperationKind, client_id, clou
 from repro.core.certification import LazyCertifier
 from repro.core.commit import CommitTracker
 from repro.core.dispute import PunishmentLedger, judge_dispute
-from repro.core.gossip import GossipView, build_gossip, verify_gossip
+from repro.core.gossip import GossipView, build_gossip, build_gossip_batch, verify_gossip
 from repro.log.proofs import CommitPhase, issue_block_proof, issue_phase_one_receipt
 from repro.messages.log_messages import DisputeRequest, ReadResponseStatement
 
@@ -253,3 +253,92 @@ class TestGossip:
         other = build_gossip(registry, CLOUD, edge_id("edge-9"), 10, timestamp=1.0)
         assert not view.update(other)
         assert view.certified_log_size == 0
+
+    def test_wrong_edge_message_leaves_view_untouched_even_when_newer(self, registry):
+        """Pin: a strictly-newer message for a *different* edge is ignored
+        entirely — returns ``False`` and advances neither the size nor
+        ``as_of`` (the view's clock tracks its own edge only)."""
+
+        view = GossipView(edge=EDGE)
+        view.update(build_gossip(registry, CLOUD, EDGE, 3, timestamp=1.0))
+        newer_other = build_gossip(registry, CLOUD, edge_id("edge-9"), 99, timestamp=50.0)
+        assert not view.update(newer_other)
+        assert view.certified_log_size == 3
+        assert view.as_of == 1.0
+        # The untouched as_of means later gossip for this edge still applies.
+        assert view.update(build_gossip(registry, CLOUD, EDGE, 4, timestamp=2.0))
+
+    def test_equal_timestamp_behavior(self, registry):
+        """Pin: a message at exactly ``as_of`` is applied, not rejected —
+        only strictly-older timestamps are dropped.  Sizes are monotone, so
+        an equal-timestamp message can confirm (no advance, ``False``) or
+        advance (``True``) the view, never shrink it."""
+
+        view = GossipView(edge=EDGE)
+        assert view.update(build_gossip(registry, CLOUD, EDGE, 3, timestamp=1.0))
+        # Equal timestamp, same size: accepted but nothing advances.
+        assert not view.update(build_gossip(registry, CLOUD, EDGE, 3, timestamp=1.0))
+        assert view.certified_log_size == 3 and view.as_of == 1.0
+        # Equal timestamp, larger size: advances.
+        assert view.update(build_gossip(registry, CLOUD, EDGE, 5, timestamp=1.0))
+        assert view.certified_log_size == 5
+        # Equal timestamp, smaller size: never shrinks.
+        assert not view.update(build_gossip(registry, CLOUD, EDGE, 2, timestamp=1.0))
+        assert view.certified_log_size == 5 and view.as_of == 1.0
+
+
+class TestGossipBatch:
+    def test_build_and_verify_batch(self, registry):
+        sizes = {EDGE: 5, edge_id("edge-9"): 7}
+        message = build_gossip_batch(registry, CLOUD, sizes, timestamp=2.0)
+        assert verify_gossip(registry, message, cloud=CLOUD)
+        assert not verify_gossip(registry, message, cloud=EDGE)
+        assert message.statement.size_for(EDGE) == 5
+        assert message.statement.size_for(edge_id("edge-9")) == 7
+        assert message.statement.size_for(edge_id("edge-nope")) is None
+        # Entries are ordered by edge id, so the signed bytes do not depend
+        # on the mapping's iteration order.
+        reversed_input = build_gossip_batch(
+            registry, CLOUD, dict(reversed(list(sizes.items()))), timestamp=2.0
+        )
+        assert reversed_input.statement == message.statement
+
+    def test_view_consumes_batched_form(self, registry):
+        view = GossipView(edge=EDGE)
+        message = build_gossip_batch(
+            registry, CLOUD, {EDGE: 4, edge_id("edge-9"): 9}, timestamp=1.0
+        )
+        assert view.update(message)
+        assert view.certified_log_size == 4
+        assert view.as_of == 1.0
+        assert view.block_should_exist(3)
+        assert not view.block_should_exist(4)
+
+    def test_batch_without_own_edge_ignored(self, registry):
+        view = GossipView(edge=EDGE)
+        view.update(build_gossip(registry, CLOUD, EDGE, 2, timestamp=1.0))
+        absent = build_gossip_batch(
+            registry, CLOUD, {edge_id("edge-9"): 50}, timestamp=9.0
+        )
+        assert not view.update(absent)
+        assert view.certified_log_size == 2
+        assert view.as_of == 1.0
+
+    def test_batch_monotonicity_matches_single_form(self, registry):
+        view = GossipView(edge=EDGE)
+        assert view.update(build_gossip_batch(registry, CLOUD, {EDGE: 3}, timestamp=2.0))
+        stale = build_gossip_batch(registry, CLOUD, {EDGE: 10}, timestamp=1.0)
+        assert not view.update(stale)
+        assert view.certified_log_size == 3
+        equal = build_gossip_batch(registry, CLOUD, {EDGE: 6}, timestamp=2.0)
+        assert view.update(equal)
+        assert view.certified_log_size == 6
+
+    def test_wire_size_amortizes_signature(self, registry):
+        sizes = {edge_id(f"edge-{i}"): i for i in range(8)}
+        batch = build_gossip_batch(registry, CLOUD, sizes, timestamp=1.0)
+        singles = [
+            build_gossip(registry, CLOUD, edge, size, timestamp=1.0)
+            for edge, size in sizes.items()
+        ]
+        assert batch.wire_size < sum(message.wire_size for message in singles)

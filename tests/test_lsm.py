@@ -8,7 +8,13 @@ from hypothesis import strategies as st
 
 from repro.common import ConfigurationError, ProtocolError
 from repro.common.config import LSMerkleConfig
-from repro.lsm.compaction import merge_levels, newest_versions, partition_into_pages
+from repro.lsm.compaction import (
+    merge_levels,
+    merge_sorted_runs,
+    merge_sorted_runs_heapq,
+    newest_versions,
+    partition_into_pages,
+)
 from repro.lsm.level import Level
 from repro.lsm.lsm_tree import LSMTree
 from repro.lsm.page import build_page
@@ -167,6 +173,96 @@ class TestCompaction:
             r.key: r.sequence for page in result.pages for r in page.records
         }
         assert merged_lookup == {"a": 10, "b": 11, "c": 3}
+
+
+class TestMergeSortedRuns:
+    """Equivalence of the k-way merge paths against the old global re-sort.
+
+    ``merge_levels`` used to flatten every page and call ``newest_versions``
+    (hash every record, sort the unique keys).  Both run-aware replacements —
+    the dict-based :func:`merge_sorted_runs` on the hot path and the
+    reference :func:`merge_sorted_runs_heapq` — must produce exactly what the
+    old path produced for any key-sorted page runs.
+    """
+
+    @staticmethod
+    def _old_path(runs):
+        flattened = [record for run in runs for record in run]
+        return newest_versions(flattened)
+
+    def _assert_all_equivalent(self, runs):
+        expected = self._old_path(runs)
+        assert merge_sorted_runs(runs) == expected
+        assert merge_sorted_runs_heapq(runs) == expected
+
+    def test_empty_and_trivial_runs(self):
+        self._assert_all_equivalent([])
+        self._assert_all_equivalent([()])
+        self._assert_all_equivalent([(record("a", 1),)])
+        self._assert_all_equivalent([(), (record("a", 1),), ()])
+
+    def test_duplicate_keys_within_and_across_runs(self):
+        run_a = (record("a", 1), record("a", 7), record("c", 3))
+        run_b = (record("a", 5), record("b", 2), record("c", 9))
+        self._assert_all_equivalent([run_a, run_b])
+        survivors = merge_sorted_runs([run_a, run_b])
+        assert [(r.key, r.sequence) for r in survivors] == [
+            ("a", 7),
+            ("b", 2),
+            ("c", 9),
+        ]
+
+    def test_newest_wins_regardless_of_run_order(self):
+        run_old = (record("k", 1),)
+        run_new = (record("k", 2),)
+        assert merge_sorted_runs([run_old, run_new])[0].sequence == 2
+        assert merge_sorted_runs([run_new, run_old])[0].sequence == 2
+        assert merge_sorted_runs_heapq([run_old, run_new])[0].sequence == 2
+        assert merge_sorted_runs_heapq([run_new, run_old])[0].sequence == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=15),
+                    st.integers(min_value=0, max_value=10_000),
+                ),
+                max_size=30,
+            ),
+            max_size=6,
+        )
+    )
+    def test_property_equivalence_on_random_runs(self, raw_runs):
+        seen_sequences: set[int] = set()
+        runs = []
+        for raw in raw_runs:
+            run = []
+            for key_index, sequence in raw:
+                if sequence in seen_sequences:
+                    continue  # sequence numbers are globally unique
+                seen_sequences.add(sequence)
+                run.append(record(f"key-{key_index:02d}", sequence))
+            run.sort(key=lambda r: (r.key, r.sequence))
+            runs.append(tuple(run))
+        self._assert_all_equivalent(runs)
+
+    def test_merge_levels_uses_equivalent_path(self):
+        source = [
+            build_page([record("a", 10), record("b", 11)], created_at=1.0),
+            build_page([record("a", 12), record("d", 13)], created_at=1.1),
+        ]
+        target = partition_into_pages(
+            [record("a", 1), record("b", 2), record("c", 3)],
+            page_capacity=2,
+            created_at=0.0,
+        )
+        result = merge_levels(source, target, created_at=2.0, page_capacity=2)
+        old_survivors = self._old_path(
+            [page.records for page in source] + [page.records for page in target]
+        )
+        merged = [r for page in result.pages for r in page.records]
+        assert merged == old_survivors
 
 
 class TestLSMTree:

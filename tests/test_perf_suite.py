@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import random
+
 from repro.bench import attach_speedups, format_summary, run_perf_suite
-from repro.bench.perf import BENCHMARKS
+from repro.bench.perf import (
+    BENCHMARKS,
+    bench_certify_batch,
+    bench_certify_per_block,
+    bench_gossip_batch,
+    bench_gossip_per_edge,
+)
 
 
 class TestPerfSuite:
@@ -34,3 +42,19 @@ class TestPerfSuite:
         summary = run_perf_suite(mode="quick", seed=3)
         attach_speedups(summary, {"mode": "full", "results": {}})
         assert summary["speedup_vs_seed"] is None
+
+
+class TestBatchAmortizationTargets:
+    def test_certify_batch_at_least_3x_per_block(self):
+        """The PR acceptance target: batching one signature over 32 blocks
+        must certify at least 3x more blocks per second than the per-block
+        signature round (measured margin is an order of magnitude)."""
+
+        per_block = bench_certify_per_block(random.Random(7), quick=True)
+        batched = bench_certify_batch(random.Random(7), quick=True)
+        assert batched.ops_per_s >= 3.0 * per_block.ops_per_s
+
+    def test_gossip_batch_not_slower_than_per_edge(self):
+        per_edge = bench_gossip_per_edge(random.Random(7), quick=True)
+        batched = bench_gossip_batch(random.Random(7), quick=True)
+        assert batched.ops_per_s >= per_edge.ops_per_s
