@@ -519,6 +519,112 @@ def bench_gossip_batch(rng: random.Random, quick: bool) -> BenchResult:
     return _time_repeats("gossip_batch", run, num_edges, repeats)
 
 
+def bench_shard_route(rng: random.Random, quick: bool) -> BenchResult:
+    """Key → shard → owning edge resolution: the shard-aware client hot path.
+
+    Per routed key: one partitioner hash (consistent-hash ring walk) plus
+    one verified-shard-map owner lookup, exactly what every put/get of a
+    sharded fleet pays before it leaves the client.  Reported as routed
+    keys/s.
+    """
+
+    from ..sharding.partitioner import HashRingPartitioner
+    from ..sharding.router import ShardRouter
+    from ..sharding.shard_map import ShardMapView, build_shard_map_message
+
+    num_shards = 16
+    num_edges = 4
+    routes_per_repeat = 2000 if quick else 8000
+    repeats = 15 if quick else 40
+    registry, cloud, _ = _certification_registry()
+    edges = [edge_id(f"bench-edge-{index}") for index in range(num_edges)]
+    assignments = {
+        shard_id: edges[shard_id % num_edges] for shard_id in range(num_shards)
+    }
+    message = build_shard_map_message(
+        registry, cloud, 1, num_shards, "hash-ring", assignments, 1.0
+    )
+    view = ShardMapView(cloud=cloud)
+    assert view.update(registry, message)
+    router = ShardRouter(HashRingPartitioner(num_shards), view)
+    keys = [f"key{rng.randrange(10**8):012d}" for _ in range(routes_per_repeat)]
+
+    def run() -> None:
+        for key in keys:
+            route = router.route(key)
+            assert route.owner is not None
+
+    return _time_repeats("shard_route", run, routes_per_repeat, repeats)
+
+
+def bench_shard_handoff(rng: random.Random, quick: bool) -> BenchResult:
+    """The certified shard-handoff crypto pipeline, end to end.
+
+    Per handoff of a 32-block shard: the source signs the offer (certified
+    log prefix + state digest), the cloud verifies it, recomputes the state
+    digest from its mirror digests, and countersigns the grant plus the
+    refreshed shard map, and the destination verifies the certificate and
+    recomputes the state digest from the transferred digests.  Reported as
+    handoffs/s.
+    """
+
+    from ..messages.shard_messages import (
+        HandoffGrantStatement,
+        ShardHandoffCertificate,
+        ShardHandoffStatement,
+    )
+    from ..sharding.handoff import shard_state_digest
+    from ..sharding.shard_map import build_shard_map_message
+
+    num_blocks = 32
+    repeats = 30 if quick else 100
+    registry, cloud, source = _certification_registry()
+    dest = edge_id("bench-edge-dest")
+    registry.register(dest)
+    blocks = tuple(_make_digest_pairs(rng, num_blocks))
+    level_roots = tuple(f"{rng.getrandbits(256):064x}" for _ in range(3))
+    assignments = {0: source, 1: dest}
+    counter = {"repeat": 0}
+
+    def run() -> None:
+        counter["repeat"] += 1
+        now = float(counter["repeat"])
+        digest = shard_state_digest(0, level_roots, blocks)
+        offer = ShardHandoffStatement(
+            edge=source,
+            dest=dest,
+            shard_id=0,
+            blocks=blocks,
+            state_digest=digest,
+            issued_at=now,
+        )
+        offer_sig = registry.sign(source, offer)
+        # Cloud side: verify the offer, recompute, countersign, re-sign map.
+        assert registry.verify(offer_sig, offer)
+        assert shard_state_digest(0, level_roots, offer.blocks) == offer.state_digest
+        grant = HandoffGrantStatement(
+            cloud=cloud,
+            source=source,
+            dest=dest,
+            shard_id=0,
+            map_version=counter["repeat"] + 1,
+            state_digest=digest,
+            num_blocks=num_blocks,
+            issued_at=now,
+        )
+        certificate = ShardHandoffCertificate(
+            statement=grant, signature=registry.sign(cloud, grant)
+        )
+        build_shard_map_message(
+            registry, cloud, counter["repeat"] + 1, 2, "hash-ring", assignments, now
+        )
+        # Destination side: verify the certificate and the received digests.
+        assert certificate.verify(registry)
+        assert shard_state_digest(0, level_roots, blocks) == certificate.state_digest
+
+    return _time_repeats("shard_handoff", run, 1, repeats)
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -532,6 +638,8 @@ BENCHMARKS = (
     bench_certify_batch,
     bench_gossip_per_edge,
     bench_gossip_batch,
+    bench_shard_route,
+    bench_shard_handoff,
 )
 
 

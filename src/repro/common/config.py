@@ -134,6 +134,54 @@ class PlacementConfig:
 
 
 @dataclass(frozen=True)
+class ShardingConfig:
+    """Key-space partitioning for a multi-edge fleet (``repro.sharding``).
+
+    When attached to a :class:`SystemConfig`, the deployment becomes a
+    sharded edge fleet: keys map to shards through the configured
+    partitioner, shards map to owning edge nodes through a cloud-signed
+    shard map, and shards can be rebalanced between edges through the
+    certified handoff protocol.  ``None`` (the default on
+    :class:`SystemConfig`) keeps the single-partition deployment of the
+    paper byte-for-byte.
+    """
+
+    #: Number of shards the key space is divided into.  More shards than
+    #: edges lets rebalancing move load at sub-edge granularity.
+    num_shards: int = 8
+    #: Which partitioner maps keys to shards: ``"hash-ring"`` (uniform,
+    #: placement-stable) or ``"range"`` (ordered, hotspot-prone — the case
+    #: rebalancing exists for).
+    partitioner: str = "hash-ring"
+    #: Size of the key universe the range partitioner splits into contiguous
+    #: slices (must match the workload's ``key_space`` for balanced ranges;
+    #: ignored by the hash ring).
+    key_space: int = 100_000
+    #: An edge whose logged-entry share exceeds ``rebalance_hot_factor``
+    #: times the fleet mean is eligible for a shard handoff when the
+    #: fleet's ``maybe_rebalance`` trigger runs.
+    rebalance_hot_factor: float = 1.5
+    #: Maximum times a client re-routes one operation after signed
+    #: ``NotOwnerRedirect`` responses before failing it.
+    max_redirects: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if self.partitioner not in ("hash-ring", "range"):
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}; "
+                "use 'hash-ring' or 'range'"
+            )
+        if self.key_space < self.num_shards:
+            raise ConfigurationError("key_space must be at least num_shards")
+        if self.rebalance_hot_factor <= 1.0:
+            raise ConfigurationError("rebalance_hot_factor must exceed 1.0")
+        if self.max_redirects < 0:
+            raise ConfigurationError("max_redirects must be non-negative")
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Workload shape used by the benchmark harness."""
 
@@ -150,6 +198,13 @@ class WorkloadConfig:
     key_distribution: str = "uniform"
     #: Zipfian skew parameter (only used when key_distribution == "zipfian").
     zipf_theta: float = 0.99
+    #: When ``True``, Zipfian popularity ranks are spread over the key space
+    #: through a deterministic permutation instead of clustering at the low
+    #: indices.  Matters for *range*-partitioned fleets: unshuffled Zipfian
+    #: load piles onto the first shard (the rebalancing hotspot case), while
+    #: shuffled load exercises every shard.  ``False`` preserves the exact
+    #: key streams of the paper's experiments.
+    zipf_rank_shuffle: bool = False
     #: Total number of operations each client issues.
     operations_per_client: int = 1_000
     #: Seed for deterministic workload generation.
@@ -190,6 +245,9 @@ class SystemConfig:
     #: Number of edge nodes (each owns one partition; the paper reports the
     #: performance of a single partition).
     num_edge_nodes: int = 1
+    #: Key-space sharding for multi-edge fleets (``None`` = the paper's
+    #: single-partition deployment; see :class:`ShardingConfig`).
+    sharding: "ShardingConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.num_edge_nodes <= 0:

@@ -79,6 +79,11 @@ def client_id(name: str) -> NodeId:
 #: edge node ... unique relative to an edge node").
 BlockId = int
 
+#: Shard ids index the key-space partitions of a sharded edge fleet
+#: (``repro.sharding``); the cloud-signed shard map assigns each shard to
+#: exactly one owning edge node.
+ShardId = int
+
 
 @dataclass(frozen=True, order=True)
 class OperationId:

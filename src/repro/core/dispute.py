@@ -12,11 +12,12 @@ system; the ledger records the proof).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
 from ..messages.log_messages import DisputeRequest
+from ..messages.shard_messages import ShardDispute
 
 
 @dataclass(frozen=True)
@@ -176,3 +177,95 @@ def judge_dispute(
         )
 
     return DisputeJudgement(False, f"unknown dispute kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ShardDisputeJudgement:
+    """Outcome of evaluating a shard dispute."""
+
+    punished: bool
+    reason: str
+
+
+def judge_shard_dispute(
+    dispute: ShardDispute,
+    registry: KeyRegistry,
+    owner_at: Callable[[int, float], Optional[NodeId]],
+    granted_state_digest: Optional[str],
+    shard_of: Optional[Callable[[str], int]] = None,
+) -> ShardDisputeJudgement:
+    """Evaluate a shard dispute against the cloud's authoritative state.
+
+    * ``handoff-digest-mismatch``: the reporter (destination edge) presents
+      the source-signed transfer statement.  The source is convicted when
+      the state digest it *signed* differs from ``granted_state_digest`` —
+      the digest the cloud countersigned for that handoff.  A transfer the
+      source never signed (or signed consistently) convicts nobody: the
+      destination simply refuses to install.
+    * ``stale-owner-serve``: the reporter (a client) presents an edge-signed
+      get-response statement.  The accused is convicted when the ownership
+      history shows it no longer owned the key's shard at the statement's
+      ``issued_at`` — a signed proof it kept serving a shard it had handed
+      off.
+    """
+
+    kind = dispute.kind
+
+    if kind == "handoff-digest-mismatch":
+        statement = dispute.transfer_statement
+        signature = dispute.transfer_signature
+        if statement is None or signature is None:
+            return ShardDisputeJudgement(False, "handoff dispute without evidence")
+        if signature.signer != dispute.accused or not registry.verify(
+            signature, statement
+        ):
+            return ShardDisputeJudgement(False, "transfer statement signature invalid")
+        if statement.source != dispute.accused or statement.shard_id != dispute.shard_id:
+            return ShardDisputeJudgement(
+                False, "transfer statement does not concern the accused shard"
+            )
+        if granted_state_digest is None:
+            return ShardDisputeJudgement(
+                False, "no countersigned handoff on record for this shard"
+            )
+        if statement.state_digest != granted_state_digest:
+            return ShardDisputeJudgement(
+                True,
+                "source signed a transfer whose state digest differs from the "
+                "countersigned handoff certificate",
+            )
+        return ShardDisputeJudgement(
+            False, "signed transfer matches the certified state digest"
+        )
+
+    if kind == "stale-owner-serve":
+        statement = dispute.serve_statement
+        signature = dispute.serve_signature
+        if statement is None or signature is None:
+            return ShardDisputeJudgement(False, "stale-owner dispute without evidence")
+        if signature.signer != dispute.accused or not registry.verify(
+            signature, statement
+        ):
+            return ShardDisputeJudgement(False, "serve statement signature invalid")
+        if statement.edge != dispute.accused:
+            return ShardDisputeJudgement(
+                False, "serve statement names a different edge"
+            )
+        if shard_of is not None and shard_of(statement.key) != dispute.shard_id:
+            return ShardDisputeJudgement(
+                False, "served key does not belong to the disputed shard"
+            )
+        owner = owner_at(dispute.shard_id, statement.issued_at)
+        if owner is None:
+            return ShardDisputeJudgement(False, "shard has no recorded owner")
+        if owner != dispute.accused:
+            return ShardDisputeJudgement(
+                True,
+                "edge served a shard it did not own at the statement's issue "
+                "time (certified handoff had already moved it)",
+            )
+        return ShardDisputeJudgement(
+            False, "edge owned the shard when it served; no misbehaviour"
+        )
+
+    return ShardDisputeJudgement(False, f"unknown shard dispute kind {kind!r}")

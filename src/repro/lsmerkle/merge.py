@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.config import LSMerkleConfig
 from ..common.errors import MergeProtocolError
@@ -49,6 +49,9 @@ class MergeProposal:
     source_blocks: tuple[Block, ...] = ()
     source_pages: tuple[Page, ...] = ()
     target_pages: tuple[Page, ...] = ()
+    #: Shard the merge concerns (sharded fleets keep one index — and one
+    #: cloud mirror — per shard; ``None`` for the single-partition system).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -69,6 +72,9 @@ class MergeOutcome:
     signed_root: SignedGlobalRoot
     records_in: int
     records_out: int
+    #: Echoed from the proposal so the edge routes the outcome to the
+    #: right shard's index (``None`` for the single-partition system).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -222,6 +228,7 @@ class CloudIndexMirror:
             signed_root=signed_root,
             records_in=result.records_in,
             records_out=result.records_out,
+            shard_id=proposal.shard_id,
         )
 
     def sign_current_root(

@@ -186,6 +186,22 @@ class MerkleizedLSM:
         if level_index >= 1:
             self._rebuild_level_merkle(level_index)
 
+    def install_level_pages(self, level_index: int, pages: Sequence[Page]) -> None:
+        """Install the full page list of one Merkle-tracked level.
+
+        Used when adopting a shard through the certified handoff protocol:
+        the destination edge receives every level's pages from the source
+        and installs them wholesale, then verifies the resulting level
+        roots against the cloud-countersigned state digest.
+        """
+
+        if level_index <= 0 or level_index >= self.tree.num_levels:
+            raise ProofVerificationError(
+                f"level {level_index} cannot be installed wholesale"
+            )
+        self.tree.levels[level_index].replace_pages(pages)
+        self._rebuild_level_merkle(level_index)
+
     def install_merge(
         self,
         level_index: int,

@@ -118,6 +118,8 @@ class MergeRejection:
     edge: NodeId
     level_index: int
     reason: str
+    #: Shard the rejected merge concerned (sharded fleets only).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -132,6 +134,8 @@ class RootRefreshRequest:
     """Edge → cloud: please re-sign the current roots with a new timestamp."""
 
     edge: NodeId
+    #: Shard whose root should be refreshed (sharded fleets only).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -145,6 +149,8 @@ class RootRefreshResponse:
     cloud: NodeId
     edge: NodeId
     signed_root: SignedGlobalRoot
+    #: Shard whose root was refreshed (sharded fleets only).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:

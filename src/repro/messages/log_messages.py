@@ -31,10 +31,16 @@ class AppendBatchRequest:
     kind: OperationKind
     entries: tuple[LogEntry, ...]
     request_block: bool = True
+    #: Shard the entries belong to (sharded fleets only; ``None`` for the
+    #: paper's single-partition deployment, which keeps the wire identical).
+    shard_id: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
-        return 64 + sum(entry.wire_size for entry in self.entries)
+        size = 64 + sum(entry.wire_size for entry in self.entries)
+        if self.shard_id is not None:
+            size += 8
+        return size
 
 
 @dataclass(frozen=True)

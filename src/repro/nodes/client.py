@@ -71,6 +71,13 @@ class Client:
         )
         self._operation_seq = SequenceGenerator()
         self._entry_seq = SequenceGenerator()
+        #: When ``True``, a write batch acknowledged across several blocks
+        #: is tracked cumulatively (per-block receipts; Phase I on full
+        #: coverage, Phase II when every block's proof arrives).  ``False``
+        #: keeps the paper-exact single-block policy the figures were
+        #: measured with.  Shard-aware clients enable it: variable-size
+        #: per-shard sub-batches routinely straddle block boundaries.
+        self._split_batch_acks = False
 
         #: Proven or suspected malicious behaviour observed by this client.
         self.malicious_events: list[dict] = []
@@ -78,11 +85,14 @@ class Client:
         self.verdicts: list[DisputeVerdict] = []
         #: Block proofs that arrived before the operation they certify was
         #: Phase I committed locally (possible under message reordering).
-        self._early_proofs: dict[int, Any] = {}
+        #: Keyed by (edge, block id) — block ids are only unique per edge.
+        self._early_proofs: dict[tuple[NodeId, int], Any] = {}
         #: Session consistency (Section V-D alternative): the highest signed
-        #: global-root version this client has observed.  Responses verified
-        #: against an older root are rejected as stale.
-        self._last_root_version: int = 0
+        #: global-root version this client has observed, per root sequence
+        #: (one sequence for the single-edge client; one per (edge, shard)
+        #: for shard-aware subclasses).  Responses verified against an older
+        #: root of the same sequence are rejected as stale.
+        self._last_root_versions: dict[Any, int] = {}
 
         self.stats = {
             "writes_issued": 0,
@@ -122,37 +132,51 @@ class Client:
 
         return self.put_batch([(key, value)])
 
-    def read(self, block_id: int) -> OperationId:
+    def read(self, block_id: int, edge: Optional[NodeId] = None) -> OperationId:
         """Read one block of the log by id."""
 
+        target = edge if edge is not None else self.edge
         now = self.env.now()
         operation_id = self._next_operation_id()
-        self.tracker.register(operation_id, OperationKind.READ, now, block_id=block_id)
+        self.tracker.register(
+            operation_id, OperationKind.READ, now, block_id=block_id, edge=target
+        )
         self.stats["reads_issued"] += 1
         self.env.send(
             self.node_id,
-            self.edge,
+            target,
             ReadRequest(
                 requester=self.node_id, operation_id=operation_id, block_id=block_id
             ),
         )
         return operation_id
 
-    def get(self, key: str) -> OperationId:
+    def get(self, key: str, edge: Optional[NodeId] = None) -> OperationId:
         """Fetch the most recent value of *key* with an index proof."""
 
+        target = edge if edge is not None else self.edge
         now = self.env.now()
         operation_id = self._next_operation_id()
-        self.tracker.register(operation_id, OperationKind.GET, now, key=key)
+        record = self.tracker.register(
+            operation_id, OperationKind.GET, now, key=key, edge=target
+        )
+        self._annotate_issue(record)
         self.stats["gets_issued"] += 1
         self.env.send(
             self.node_id,
-            self.edge,
+            target,
             GetRequest(requester=self.node_id, operation_id=operation_id, key=key),
         )
         return operation_id
 
-    def _append(self, payloads: list[bytes], kind: OperationKind) -> OperationId:
+    def _append(
+        self,
+        payloads: list[bytes],
+        kind: OperationKind,
+        edge: Optional[NodeId] = None,
+        shard_id: Optional[int] = None,
+    ) -> OperationId:
+        target = edge if edge is not None else self.edge
         now = self.env.now()
         operation_id = self._next_operation_id()
         entries = tuple(
@@ -165,30 +189,83 @@ class Client:
             )
             for payload in payloads
         )
-        self.tracker.register(
+        record = self.tracker.register(
             operation_id,
             kind,
             now,
             num_entries=len(entries),
             entry_sequences=tuple(entry.sequence for entry in entries),
+            edge=target,
+            shard_id=shard_id,
         )
+        self._stash_entries(record, entries)
+        self._annotate_issue(record)
         self.stats["writes_issued"] += 1
         self.stats["entries_sent"] += len(entries)
         self.env.send(
             self.node_id,
-            self.edge,
+            target,
             AppendBatchRequest(
                 requester=self.node_id,
                 operation_id=operation_id,
                 kind=kind,
                 entries=entries,
                 request_block=self.config.logging.return_block_on_add,
+                shard_id=shard_id,
             ),
         )
         return operation_id
 
     def _next_operation_id(self) -> OperationId:
         return OperationId(client=self.node_id, sequence=self._operation_seq.next())
+
+    # ------------------------------------------------------------------
+    # Multi-edge hooks (overridden by the shard-aware client)
+    # ------------------------------------------------------------------
+    def _expected_edge(self, record: OperationRecord) -> NodeId:
+        """The edge this operation was sent to (and must be answered by)."""
+
+        return record.details.get("edge", self.edge)
+
+    def _annotate_issue(self, record: OperationRecord) -> None:
+        """Hook for subclasses to stamp issue-time context on a record."""
+
+    def _stash_entries(self, record: OperationRecord, entries: tuple) -> None:
+        """Hook for subclasses that must be able to re-send a write.
+
+        The base client never re-routes, so it does not pin the signed
+        entries in the tracker (they would live for the whole run).
+        """
+
+    def _accepts_proof(self, proof: Any) -> bool:
+        """Whether a block proof may concern this client's operations."""
+
+        return proof.edge == self.edge and proof.cloud == self.cloud
+
+    def _root_version_key(self, record: OperationRecord) -> Any:
+        """Which signed-root sequence a response belongs to.
+
+        The single-edge client sees exactly one sequence; shard-aware
+        subclasses key it by (edge, shard) so independent shard roots never
+        trip the session-consistency check against each other.
+        """
+
+        return self._expected_edge(record)
+
+    def _block_should_exist(self, record: OperationRecord, block_id: int) -> bool:
+        """Whether gossip proves the read block exists at the serving edge."""
+
+        return self.gossip_view.block_should_exist(block_id)
+
+    @property
+    def _last_root_version(self) -> int:
+        """The observed root version of this client's home edge sequence."""
+
+        return self._last_root_versions.get(self.edge, 0)
+
+    @_last_root_version.setter
+    def _last_root_version(self, value: int) -> None:
+        self._last_root_versions[self.edge] = value
 
     # ------------------------------------------------------------------
     # Operation status helpers
@@ -231,9 +308,10 @@ class Client:
             return
         record = self.tracker.get(response.operation_id)
         now = self.env.now()
+        expected_edge = self._expected_edge(record)
 
         receipt = response.receipt
-        if not receipt.verify(self.env.registry) or receipt.edge != self.edge:
+        if not receipt.verify(self.env.registry) or receipt.edge != expected_edge:
             self._record_suspicion(
                 "invalid-receipt", response.block_id, response.operation_id
             )
@@ -256,23 +334,69 @@ class Client:
                 for entry in response.block.entries
                 if entry.producer == self.node_id
             }
-            if not expected.issubset(present):
-                self._record_suspicion(
-                    "missing-entries", response.block_id, response.operation_id
-                )
-                self.tracker.mark_failed(
-                    response.operation_id, now, "entries missing from block"
-                )
-                return
+            newly_acked = expected & present
+            if not self._split_batch_acks:
+                # Paper-exact policy: the whole batch must land in one block
+                # (the evaluation always aligns batch and block size).
+                if not expected.issubset(present):
+                    self._record_suspicion(
+                        "missing-entries", response.block_id, response.operation_id
+                    )
+                    self.tracker.mark_failed(
+                        response.operation_id, now, "entries missing from block"
+                    )
+                    return
+            else:
+                if expected and not newly_acked:
+                    # The edge acknowledged this operation with a block
+                    # holding none of its entries: a broken promise, not a
+                    # split batch.
+                    self._record_suspicion(
+                        "missing-entries", response.block_id, response.operation_id
+                    )
+                    self.tracker.mark_failed(
+                        response.operation_id, now, "entries missing from block"
+                    )
+                    return
+                # A batch larger than the edge's block size (or split across
+                # a block boundary by co-batched entries from other clients)
+                # is acknowledged one block at a time: track cumulative
+                # coverage and the per-block receipts, and only Phase I
+                # commit once every entry has been promised in some block.
+                acked = record.details.setdefault("acked_sequences", set())
+                acked |= newly_acked
+                record.details.setdefault("block_receipts", {})[
+                    response.block_id
+                ] = receipt
+                self.tracker.watch_block(response.operation_id, response.block_id)
+                if not expected <= acked:
+                    self._arm_dispute_timer(response.operation_id)
+                    return
 
         record.details["block_digest"] = receipt.block_digest
         self.tracker.mark_phase_one(
             response.operation_id, now, block_id=response.block_id, receipt=receipt
         )
-        early = self._early_proofs.get(response.block_id)
-        if early is not None and early.block_digest == receipt.block_digest:
-            self.tracker.mark_phase_two(response.operation_id, now, early)
-            return
+        block_receipts = record.details.get("block_receipts")
+        if block_receipts:
+            # Resolve any blocks whose proofs raced ahead of the ack.
+            all_resolved = False
+            matched_proof = None
+            for block_id, block_receipt in block_receipts.items():
+                early = self._early_proofs.get((expected_edge, block_id))
+                if early is not None and early.block_digest == block_receipt.block_digest:
+                    all_resolved = self.tracker.resolve_block(
+                        response.operation_id, block_id
+                    )
+                    matched_proof = early
+            if all_resolved and matched_proof is not None:
+                self.tracker.mark_phase_two(response.operation_id, now, matched_proof)
+                return
+        else:
+            early = self._early_proofs.get((expected_edge, response.block_id))
+            if early is not None and early.block_digest == receipt.block_digest:
+                self.tracker.mark_phase_two(response.operation_id, now, early)
+                return
         self._arm_dispute_timer(response.operation_id)
 
     # ---------------------------------------------------------- block proofs
@@ -283,19 +407,27 @@ class Client:
         # The proof must come from this client's actual cloud node: a
         # self-consistent signature from a node merely *claiming* the cloud
         # role is not Phase II evidence.
-        if (
-            proof.edge != self.edge
-            or proof.cloud != self.cloud
-            or not proof.verify(self.env.registry)
-        ):
+        if not self._accepts_proof(proof) or not proof.verify(self.env.registry):
             return
         now = self.env.now()
-        self._early_proofs[proof.block_id] = proof
+        self._early_proofs[(proof.edge, proof.block_id)] = proof
         for record in self.tracker.operations_waiting_on_block(proof.block_id):
+            if self._expected_edge(record) != proof.edge:
+                # Block ids are edge-local: the same id from another edge is
+                # a different block entirely.
+                continue
             if record.is_write:
-                promised = (
-                    record.receipt.block_digest if record.receipt is not None else None
+                # The digest promised for *this* block: the per-block receipt
+                # when the batch spanned several blocks, else the single one.
+                block_receipt = record.details.get("block_receipts", {}).get(
+                    proof.block_id
                 )
+                if block_receipt is not None:
+                    promised = block_receipt.block_digest
+                elif record.receipt is not None and record.block_id == proof.block_id:
+                    promised = record.receipt.block_digest
+                else:
+                    promised = None
                 if promised is not None and promised != proof.block_digest:
                     # The edge promised one digest but the cloud certified another.
                     self.stats["proof_mismatches"] += 1
@@ -304,7 +436,15 @@ class Client:
                     )
                     self._send_dispute(record, kind="missing-proof")
                     continue
-                self.tracker.mark_phase_two(record.operation_id, now, proof)
+                if record.phase is CommitPhase.PENDING:
+                    # Partial ack coverage (split batch): some entries have
+                    # no receipt yet, so the operation cannot be durably
+                    # committed however fast this block's proof arrived.
+                    # Resolve the block; Phase II waits for full Phase I.
+                    self.tracker.resolve_block(record.operation_id, proof.block_id)
+                    continue
+                if self.tracker.resolve_block(record.operation_id, proof.block_id):
+                    self.tracker.mark_phase_two(record.operation_id, now, proof)
             else:
                 served_digest = record.details.get("block_digest")
                 if served_digest is not None and served_digest != proof.block_digest:
@@ -327,7 +467,7 @@ class Client:
         now = self.env.now()
 
         statement = response.statement
-        if statement.edge != self.edge or not self.env.registry.verify(
+        if statement.edge != self._expected_edge(record) or not self.env.registry.verify(
             response.signature, statement
         ):
             self.stats["verification_failures"] += 1
@@ -337,7 +477,7 @@ class Client:
         record.details["read_signature"] = response.signature
 
         if not statement.found:
-            if self.gossip_view.block_should_exist(statement.block_id):
+            if self._block_should_exist(record, statement.block_id):
                 # Gossip says the block exists: omission attack.
                 self._record_suspicion(
                     "omission", statement.block_id, record.operation_id
@@ -394,7 +534,8 @@ class Client:
         self.env.charge(verification_cost)
         self.stats["verification_seconds"] += verification_cost
 
-        if statement.edge != self.edge or not self.env.registry.verify(
+        expected_edge = self._expected_edge(record)
+        if statement.edge != expected_edge or not self.env.registry.verify(
             response.signature, statement
         ):
             self.stats["verification_failures"] += 1
@@ -407,7 +548,7 @@ class Client:
             verified = verify_get_proof(
                 registry=self.env.registry,
                 cloud=self.cloud,
-                edge=self.edge,
+                edge=expected_edge,
                 key=statement.key,
                 proof=response.proof,
                 now=now,
@@ -438,7 +579,8 @@ class Client:
                 return
 
         if verified.root_version is not None:
-            if verified.root_version < self._last_root_version:
+            version_key = self._root_version_key(record)
+            if verified.root_version < self._last_root_versions.get(version_key, 0):
                 # Session consistency: the edge served a snapshot older than
                 # one this client has already read from.
                 self.stats["verification_failures"] += 1
@@ -452,7 +594,7 @@ class Client:
                     "previously observed (session consistency)",
                 )
                 return
-            self._last_root_version = verified.root_version
+            self._last_root_versions[version_key] = verified.root_version
 
         record.details["value"] = derived_value
         record.details["found"] = verified.found
@@ -497,7 +639,7 @@ class Client:
         signature = record.details.get("read_signature")
         dispute = DisputeRequest(
             client=self.node_id,
-            edge=self.edge,
+            edge=self._expected_edge(record),
             block_id=record.block_id if record.block_id is not None else -1,
             kind=kind,
             receipt=record.receipt,

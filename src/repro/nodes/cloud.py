@@ -17,9 +17,10 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..common.config import SystemConfig
-from ..common.identifiers import BlockId, NodeId, cloud_id
+from ..common.identifiers import BlockId, NodeId, ShardId, cloud_id
 from ..common.regions import Region
 from ..lsmerkle.merge import CloudIndexMirror
+from ..lsmerkle.mlsm import sign_global_root
 from ..messages.kv_messages import (
     MergeRejection,
     MergeRequest,
@@ -36,8 +37,20 @@ from ..messages.log_messages import (
     DisputeRequest,
     DisputeVerdict,
 )
-from ..common.errors import MergeProtocolError
-from ..core.dispute import PunishmentLedger, judge_dispute
+from ..messages.shard_messages import (
+    HandoffGrantStatement,
+    ShardDispute,
+    ShardDisputeVerdict,
+    ShardHandoffCertificate,
+    ShardHandoffGrant,
+    ShardHandoffOrder,
+    ShardHandoffRejection,
+    ShardHandoffRequest,
+    ShardInstallAck,
+    ShardMapMessage,
+)
+from ..common.errors import ConfigurationError, MergeProtocolError
+from ..core.dispute import PunishmentLedger, judge_dispute, judge_shard_dispute
 from ..core.gossip import build_gossip, build_gossip_batch
 from ..log.proofs import (
     AnyBlockProof,
@@ -69,11 +82,28 @@ class CloudNode:
         self._certified: dict[NodeId, dict[BlockId, str]] = {}
         #: Issued proofs: (edge, block id) -> proof (per-block or batched).
         self._proofs: dict[tuple[NodeId, BlockId], AnyBlockProof] = {}
-        #: Digest-level index mirrors used to validate merges.
-        self._mirrors: dict[NodeId, CloudIndexMirror] = {}
+        #: Digest-level index mirrors used to validate merges, one per
+        #: (edge, shard) — the shard key is ``None`` for the paper's
+        #: single-partition deployment.
+        self._mirrors: dict[tuple[NodeId, Optional[ShardId]], CloudIndexMirror] = {}
         #: Clients that receive gossip.
         self._gossip_targets: list[NodeId] = []
         self._gossip_stopper = None
+
+        #: Authoritative shard map (sharded fleets only; see
+        #: :meth:`install_shard_map`).
+        self.shard_registry = None
+        #: Key → shard mapping shared with the fleet (set with the registry).
+        self._partitioner = None
+        #: Countersigned handoffs: (shard id, map version) -> certificate.
+        self._handoff_certificates: dict[
+            tuple[ShardId, int], ShardHandoffCertificate
+        ] = {}
+        #: Handoffs this cloud has ordered and not yet granted: shard -> dest.
+        #: An offer is only countersigned against a matching outstanding
+        #: order — an owning edge cannot unilaterally dump its shard onto an
+        #: arbitrary (or nonexistent) destination.
+        self._ordered_handoffs: dict[ShardId, NodeId] = {}
 
         self.stats = {
             "certifications": 0,
@@ -86,6 +116,12 @@ class CloudNode:
             "gossip_messages": 0,
             "gossip_batches": 0,
             "root_refreshes": 0,
+            "shard_maps_published": 0,
+            "shard_handoffs_ordered": 0,
+            "shard_handoffs_granted": 0,
+            "shard_handoffs_rejected": 0,
+            "shard_installs": 0,
+            "shard_disputes": 0,
         }
         env.attach(self)
 
@@ -101,14 +137,17 @@ class CloudNode:
     def proof_for(self, edge: NodeId, block_id: BlockId) -> Optional[AnyBlockProof]:
         return self._proofs.get((edge, block_id))
 
-    def mirror_for(self, edge: NodeId) -> CloudIndexMirror:
-        if edge not in self._mirrors:
-            self._mirrors[edge] = CloudIndexMirror(
+    def mirror_for(
+        self, edge: NodeId, shard_id: Optional[ShardId] = None
+    ) -> CloudIndexMirror:
+        key = (edge, shard_id)
+        if key not in self._mirrors:
+            self._mirrors[key] = CloudIndexMirror(
                 edge=edge,
                 config=self.config.lsmerkle,
                 page_capacity=self.config.logging.block_size,
             )
-        return self._mirrors[edge]
+        return self._mirrors[key]
 
     # ------------------------------------------------------------------
     # Gossip
@@ -134,6 +173,15 @@ class CloudNode:
 
     def _emit_gossip(self) -> None:
         now = self.env.now()
+        if self.shard_registry is not None and self._gossip_targets:
+            # Shard-membership gossip rides the same interval: one signed
+            # map snapshot per tick keeps every client's ownership view at
+            # most one gossip interval stale.
+            map_message = self.shard_registry.sign(self.env.registry, self.node_id, now)
+            self.stats["shard_maps_published"] += 1
+            for client in self._gossip_targets:
+                self.env.send(self.node_id, client, map_message)
+                self.stats["gossip_messages"] += 1
         if self.config.security.gossip_batch:
             if not self._certified:
                 return
@@ -172,12 +220,22 @@ class CloudNode:
             self._handle_root_refresh(sender, message)
         elif isinstance(message, DisputeRequest):
             self._handle_dispute(sender, message)
+        elif isinstance(message, ShardHandoffRequest):
+            self._handle_shard_handoff_request(sender, message)
+        elif isinstance(message, ShardInstallAck):
+            self._handle_shard_install_ack(sender, message)
+        elif isinstance(message, ShardDispute):
+            self._handle_shard_dispute(sender, message)
         # Unknown messages are ignored (the cloud is conservative).
 
     # -------------------------------------------------------- certification
     def _handle_certify(self, sender: NodeId, request: BlockCertifyRequest) -> None:
         params = self.env.params
-        self.env.charge(params.certification_cost())
+        cost = params.certification_cost()
+        self.env.charge(cost)
+        self.stats["certify_cpu_seconds"] = (
+            self.stats.get("certify_cpu_seconds", 0.0) + cost
+        )
 
         statement = request.statement
         if statement.edge != sender or not self.env.registry.verify(
@@ -240,7 +298,11 @@ class CloudNode:
 
         params = self.env.params
         statement = request.statement
-        self.env.charge(params.batch_certification_cost(len(statement.items)))
+        cost = params.batch_certification_cost(len(statement.items))
+        self.env.charge(cost)
+        self.stats["certify_cpu_seconds"] = (
+            self.stats.get("certify_cpu_seconds", 0.0) + cost
+        )
 
         if statement.edge != sender or not self.env.registry.verify(
             request.signature, statement
@@ -326,7 +388,23 @@ class CloudNode:
 
         if proposal.edge != sender:
             return
-        mirror = self.mirror_for(proposal.edge)
+        if proposal.shard_id is not None and self.shard_registry is not None:
+            owner = self.shard_registry.owner_of(proposal.shard_id)
+            if owner != proposal.edge:
+                self.stats["merge_rejections"] += 1
+                self.env.send(
+                    self.node_id,
+                    sender,
+                    MergeRejection(
+                        cloud=self.node_id,
+                        edge=proposal.edge,
+                        level_index=proposal.level_index,
+                        reason="edge does not own the proposed shard",
+                        shard_id=proposal.shard_id,
+                    ),
+                )
+                return
+        mirror = self.mirror_for(proposal.edge, proposal.shard_id)
         certified = self._certified.get(proposal.edge, {})
         try:
             outcome = mirror.execute_merge(
@@ -351,6 +429,7 @@ class CloudNode:
                     edge=proposal.edge,
                     level_index=proposal.level_index,
                     reason=str(exc),
+                    shard_id=proposal.shard_id,
                 ),
             )
             return
@@ -362,8 +441,14 @@ class CloudNode:
     def _handle_root_refresh(self, sender: NodeId, request: RootRefreshRequest) -> None:
         if request.edge != sender:
             return
+        if request.shard_id is not None and self.shard_registry is not None:
+            # Same ownership pin as merges: a former owner must not obtain
+            # fresh-timestamped (empty-mirror) roots it could use to serve
+            # verifiable absence proofs for a shard it handed off.
+            if self.shard_registry.owner_of(request.shard_id) != request.edge:
+                return
         self.env.charge(self.env.params.sign_seconds)
-        mirror = self.mirror_for(request.edge)
+        mirror = self.mirror_for(request.edge, request.shard_id)
         signed_root = mirror.sign_current_root(
             self.env.registry, self.node_id, self.env.now()
         )
@@ -372,7 +457,10 @@ class CloudNode:
             self.node_id,
             sender,
             RootRefreshResponse(
-                cloud=self.node_id, edge=request.edge, signed_root=signed_root
+                cloud=self.node_id,
+                edge=request.edge,
+                signed_root=signed_root,
+                shard_id=request.shard_id,
             ),
         )
 
@@ -407,6 +495,272 @@ class CloudNode:
             proof=self.proof_for(dispute.edge, dispute.block_id),
         )
         self.env.send(self.node_id, sender, verdict)
+
+    # ------------------------------------------------------------------
+    # Shard fleet management (repro.sharding)
+    # ------------------------------------------------------------------
+    def install_shard_map(
+        self,
+        num_shards: int,
+        partitioner_name: str,
+        assignments: dict[ShardId, NodeId],
+        key_space: Optional[int] = None,
+    ) -> ShardMapMessage:
+        """Become the shard-map authority for a fleet; returns the signed map.
+
+        Called once at fleet construction.  Subsequent ownership changes go
+        through the certified handoff protocol, which bumps the map version
+        and republishes.
+        """
+
+        from ..sharding.partitioner import make_partitioner
+        from ..sharding.shard_map import ShardRegistry
+
+        if self.shard_registry is not None:
+            raise ConfigurationError("shard map already installed")
+        now = self.env.now()
+        self.shard_registry = ShardRegistry(
+            num_shards=num_shards,
+            partitioner=partitioner_name,
+            assignments=assignments,
+            now=now,
+        )
+        if key_space is not None:
+            self._partitioner = make_partitioner(
+                partitioner_name, num_shards, key_space=key_space
+            )
+        else:
+            self._partitioner = make_partitioner(partitioner_name, num_shards)
+        self.stats["shard_maps_published"] += 1
+        return self.shard_registry.sign(self.env.registry, self.node_id, now)
+
+    def current_shard_map(self) -> ShardMapMessage:
+        """The current map as a cloud-signed snapshot."""
+
+        if self.shard_registry is None:
+            raise ConfigurationError("no shard map installed")
+        return self.shard_registry.sign(
+            self.env.registry, self.node_id, self.env.now()
+        )
+
+    def request_shard_handoff(self, shard_id: ShardId, dest: NodeId) -> None:
+        """Order the current owner to migrate *shard_id* to *dest*."""
+
+        if self.shard_registry is None:
+            raise ConfigurationError("no shard map installed")
+        source = self.shard_registry.owner_of(shard_id)
+        if source is None:
+            raise ConfigurationError(f"shard {shard_id} has no owner")
+        if source == dest:
+            return
+        self._ordered_handoffs[shard_id] = dest
+        self.stats["shard_handoffs_ordered"] += 1
+        self.env.send(
+            self.node_id,
+            source,
+            ShardHandoffOrder(
+                cloud=self.node_id, shard_id=shard_id, source=source, dest=dest
+            ),
+        )
+
+    def _reject_handoff(self, sender: NodeId, request: ShardHandoffRequest, reason: str) -> None:
+        self.stats["shard_handoffs_rejected"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            ShardHandoffRejection(
+                cloud=self.node_id,
+                edge=request.edge,
+                shard_id=request.shard_id,
+                reason=reason,
+            ),
+        )
+
+    def _handle_shard_handoff_request(
+        self, sender: NodeId, request: ShardHandoffRequest
+    ) -> None:
+        """Verify a handoff offer against certified state and countersign it.
+
+        The offer is data-free (digests only): each listed block must match
+        the digest this cloud certified for the source edge, and the state
+        digest must match what the cloud recomputes from its own digest
+        mirror of the shard's index.  The cloud cannot verify *completeness*
+        of the listed prefix (it does not know which certified blocks carry
+        which shard's keys) — an omitted block surfaces later exactly like
+        any other omission, through gossip-backed client disputes.
+        """
+
+        from ..sharding.handoff import shard_state_digest
+
+        params = self.env.params
+        statement = request.statement
+        self.env.charge(params.handoff_countersign_cost(len(statement.blocks)))
+        if self.shard_registry is None:
+            return
+        if statement.edge != sender or not self.env.registry.verify(
+            request.signature, statement
+        ):
+            return
+        shard_id = statement.shard_id
+        if self.shard_registry.owner_of(shard_id) != statement.edge:
+            self._reject_handoff(sender, request, "offering edge does not own the shard")
+            return
+        if self._ordered_handoffs.get(shard_id) != statement.dest:
+            self._reject_handoff(
+                sender,
+                request,
+                "no outstanding handoff order for this shard and destination",
+            )
+            return
+
+        certified = self._certified.get(statement.edge, {})
+        for block_id, digest in statement.blocks:
+            existing = certified.get(block_id)
+            if existing is None:
+                self._reject_handoff(
+                    sender, request, f"block {block_id} was never certified"
+                )
+                return
+            if existing != digest:
+                # The source signed a digest that contradicts what it had
+                # certified: a provable lie, punished directly.
+                self._punish(
+                    statement.edge,
+                    reason="handoff offer lists a digest that differs from the "
+                    f"certified one for block {block_id}",
+                    block_id=block_id,
+                )
+                self._reject_handoff(sender, request, "digest mismatch in offer")
+                return
+
+        mirror = self.mirror_for(statement.edge, shard_id)
+        expected_digest = shard_state_digest(
+            shard_id, mirror.level_roots(), statement.blocks
+        )
+        if expected_digest != statement.state_digest:
+            self._punish(
+                statement.edge,
+                reason="handoff offer's state digest differs from the cloud's "
+                f"mirror of shard {shard_id}",
+                block_id=None,
+            )
+            self._reject_handoff(sender, request, "state digest mismatch")
+            return
+
+        # Reassign ownership and move the mirror to the destination edge.
+        now = self.env.now()
+        dest = statement.dest
+        new_version = self.shard_registry.reassign(shard_id, dest, now)
+        # The destination's mirror adopts the page digests but NOT the
+        # source's merged_block_ids: block ids are per-edge, so the source's
+        # consumed ids would collide with the destination's own future
+        # blocks and permanently reject its level-0 merges.  Replay of the
+        # source's blocks into a destination merge is impossible anyway —
+        # they are certified under the source's name, not the destination's.
+        dest_mirror = CloudIndexMirror(
+            edge=dest,
+            config=self.config.lsmerkle,
+            page_capacity=self.config.logging.block_size,
+            level_page_digests=[list(level) for level in mirror.level_page_digests],
+            version=mirror.version + 1,
+        )
+        self._mirrors[(dest, shard_id)] = dest_mirror
+        self._mirrors.pop((statement.edge, shard_id), None)
+        signed_root = sign_global_root(
+            registry=self.env.registry,
+            cloud=self.node_id,
+            edge=dest,
+            level_roots=dest_mirror.level_roots(),
+            version=dest_mirror.version,
+            timestamp=now,
+        )
+
+        grant_statement = HandoffGrantStatement(
+            cloud=self.node_id,
+            source=statement.edge,
+            dest=dest,
+            shard_id=shard_id,
+            map_version=new_version,
+            state_digest=statement.state_digest,
+            num_blocks=len(statement.blocks),
+            issued_at=now,
+        )
+        certificate = ShardHandoffCertificate(
+            statement=grant_statement,
+            signature=self.env.registry.sign(self.node_id, grant_statement),
+        )
+        self._handoff_certificates[(shard_id, new_version)] = certificate
+
+        self._ordered_handoffs.pop(shard_id, None)
+        map_message = self.shard_registry.sign(self.env.registry, self.node_id, now)
+        self.stats["shard_handoffs_granted"] += 1
+        self.stats["shard_maps_published"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            ShardHandoffGrant(
+                certificate=certificate,
+                shard_map=map_message,
+                signed_root=signed_root,
+            ),
+        )
+        # Mid-interval membership change: push the new map immediately to
+        # the destination and to every gossip target instead of waiting for
+        # the next gossip tick.
+        self.env.send(self.node_id, dest, map_message)
+        for client in self._gossip_targets:
+            self.env.send(self.node_id, client, map_message)
+            self.stats["gossip_messages"] += 1
+
+    def handoff_certificate(
+        self, shard_id: ShardId, map_version: int
+    ) -> Optional[ShardHandoffCertificate]:
+        return self._handoff_certificates.get((shard_id, map_version))
+
+    def _handle_shard_install_ack(self, sender: NodeId, ack: ShardInstallAck) -> None:
+        if ack.dest != sender:
+            return
+        self.stats["shard_installs"] += 1
+
+    def _handle_shard_dispute(self, sender: NodeId, dispute: ShardDispute) -> None:
+        params = self.env.params
+        self.env.charge(params.request_overhead_seconds + 2 * params.verify_seconds)
+        self.stats["shard_disputes"] += 1
+        if self.shard_registry is None or dispute.reporter != sender:
+            return
+
+        granted_digest = None
+        if dispute.transfer_statement is not None:
+            certificate = self._handoff_certificates.get(
+                (dispute.shard_id, dispute.transfer_statement.map_version)
+            )
+            granted_digest = certificate.state_digest if certificate else None
+        judgement = judge_shard_dispute(
+            dispute=dispute,
+            registry=self.env.registry,
+            owner_at=self.shard_registry.owner_at,
+            granted_state_digest=granted_digest,
+            shard_of=self._partitioner.shard_of if self._partitioner else None,
+        )
+        if judgement.punished:
+            self._punish(
+                dispute.accused,
+                reason=judgement.reason,
+                block_id=None,
+                reported_by=dispute.reporter,
+            )
+        self.env.send(
+            self.node_id,
+            sender,
+            ShardDisputeVerdict(
+                cloud=self.node_id,
+                reporter=dispute.reporter,
+                accused=dispute.accused,
+                shard_id=dispute.shard_id,
+                punished=judgement.punished,
+                reason=judgement.reason,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Punishment

@@ -7,6 +7,14 @@ For key-value workloads it additionally maintains the LSMerkle index whose
 level 0 is backed by the same blocks, serves ``get`` requests with index
 proofs, and coordinates merges with the cloud (Section V).
 
+All mutable per-partition state (log, buffer, certifier, LSMerkle index,
+merge bookkeeping) lives in a :class:`PartitionState`.  The honest edge node
+of the paper owns exactly one partition; the sharded fleet
+(:mod:`repro.sharding`) subclasses this node with one ``PartitionState`` per
+owned shard and routes each message to the right one — every handler below
+reads and writes partition state through ``self``-level properties that
+resolve to the *active* partition, so the protocol logic is written once.
+
 Malicious behaviours are implemented as subclasses in
 :mod:`repro.nodes.malicious`; the hooks they override are small and explicit
 so the honest logic stays readable.
@@ -14,11 +22,13 @@ so the honest logic stays readable.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
 from ..common.config import SystemConfig
 from ..common.errors import ProofVerificationError, ProtocolError
-from ..common.identifiers import BlockId, NodeId, OperationId, edge_id
+from ..common.identifiers import BlockId, NodeId, OperationId, ShardId, edge_id
 from ..common.regions import Region
 from ..core.certification import LazyCertifier
 from ..crypto.hashing import digest_value
@@ -58,6 +68,43 @@ from ..messages.log_messages import (
 from ..sim.environment import Environment
 
 
+@dataclass
+class PartitionState:
+    """All mutable state of one served partition (the whole key space for
+    the paper's single-partition edge; one shard of it in a sharded fleet)."""
+
+    owner: NodeId
+    config: SystemConfig
+    #: ``None`` for the single-partition deployment; the shard id otherwise.
+    shard_id: Optional[ShardId] = None
+    log: WedgeLog = field(init=False)
+    buffer: BlockBuffer = field(init=False)
+    certifier: LazyCertifier = field(init=False)
+    index: MerkleizedLSM = field(init=False)
+    #: Block ids backing the current level-0 pages, in arrival order.
+    level_zero_blocks: list[BlockId] = field(default_factory=list)
+    #: Latest cloud-signed global root (None before the first merge).
+    signed_root: Optional[SignedGlobalRoot] = None
+    #: Replay protection (Section IV-E): where each client entry landed,
+    #: and the Phase I receipt of every formed block so that replayed
+    #: requests can be answered idempotently instead of re-appended.
+    entry_locations: dict[tuple[NodeId, int], BlockId] = field(default_factory=dict)
+    receipts: dict[BlockId, object] = field(default_factory=dict)
+    merge_in_flight: bool = False
+    merge_source_bids: tuple[BlockId, ...] = ()
+    flush_timer_active: bool = False
+    certify_flush_timer: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        self.log = WedgeLog(self.owner)
+        self.buffer = BlockBuffer(self.config.logging.block_size)
+        self.certifier = LazyCertifier()
+        self.index = MerkleizedLSM(
+            config=self.config.lsmerkle,
+            page_capacity=self.config.logging.block_size,
+        )
+
+
 class EdgeNode:
     """An honest edge node serving one partition of clients."""
 
@@ -75,27 +122,10 @@ class EdgeNode:
         self.region = region if region is not None else self.config.placement.edge_region
         self.cloud = cloud
 
-        self.log = WedgeLog(self.node_id)
-        self.buffer = BlockBuffer(self.config.logging.block_size)
-        self.certifier = LazyCertifier()
-        self.index = MerkleizedLSM(
-            config=self.config.lsmerkle,
-            page_capacity=self.config.logging.block_size,
-        )
-        #: Block ids backing the current level-0 pages, in arrival order.
-        self.level_zero_blocks: list[BlockId] = []
-        #: Latest cloud-signed global root (None before the first merge).
-        self.signed_root: Optional[SignedGlobalRoot] = None
-        #: Replay protection (Section IV-E): where each client entry landed,
-        #: and the Phase I receipt of every formed block so that replayed
-        #: requests can be answered idempotently instead of re-appended.
-        self._entry_locations: dict[tuple[NodeId, int], BlockId] = {}
-        self._receipts: dict[BlockId, object] = {}
-
-        self._merge_in_flight = False
-        self._merge_source_bids: tuple[BlockId, ...] = ()
-        self._flush_timer_active = False
-        self._certify_flush_timer: Optional[Any] = None
+        self._default_partition = self._new_partition(shard_id=None)
+        #: The partition the currently running handler operates on; every
+        #: state property below resolves through it.
+        self._active: PartitionState = self._default_partition
 
         self.stats = {
             "append_requests": 0,
@@ -118,9 +148,91 @@ class EdgeNode:
         env.attach(self)
 
     # ------------------------------------------------------------------
+    # Partition state plumbing
+    # ------------------------------------------------------------------
+    def _new_partition(self, shard_id: Optional[ShardId]) -> PartitionState:
+        return PartitionState(owner=self.node_id, config=self.config, shard_id=shard_id)
+
+    def _partition_states(self) -> Iterable[PartitionState]:
+        """Every partition this edge serves (one for the honest base node)."""
+
+        return (self._default_partition,)
+
+    def _partition_for_message(
+        self, sender: NodeId, message: Any
+    ) -> Optional[PartitionState]:
+        """Resolve which partition a message concerns.
+
+        Returning ``None`` means the message was fully handled during
+        resolution (e.g. answered with a redirect) and dispatch should stop.
+        """
+
+        return self._default_partition
+
+    @contextmanager
+    def _as_active(self, state: PartitionState):
+        """Run a code block with *state* as the active partition."""
+
+        previous, self._active = self._active, state
+        try:
+            yield state
+        finally:
+            self._active = previous
+
+    # State properties: the public per-partition attributes.  Subclass code,
+    # malicious variants, and tests read (and occasionally swap) these; they
+    # always resolve against the active partition.
+    @property
+    def log(self) -> WedgeLog:
+        return self._active.log
+
+    @property
+    def buffer(self) -> BlockBuffer:
+        return self._active.buffer
+
+    @property
+    def certifier(self) -> LazyCertifier:
+        return self._active.certifier
+
+    @property
+    def index(self) -> MerkleizedLSM:
+        return self._active.index
+
+    @index.setter
+    def index(self, value: MerkleizedLSM) -> None:
+        self._active.index = value
+
+    @property
+    def level_zero_blocks(self) -> list[BlockId]:
+        return self._active.level_zero_blocks
+
+    @level_zero_blocks.setter
+    def level_zero_blocks(self, value: list[BlockId]) -> None:
+        self._active.level_zero_blocks = value
+
+    @property
+    def signed_root(self) -> Optional[SignedGlobalRoot]:
+        return self._active.signed_root
+
+    @signed_root.setter
+    def signed_root(self, value: Optional[SignedGlobalRoot]) -> None:
+        self._active.signed_root = value
+
+    @property
+    def _certify_flush_timer(self) -> Optional[Any]:
+        return self._active.certify_flush_timer
+
+    # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Any) -> None:
+        state = self._partition_for_message(sender, message)
+        if state is None:
+            return
+        with self._as_active(state):
+            self._dispatch(sender, message)
+
+    def _dispatch(self, sender: NodeId, message: Any) -> None:
         if isinstance(message, AppendBatchRequest):
             self._handle_append(sender, message)
         elif isinstance(message, ReadRequest):
@@ -158,7 +270,7 @@ class EdgeNode:
         fresh_entries = []
         replayed_blocks: set[BlockId] = set()
         for entry in request.entries:
-            location = self._entry_locations.get((entry.producer, entry.sequence))
+            location = self._active.entry_locations.get((entry.producer, entry.sequence))
             if location is not None:
                 # Replay protection (Section IV-E): the same signed entry was
                 # appended before — applying it again would duplicate data.
@@ -192,7 +304,7 @@ class EdgeNode:
         """Answer a replayed request idempotently with the original receipt."""
 
         for block_id in sorted(replayed_blocks):
-            receipt = self._receipts.get(block_id)
+            receipt = self._active.receipts.get(block_id)
             record = self.log.try_get(block_id)
             if receipt is None or record is None:
                 continue
@@ -210,28 +322,35 @@ class EdgeNode:
                 self.env.send(self.node_id, sender, BlockProofMessage(proof=record.proof))
 
     def _arm_flush_timer(self) -> None:
-        if self._flush_timer_active:
+        state = self._active
+        if state.flush_timer_active:
             return
-        self._flush_timer_active = True
+        state.flush_timer_active = True
         timeout = self.config.logging.block_timeout_s
 
         def flush() -> None:
-            self._flush_timer_active = False
-            batch = self.buffer.flush()
-            if batch is not None:
-                self.stats["timeout_flushes"] += 1
-                self._form_block(batch)
-            if not self.buffer.is_empty:
-                self._arm_flush_timer()
+            with self._as_active(state):
+                state.flush_timer_active = False
+                batch = self.buffer.flush()
+                if batch is not None:
+                    self.stats["timeout_flushes"] += 1
+                    self._form_block(batch)
+                if not self.buffer.is_empty:
+                    self._arm_flush_timer()
 
         self.env.schedule(timeout, flush, label=f"{self.node_id}:flush")
+
+    def _allocate_block_id(self) -> BlockId:
+        """Reserve the next block id (edge-wide in sharded subclasses)."""
+
+        return self.log.allocate_block_id()
 
     def _form_block(self, batch: PendingBatch) -> None:
         """Build a block from a full batch, Phase I commit it, start Phase II."""
 
         params = self.env.params
         now = self.env.now()
-        block_id = self.log.allocate_block_id()
+        block_id = self._allocate_block_id()
         block = self._build_block_for(batch, block_id, now)
         self.env.charge(params.block_build_cost(block.num_entries, block.wire_size))
 
@@ -242,9 +361,9 @@ class EdgeNode:
         receipt = issue_phase_one_receipt(self.env.registry, self.node_id, block, now)
         digest = self._digest_to_certify(block)
         self.certifier.track(block.block_id, digest, now)
-        self._receipts[block.block_id] = receipt
+        self._active.receipts[block.block_id] = receipt
         for entry in block.entries:
-            self._entry_locations[(entry.producer, entry.sequence)] = block.block_id
+            self._active.entry_locations[(entry.producer, entry.sequence)] = block.block_id
 
         # Respond to every distinct (requester, operation) in the batch and
         # subscribe them to the eventual block proof.
@@ -341,15 +460,17 @@ class EdgeNode:
         )
 
     def _arm_certify_flush_timer(self) -> None:
-        if self._certify_flush_timer is not None:
+        state = self._active
+        if state.certify_flush_timer is not None:
             return
         timeout = self.config.logging.certify_flush_timeout_s
 
         def flush() -> None:
-            self._certify_flush_timer = None
-            self._flush_certify_batch()
+            with self._as_active(state):
+                state.certify_flush_timer = None
+                self._flush_certify_batch()
 
-        self._certify_flush_timer = self.env.schedule(
+        state.certify_flush_timer = self.env.schedule(
             timeout, flush, label=f"{self.node_id}:certify-flush"
         )
 
@@ -358,22 +479,9 @@ class EdgeNode:
 
         return self.log.block(block_id).num_entries if block_id in self.log else 0
 
-    def _flush_certify_batch(self) -> None:
-        """Ship every queued digest as one signed CertifyBatchRequest.
+    def _send_certify_batch_request(self, tasks) -> None:
+        """Ship the given certification tasks as one signed batch request."""
 
-        A size-triggered flush cancels the pending timeout timer: the timer
-        exists to bound how long the *current* queue can wait, so once that
-        queue ships, the next digest to arrive starts a fresh window instead
-        of inheriting a stale, near-expired deadline (which would ship
-        undersized batches once per window under steady load).
-        """
-
-        if self._certify_flush_timer is not None:
-            self._certify_flush_timer.cancel()
-            self._certify_flush_timer = None
-        tasks = self.certifier.drain_dispatch_queue()
-        if not tasks:
-            return
         items = tuple(
             CertifyStatement(
                 edge=self.node_id,
@@ -392,6 +500,25 @@ class EdgeNode:
             self.cloud,
             CertifyBatchRequest(statement=statement, signature=signature),
         )
+
+    def _flush_certify_batch(self) -> None:
+        """Ship every queued digest as one signed CertifyBatchRequest.
+
+        A size-triggered flush cancels the pending timeout timer: the timer
+        exists to bound how long the *current* queue can wait, so once that
+        queue ships, the next digest to arrive starts a fresh window instead
+        of inheriting a stale, near-expired deadline (which would ship
+        undersized batches once per window under steady load).
+        """
+
+        state = self._active
+        if state.certify_flush_timer is not None:
+            state.certify_flush_timer.cancel()
+            state.certify_flush_timer = None
+        tasks = self.certifier.drain_dispatch_queue()
+        if not tasks:
+            return
+        self._send_certify_batch_request(tasks)
 
     # ------------------------------------------------------------------
     # Block proofs from the cloud
@@ -470,26 +597,47 @@ class EdgeNode:
     def retry_overdue_certifications(self, timeout_s: float) -> int:
         """Re-send certification requests pending longer than *timeout_s*.
 
-        Overdue digests are re-sent through the single-block path (an
-        idempotent retry the cloud answers with the already issued proof
-        when one exists); returns how many retries were sent.  Blocks still
-        sitting in the dispatch queue are skipped — their first request has
-        not left the edge yet, so there is nothing to retry (the pending
-        batch flush covers them).
+        With ``certify_batch_size`` of 1 each overdue digest is re-sent
+        through the single-block path (an idempotent retry the cloud answers
+        with the already issued proof when one exists).  With batching
+        enabled, overdue digests are re-batched into
+        :class:`CertifyBatchRequest`\\ s — the cloud's batch handler treats
+        already-certified items idempotently, so one signature still covers
+        the whole retry wave instead of falling back to N single-block
+        requests.  Returns how many retries were sent.  Blocks still sitting
+        in the dispatch queue are skipped — their first request has not left
+        the edge yet, so there is nothing to retry (the pending batch flush
+        covers them).
         """
 
+        total = 0
+        for state in self._partition_states():
+            with self._as_active(state):
+                total += self._retry_overdue_for_active(timeout_s)
+        return total
+
+    def _retry_overdue_for_active(self, timeout_s: float) -> int:
         now = self.env.now()
         overdue = [
             task
             for task in self.certifier.overdue(now, timeout_s)
             if not self.certifier.queued_for_dispatch(task.block_id)
         ]
+        if not overdue:
+            return 0
+        overdue.sort(key=lambda task: task.block_id)
         for task in overdue:
             self.certifier.record_retry(task.block_id, now)
             self.stats["certify_retries"] += 1
-            self._send_single_certify_request(
-                task.block_id, task.block_digest, self._num_entries_for(task.block_id)
-            )
+        batch_size = self.config.logging.certify_batch_size
+        if batch_size <= 1:
+            for task in overdue:
+                self._send_single_certify_request(
+                    task.block_id, task.block_digest, self._num_entries_for(task.block_id)
+                )
+        else:
+            for start in range(0, len(overdue), batch_size):
+                self._send_certify_batch_request(overdue[start : start + batch_size])
         return len(overdue)
 
     def _handle_certify_rejection(
@@ -614,8 +762,13 @@ class EdgeNode:
     # ------------------------------------------------------------------
     # Merges
     # ------------------------------------------------------------------
+    def _merge_shard_id(self) -> Optional[ShardId]:
+        """Shard id stamped on merge proposals (the active partition's)."""
+
+        return self._active.shard_id
+
     def _maybe_start_merge(self) -> None:
-        if self._merge_in_flight:
+        if self._active.merge_in_flight:
             return
         levels_due = self.index.levels_needing_merge()
         if not levels_due:
@@ -624,7 +777,7 @@ class EdgeNode:
         proposal = self._build_merge_proposal(level_index)
         if proposal is None:
             return
-        self._merge_in_flight = True
+        self._active.merge_in_flight = True
         self.stats["merges_started"] += 1
         self.env.send(
             self.node_id, self.cloud, MergeRequest(edge=self.node_id, proposal=proposal)
@@ -641,18 +794,20 @@ class EdgeNode:
                 # Nothing certified yet; retry when block proofs arrive.
                 return None
             source_blocks = tuple(self.log.block(block_id) for block_id in certified_bids)
-            self._merge_source_bids = tuple(certified_bids)
+            self._active.merge_source_bids = tuple(certified_bids)
             return MergeProposal(
                 edge=self.node_id,
                 level_index=0,
                 source_blocks=source_blocks,
                 target_pages=tuple(self.index.tree.levels[1].pages),
+                shard_id=self._merge_shard_id(),
             )
         return MergeProposal(
             edge=self.node_id,
             level_index=level_index,
             source_pages=tuple(self.index.tree.levels[level_index].pages),
             target_pages=tuple(self.index.tree.levels[level_index + 1].pages),
+            shard_id=self._merge_shard_id(),
         )
 
     def _handle_merge_response(self, sender: NodeId, message: MergeResponse) -> None:
@@ -665,12 +820,12 @@ class EdgeNode:
             )
         )
         if not outcome.signed_root.verify(self.env.registry, self.cloud):
-            self._merge_in_flight = False
+            self._active.merge_in_flight = False
             return
 
         if outcome.level_index == 0:
-            merged_bids = set(self._merge_source_bids)
-            self._merge_source_bids = ()
+            merged_bids = set(self._active.merge_source_bids)
+            self._active.merge_source_bids = ()
             remaining_pages = [
                 page
                 for page in self.index.tree.levels[0].pages
@@ -687,12 +842,12 @@ class EdgeNode:
 
         self.signed_root = outcome.signed_root
         self.stats["merges_completed"] += 1
-        self._merge_in_flight = False
+        self._active.merge_in_flight = False
         self._maybe_start_merge()
 
     def _handle_merge_rejection(self, sender: NodeId, message: MergeRejection) -> None:
         self.stats["merges_rejected"] += 1
-        self._merge_in_flight = False
+        self._active.merge_in_flight = False
 
     # ------------------------------------------------------------------
     # Root refresh (freshness support)
@@ -701,7 +856,9 @@ class EdgeNode:
         """Ask the cloud to re-sign the current roots with a fresh timestamp."""
 
         self.env.send(
-            self.node_id, self.cloud, RootRefreshRequest(edge=self.node_id)
+            self.node_id,
+            self.cloud,
+            RootRefreshRequest(edge=self.node_id, shard_id=self._active.shard_id),
         )
 
     def _handle_root_refresh_response(

@@ -1,0 +1,63 @@
+"""Sharded edge fleet: key-space partitioning, routing, certified handoff.
+
+This subsystem turns the paper's single-edge deployment into a fleet:
+
+* :mod:`~repro.sharding.partitioner` — ``KeyPartitioner`` with hash-ring
+  and range implementations mapping keys → shard ids;
+* :mod:`~repro.sharding.shard_map` — the cloud-signed, versioned shard map
+  (authoritative registry + verified monotone views) and the fleet gossip
+  view that folds membership into the existing log-size gossip;
+* :mod:`~repro.sharding.router` — key → shard → owning edge resolution;
+* :mod:`~repro.sharding.client` — the shard-aware client (routing, signed
+  redirects, stale-owner detection, per-shard session consistency);
+* :mod:`~repro.sharding.edge` — the sharded edge node (one partition of
+  log/LSMerkle state per owned shard) and its malicious variants;
+* :mod:`~repro.sharding.handoff` — the certified shard-handoff digests;
+* :mod:`~repro.sharding.system` — the fleet facade and closed-loop driver.
+"""
+
+from .client import ShardedClient
+from .edge import ShardedEdgeNode, StaleShardOwnerEdgeNode, TamperingHandoffEdgeNode
+from .handoff import level_roots_from_pages, shard_state_digest
+from .partitioner import (
+    HashRingPartitioner,
+    KeyPartitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from .router import Route, ShardRouter
+from .shard_map import (
+    FleetGossipView,
+    ShardMapView,
+    ShardRegistry,
+    build_shard_map_message,
+    verify_shard_map,
+)
+from .system import (
+    RebalanceAction,
+    ShardedClosedLoopDriver,
+    ShardedWedgeSystem,
+)
+
+__all__ = [
+    "FleetGossipView",
+    "HashRingPartitioner",
+    "KeyPartitioner",
+    "RangePartitioner",
+    "RebalanceAction",
+    "Route",
+    "ShardMapView",
+    "ShardRegistry",
+    "ShardRouter",
+    "ShardedClient",
+    "ShardedClosedLoopDriver",
+    "ShardedEdgeNode",
+    "ShardedWedgeSystem",
+    "StaleShardOwnerEdgeNode",
+    "TamperingHandoffEdgeNode",
+    "build_shard_map_message",
+    "level_roots_from_pages",
+    "make_partitioner",
+    "shard_state_digest",
+    "verify_shard_map",
+]

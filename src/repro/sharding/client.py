@@ -1,0 +1,351 @@
+"""The shard-aware client: any key, routed to its owning edge.
+
+A :class:`ShardedClient` keeps the base client's whole verification stack
+(signed receipts, proof checks, disputes, session consistency) and adds:
+
+* **routing** — puts and gets resolve their key through a
+  :class:`~repro.sharding.router.ShardRouter` backed by the client's
+  verified shard-map view; batches split per owning edge;
+* **redirect handling** — a signed ``NotOwnerRedirect`` updates the map
+  view (the redirect carries the edge's latest cloud-signed map) and
+  re-issues the *same* operation to the new owner, bounded by
+  ``ShardingConfig.max_redirects``;
+* **stale-owner detection** — a get response from an edge that the
+  client's (newer) map says no longer owns the key's shard is reported to
+  the cloud as a ``stale-owner-serve`` shard dispute, with the edge's own
+  signed response statement as evidence;
+* **per-shard session consistency** — signed-root versions are tracked per
+  (edge, shard) sequence, since every shard's index advances independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ..common.config import SystemConfig
+from ..common.identifiers import NodeId, OperationId, OperationKind, ShardId
+from ..common.regions import Region
+from ..core.commit import OperationRecord
+from ..core.gossip import verify_gossip
+from ..log.proofs import CommitPhase
+from ..lsmerkle.codec import encode_put
+from ..messages.kv_messages import GetRequest, GetResponse
+from ..messages.log_messages import (
+    AppendBatchRequest,
+    GossipBatchMessage,
+    GossipMessage,
+    ReadRequest,
+)
+from ..messages.shard_messages import (
+    NotOwnerRedirect,
+    ShardDispute,
+    ShardDisputeVerdict,
+    ShardMapMessage,
+)
+from ..nodes.client import Client
+from ..sim.environment import Environment
+from .partitioner import KeyPartitioner
+from .router import ShardRouter
+from .shard_map import FleetGossipView
+
+
+class ShardedClient(Client):
+    """One authenticated client that can read and write any shard."""
+
+    def __init__(
+        self,
+        env: Environment,
+        edges: Sequence[NodeId],
+        cloud: NodeId,
+        partitioner: KeyPartitioner,
+        config: Optional[SystemConfig] = None,
+        name: str = "client-0",
+        region: Optional[Region] = None,
+        shard_map: Optional[ShardMapMessage] = None,
+    ) -> None:
+        if not edges:
+            raise ValueError("ShardedClient needs at least one edge")
+        super().__init__(
+            env=env,
+            edge=edges[0],
+            cloud=cloud,
+            config=config,
+            name=name,
+            region=region,
+        )
+        self.partitioner = partitioner
+        # Per-shard sub-batches are sized by the key split, not the block
+        # size, so their entries routinely span block boundaries.
+        self._split_batch_acks = True
+        self.fleet_view = FleetGossipView(cloud=cloud)
+        if shard_map is not None:
+            self.fleet_view.shard_map.update(env.registry, shard_map)
+        self.router = ShardRouter(
+            partitioner, self.fleet_view.shard_map, default_owner=edges[0]
+        )
+        #: Shard-dispute verdicts the cloud sent back to this client.
+        self.shard_verdicts: list[ShardDisputeVerdict] = []
+        self.stats.update(
+            {
+                "redirects_followed": 0,
+                "redirect_failures": 0,
+                "shard_disputes_sent": 0,
+                "stale_owner_detections": 0,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Routed operation API
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: bytes) -> OperationId:
+        route = self.router.route(key)
+        return self._append(
+            [encode_put(key, value)],
+            OperationKind.PUT,
+            edge=route.owner,
+            shard_id=route.shard_id,
+        )
+
+    def put_batch(self, items: Iterable[tuple[str, bytes]]) -> tuple[OperationId, ...]:
+        """Apply a batch of puts, split per owning edge.
+
+        Unlike the single-edge client this returns one operation id per
+        (shard, owner) group — a batch that spans shards becomes several
+        independent append requests, one per owner.
+        """
+
+        groups = self.router.split_batch(items)
+        operations = []
+        for (shard_id, owner), group in groups.items():
+            payloads = [encode_put(key, value) for key, value in group]
+            operations.append(
+                self._append(
+                    payloads, OperationKind.PUT, edge=owner, shard_id=shard_id
+                )
+            )
+        return tuple(operations)
+
+    def get(self, key: str, edge: Optional[NodeId] = None) -> OperationId:
+        route = self.router.route(key)
+        target = edge if edge is not None else route.owner
+        operation_id = super().get(key, edge=target)
+        record = self.tracker.get(operation_id)
+        record.details["shard_id"] = route.shard_id
+        return operation_id
+
+    # ------------------------------------------------------------------
+    # Multi-edge hook overrides
+    # ------------------------------------------------------------------
+    def _annotate_issue(self, record: OperationRecord) -> None:
+        record.details["map_version"] = self.fleet_view.shard_map.version
+
+    def _stash_entries(self, record: OperationRecord, entries: tuple) -> None:
+        # Redirect handling re-sends the same signed entries to a new owner.
+        record.details["entries"] = entries
+
+    def _handle_append_response(self, sender: NodeId, response) -> None:
+        super()._handle_append_response(sender, response)
+        if response.operation_id not in self.tracker:
+            return
+        record = self.tracker.get(response.operation_id)
+        if record.phase is not CommitPhase.PENDING:
+            # Fully acknowledged (or failed): the operation can no longer be
+            # redirected, so release the pinned signed entries — otherwise
+            # memory grows with every write ever issued, not with in-flight
+            # writes.
+            record.details.pop("entries", None)
+
+    def _accepts_proof(self, proof: Any) -> bool:
+        # Any fleet edge may certify blocks for this client's operations;
+        # per-record edge matching pins each proof to the edge that served
+        # the operation, and the cloud pin stays strict.
+        return proof.cloud == self.cloud
+
+    def _root_version_key(self, record: OperationRecord) -> Any:
+        return (self._expected_edge(record), record.details.get("shard_id"))
+
+    def _block_should_exist(self, record: OperationRecord, block_id: int) -> bool:
+        return self.fleet_view.block_should_exist(
+            self._expected_edge(record), block_id
+        )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, ShardMapMessage):
+            self.fleet_view.shard_map.update(self.env.registry, message)
+            return
+        if isinstance(message, NotOwnerRedirect):
+            self._handle_not_owner(sender, message)
+            return
+        if isinstance(message, ShardDisputeVerdict):
+            self.shard_verdicts.append(message)
+            return
+        super().on_message(sender, message)
+
+    def _handle_gossip(
+        self, sender: NodeId, message: "GossipMessage | GossipBatchMessage"
+    ) -> None:
+        if not verify_gossip(self.env.registry, message, cloud=self.cloud):
+            return
+        self.fleet_view.update_log_sizes(message)
+        self.gossip_view.update(message)
+
+    # ------------------------------------------------------------------
+    # Redirect handling
+    # ------------------------------------------------------------------
+    def _handle_not_owner(self, sender: NodeId, redirect: NotOwnerRedirect) -> None:
+        params = self.env.params
+        self.env.charge(params.verify_seconds)
+        statement = redirect.statement
+        if statement.edge != sender or not self.env.registry.verify(
+            redirect.signature, statement
+        ):
+            return
+        if redirect.shard_map is not None:
+            self.fleet_view.shard_map.update(self.env.registry, redirect.shard_map)
+        if statement.operation_id not in self.tracker:
+            return
+        record = self.tracker.get(statement.operation_id)
+        if record.phase is not CommitPhase.PENDING:
+            # Only a still-pending operation can be re-routed: once some
+            # owner acknowledged it, a (stale or stray) redirect is noise.
+            return
+        now = self.env.now()
+        max_redirects = (
+            self.config.sharding.max_redirects if self.config.sharding else 3
+        )
+        redirects = record.details.get("redirects", 0)
+        if redirects >= max_redirects:
+            self.stats["redirect_failures"] += 1
+            self.tracker.mark_failed(
+                record.operation_id, now, "redirect limit exceeded"
+            )
+            return
+        owner = self.fleet_view.shard_map.owner_of(statement.shard_id)
+        if owner is None or owner == statement.edge:
+            # The client's map still names the redirecting edge (or nothing):
+            # trust the redirect's forward-looking hint.
+            owner = statement.owner
+        if owner is None or owner == statement.edge:
+            self.stats["redirect_failures"] += 1
+            self.tracker.mark_failed(
+                record.operation_id, now, "no resolvable shard owner"
+            )
+            return
+
+        record.details["redirects"] = redirects + 1
+        record.details["edge"] = owner
+        record.details["map_version"] = self.fleet_view.shard_map.version
+        self.stats["redirects_followed"] += 1
+        self._reissue(record, owner, statement.shard_id)
+
+    def _reissue(
+        self, record: OperationRecord, owner: NodeId, shard_id: ShardId
+    ) -> None:
+        """Re-send an operation (same id, same signed entries) to *owner*."""
+
+        if record.is_write:
+            entries = record.details.get("entries")
+            if entries is None:
+                self.tracker.mark_failed(
+                    record.operation_id, self.env.now(), "cannot replay write"
+                )
+                return
+            self.env.send(
+                self.node_id,
+                owner,
+                AppendBatchRequest(
+                    requester=self.node_id,
+                    operation_id=record.operation_id,
+                    kind=record.kind,
+                    entries=entries,
+                    request_block=self.config.logging.return_block_on_add,
+                    shard_id=shard_id,
+                ),
+            )
+        elif record.kind is OperationKind.GET:
+            self.env.send(
+                self.node_id,
+                owner,
+                GetRequest(
+                    requester=self.node_id,
+                    operation_id=record.operation_id,
+                    key=record.details["key"],
+                ),
+            )
+        elif record.kind is OperationKind.READ:
+            self.env.send(
+                self.node_id,
+                owner,
+                ReadRequest(
+                    requester=self.node_id,
+                    operation_id=record.operation_id,
+                    block_id=record.details["block_id"],
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Stale-owner detection
+    # ------------------------------------------------------------------
+    def _handle_get_response(self, sender: NodeId, response: GetResponse) -> None:
+        statement = response.statement
+        if statement.operation_id in self.tracker:
+            record = self.tracker.get(statement.operation_id)
+            shard_id = record.details.get("shard_id")
+            if shard_id is not None and self._is_stale_owner_response(
+                record, statement, shard_id
+            ):
+                if statement.edge == self._expected_edge(
+                    record
+                ) and self.env.registry.verify(response.signature, statement):
+                    # The edge's own signed statement is the evidence.
+                    self.stats["stale_owner_detections"] += 1
+                    self._record_suspicion(
+                        "stale-owner-serve", None, record.operation_id
+                    )
+                    self._send_shard_dispute(
+                        statement.edge, shard_id, statement, response.signature
+                    )
+                    self.tracker.mark_failed(
+                        record.operation_id,
+                        self.env.now(),
+                        "served by an edge that no longer owns the shard",
+                    )
+                # Unverifiable non-owner responses are dropped outright: a
+                # forger must not be able to kill an in-flight operation
+                # whose genuine response is still on the wire.
+                return
+        super()._handle_get_response(sender, response)
+
+    def _is_stale_owner_response(
+        self, record: OperationRecord, statement, shard_id: ShardId
+    ) -> bool:
+        """The client's verified map says the serving edge is not the owner.
+
+        An honest edge caught by an in-flight ownership change is acquitted
+        at the cloud (the ownership history is checked against the signed
+        statement's ``issued_at``), so the client can afford to dispute
+        every non-owner response rather than guess at timing.
+        """
+
+        current_owner = self.fleet_view.shard_map.owner_of(shard_id)
+        return current_owner is not None and statement.edge != current_owner
+
+    def _send_shard_dispute(
+        self, accused: NodeId, shard_id: ShardId, statement, signature
+    ) -> None:
+        self.stats["shard_disputes_sent"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            ShardDispute(
+                reporter=self.node_id,
+                accused=accused,
+                shard_id=shard_id,
+                kind="stale-owner-serve",
+                serve_statement=statement,
+                serve_signature=signature,
+            ),
+        )

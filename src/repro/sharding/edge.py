@@ -1,0 +1,671 @@
+"""The shard-aware edge node: one partition of state per owned shard.
+
+A :class:`ShardedEdgeNode` serves several key-space shards at once, each
+with its own :class:`~repro.nodes.edge.PartitionState` (log, buffer,
+certifier, LSMerkle index, merge bookkeeping).  Block ids stay unique per
+*edge* (the invariant the cloud's certified-digest map relies on) through a
+shared edge-wide allocator; a side table remembers which shard each block
+belongs to so proofs, certificates, and merge outcomes route back to the
+right partition.
+
+Requests for shards the edge does not own are answered with a signed
+``NotOwnerRedirect`` carrying the edge's latest cloud-signed shard map.
+Rebalancing runs the certified handoff protocol of
+:mod:`repro.sharding.handoff`: drain, offer (digests only), cloud
+countersign, transfer, destination-side verification — with a shard dispute
+raised when the transferred bytes contradict the countersigned state digest.
+
+Two malicious variants exercise the fleet's detection paths:
+``TamperingHandoffEdgeNode`` ships tampered blocks during a handoff (its own
+signed transfer statement convicts it), and ``StaleShardOwnerEdgeNode``
+keeps serving a shard after handing it off (the cloud's ownership history
+convicts it from any signed response).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Optional
+
+from ..common.config import SystemConfig
+from ..common.identifiers import BlockId, NodeId, OperationId, ShardId
+from ..common.regions import Region
+from ..log.wedge_log import LogRecord
+from ..lsmerkle.codec import decode_put, is_put_payload
+from ..messages.kv_messages import (
+    GetRequest,
+    MergeRejection,
+    MergeRequest,
+    MergeResponse,
+    RootRefreshResponse,
+)
+from ..messages.log_messages import (
+    AppendBatchRequest,
+    BatchCertificateMessage,
+    BlockProofMessage,
+    CertifyRejection,
+    ReadRequest,
+)
+from ..messages.shard_messages import (
+    NotOwnerRedirect,
+    NotOwnerStatement,
+    ShardDispute,
+    ShardDisputeVerdict,
+    ShardHandoffGrant,
+    ShardHandoffOrder,
+    ShardHandoffRejection,
+    ShardHandoffRequest,
+    ShardHandoffStatement,
+    ShardInstallAck,
+    ShardMapMessage,
+    ShardTransferMessage,
+    ShardTransferStatement,
+)
+from ..nodes.edge import EdgeNode, PartitionState
+from ..sim.environment import Environment
+from .handoff import level_roots_from_pages, shard_state_digest
+from .partitioner import KeyPartitioner
+from .shard_map import ShardMapView
+
+
+class ShardedEdgeNode(EdgeNode):
+    """An honest edge node serving one ``PartitionState`` per owned shard."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: NodeId,
+        config: Optional[SystemConfig] = None,
+        name: str = "edge-0",
+        region: Optional[Region] = None,
+        partitioner: Optional[KeyPartitioner] = None,
+    ) -> None:
+        super().__init__(env=env, cloud=cloud, config=config, name=name, region=region)
+        if partitioner is None:
+            raise ValueError("ShardedEdgeNode requires a partitioner")
+        self.partitioner = partitioner
+        self.map_view = ShardMapView(cloud=cloud)
+        #: Live partition state of every currently-owned shard.
+        self._shard_states: dict[ShardId, PartitionState] = {}
+        #: Which shard each locally formed block belongs to.
+        self._block_shards: dict[BlockId, ShardId] = {}
+        #: Edge-wide block id allocator: ids must stay unique per edge even
+        #: though every shard keeps its own log.
+        self._next_block_id: BlockId = 0
+        #: Shards mid-handoff (drain started, grant not yet processed),
+        #: mapped to their destination edge.
+        self._migrating: dict[ShardId, NodeId] = {}
+        #: Handed-off blocks kept for log reads (they remain certified under
+        #: this edge's name, so denying them would look like an omission).
+        self._archived_records: dict[BlockId, LogRecord] = {}
+        #: Blocks adopted through handoffs, keyed by (source edge, block id)
+        #: — an audit archive; their ids live in the source's id space.
+        self._imported_blocks: dict[tuple[NodeId, BlockId], tuple[Any, Any]] = {}
+        #: Requests this edge cannot serve *yet* but will be able to resolve
+        #: shortly: for a shard mid-migration they are replayed after the
+        #: grant (turning into truthful redirects under the new map), and
+        #: for an owned-but-not-installed shard after the state transfer.
+        self._parked_requests: dict[ShardId, list[tuple[NodeId, Any]]] = {}
+        #: Entries logged per shard (drives the fleet's rebalance trigger).
+        self.shard_entry_counts: dict[ShardId, int] = {}
+        #: Shard-dispute verdicts delivered to this edge.
+        self.shard_verdicts: list[ShardDisputeVerdict] = []
+
+        self.stats.update(
+            {
+                "shard_redirects": 0,
+                "shard_handoffs_offered": 0,
+                "shard_handoffs_out": 0,
+                "shard_handoffs_in": 0,
+                "shard_handoff_rejections": 0,
+                "shard_transfer_invalid": 0,
+                "shard_disputes_sent": 0,
+                "shard_map_updates": 0,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Shard map handling
+    # ------------------------------------------------------------------
+    def adopt_shard_map(self, message: ShardMapMessage) -> None:
+        """Install the initial cloud-signed shard map (fleet construction).
+
+        Creates an empty partition for every shard this edge owns.  Later
+        map versions arrive as messages and never create state directly —
+        new ownership always comes with a certified state transfer.
+        """
+
+        if not self.map_view.update(self.env.registry, message):
+            return
+        self.stats["shard_map_updates"] += 1
+        for shard_id in self.map_view.shards_owned_by(self.node_id):
+            if shard_id not in self._shard_states:
+                self._shard_states[shard_id] = self._new_partition(shard_id)
+
+    def owned_shards(self) -> tuple[ShardId, ...]:
+        return tuple(sorted(self._shard_states))
+
+    def shard_state(self, shard_id: ShardId) -> Optional[PartitionState]:
+        return self._shard_states.get(shard_id)
+
+    def _handle_shard_map(self, sender: NodeId, message: ShardMapMessage) -> None:
+        if self.map_view.update(self.env.registry, message):
+            self.stats["shard_map_updates"] += 1
+
+    # ------------------------------------------------------------------
+    # Message dispatch / partition resolution
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, ShardMapMessage):
+            self._handle_shard_map(sender, message)
+        elif isinstance(message, ShardHandoffOrder):
+            self._handle_handoff_order(sender, message)
+        elif isinstance(message, ShardHandoffGrant):
+            self._handle_handoff_grant(sender, message)
+        elif isinstance(message, ShardHandoffRejection):
+            self._handle_handoff_rejection(sender, message)
+        elif isinstance(message, ShardTransferMessage):
+            self._handle_shard_transfer(sender, message)
+        elif isinstance(message, ShardDisputeVerdict):
+            self.shard_verdicts.append(message)
+        else:
+            super().on_message(sender, message)
+
+    def _partition_states(self):
+        return (self._default_partition, *self._shard_states.values())
+
+    def _shard_of_append(self, request: AppendBatchRequest) -> Optional[ShardId]:
+        if request.shard_id is not None:
+            return request.shard_id
+        for entry in request.entries:
+            if is_put_payload(entry.payload):
+                key, _ = decode_put(entry.payload)
+                return self.partitioner.shard_of(key)
+        # Pure logging batches (no keys) stay on the default partition.
+        return None
+
+    def _partition_for_message(
+        self, sender: NodeId, message: Any
+    ) -> Optional[PartitionState]:
+        if isinstance(message, AppendBatchRequest):
+            shard_id = self._shard_of_append(message)
+            if shard_id is None:
+                return self._default_partition
+            return self._resolve_serving(sender, message, shard_id, message.operation_id)
+        if isinstance(message, GetRequest):
+            shard_id = self.partitioner.shard_of(message.key)
+            return self._resolve_serving(sender, message, shard_id, message.operation_id)
+        if isinstance(message, ReadRequest):
+            shard_id = self._block_shards.get(message.block_id)
+            state = self._shard_states.get(shard_id) if shard_id is not None else None
+            # Unknown and archived blocks are answered from the default
+            # partition; ``_read_record`` falls back to the archive.
+            return state if state is not None else self._default_partition
+        if isinstance(message, BlockProofMessage):
+            return self._partition_for_block(message.proof.block_id)
+        if isinstance(message, CertifyRejection):
+            return self._partition_for_block(message.block_id)
+        if isinstance(message, BatchCertificateMessage):
+            if not message.blocks:
+                return None
+            return self._partition_for_block(message.blocks[0][0])
+        if isinstance(message, MergeResponse):
+            return self._partition_for_shard_field(message.outcome.shard_id)
+        if isinstance(message, MergeRejection):
+            return self._partition_for_shard_field(message.shard_id)
+        if isinstance(message, RootRefreshResponse):
+            return self._partition_for_shard_field(message.shard_id)
+        return self._default_partition
+
+    def _partition_for_block(self, block_id: BlockId) -> Optional[PartitionState]:
+        shard_id = self._block_shards.get(block_id)
+        if shard_id is None:
+            return self._default_partition
+        return self._shard_states.get(shard_id)  # None drops post-handoff strays
+
+    def _partition_for_shard_field(
+        self, shard_id: Optional[ShardId]
+    ) -> Optional[PartitionState]:
+        if shard_id is None:
+            return self._default_partition
+        return self._shard_states.get(shard_id)
+
+    def _resolve_serving(
+        self,
+        sender: NodeId,
+        message: Any,
+        shard_id: ShardId,
+        operation_id: OperationId,
+    ) -> Optional[PartitionState]:
+        """Partition for a client request, or ``None`` after a redirect/queue."""
+
+        owner = self.map_view.owner_of(shard_id)
+        if owner == self.node_id:
+            if shard_id in self._migrating:
+                # Mid-drain nobody can serve the shard truthfully (the map
+                # still names this edge, the destination has no state):
+                # park the request until the grant republishes the map.
+                self._parked_requests.setdefault(shard_id, []).append(
+                    (sender, message)
+                )
+                return None
+            state = self._shard_states.get(shard_id)
+            if state is None:
+                # Owned per the map but the certified transfer has not
+                # arrived: park and replay once the shard is installed.
+                self._parked_requests.setdefault(shard_id, []).append(
+                    (sender, message)
+                )
+                return None
+            return state
+        self._send_not_owner_redirect(sender, operation_id, shard_id)
+        return None
+
+    def _send_not_owner_redirect(
+        self, sender: NodeId, operation_id: OperationId, shard_id: ShardId
+    ) -> None:
+        params = self.env.params
+        self.env.charge(params.request_overhead_seconds + params.sign_seconds)
+        owner = self.map_view.owner_of(shard_id)
+        if shard_id in self._migrating:
+            owner = self._migrating[shard_id]
+        statement = NotOwnerStatement(
+            edge=self.node_id,
+            operation_id=operation_id,
+            shard_id=shard_id,
+            owner=owner,
+            map_version=self.map_view.version,
+            issued_at=self.env.now(),
+        )
+        self.stats["shard_redirects"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            NotOwnerRedirect(
+                statement=statement,
+                signature=self.env.registry.sign(self.node_id, statement),
+                shard_map=self.map_view.message,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Block bookkeeping
+    # ------------------------------------------------------------------
+    def _allocate_block_id(self) -> BlockId:
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        shard_id = self._active.shard_id
+        if shard_id is not None:
+            self._block_shards[block_id] = shard_id
+            self.shard_entry_counts.setdefault(shard_id, 0)
+        return block_id
+
+    def _form_block(self, batch) -> None:
+        super()._form_block(batch)
+        shard_id = self._active.shard_id
+        if shard_id is not None:
+            self.shard_entry_counts[shard_id] = self.shard_entry_counts.get(
+                shard_id, 0
+            ) + len(batch.entries)
+
+    def _read_record(self, block_id: BlockId):
+        record = super()._read_record(block_id)
+        if record is None:
+            record = self._archived_records.get(block_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # Handoff: source side
+    # ------------------------------------------------------------------
+    def _handle_handoff_order(self, sender: NodeId, order: ShardHandoffOrder) -> None:
+        if sender != self.cloud or order.source != self.node_id:
+            return
+        shard_id = order.shard_id
+        state = self._shard_states.get(shard_id)
+        if state is None or shard_id in self._migrating:
+            return
+        if self.map_view.owner_of(shard_id) != self.node_id:
+            return
+        self._migrating[shard_id] = order.dest
+        with self._as_active(state):
+            # Stop accepting new writes (requests now redirect to the dest);
+            # flush the partial block so the log prefix is complete.
+            batch = self.buffer.flush()
+            if batch is not None:
+                self._form_block(batch)
+            self._advance_handoff(shard_id)
+
+    def _advance_handoff(self, shard_id: ShardId) -> None:
+        """Drive the drain state machine; called whenever progress is possible."""
+
+        state = self._shard_states.get(shard_id)
+        dest = self._migrating.get(shard_id)
+        if state is None or dest is None:
+            return
+        with self._as_active(state):
+            if self.certifier.pending_dispatch_count:
+                self._flush_certify_batch()
+            if self.certifier.outstanding():
+                return  # wait for the cloud's proofs
+            if state.merge_in_flight:
+                return  # wait for the in-flight merge
+            if state.level_zero_blocks or self.index.tree.level_zero.num_pages:
+                # Drain level 0 into level 1 so the whole index state is
+                # committed under the cloud's digest mirror.
+                proposal = self._build_merge_proposal(0)
+                if proposal is None:
+                    return
+                state.merge_in_flight = True
+                self.stats["merges_started"] += 1
+                self.env.send(
+                    self.node_id,
+                    self.cloud,
+                    MergeRequest(edge=self.node_id, proposal=proposal),
+                )
+                return
+            self._send_handoff_offer(shard_id, state, dest)
+
+    def _send_handoff_offer(
+        self, shard_id: ShardId, state: PartitionState, dest: NodeId
+    ) -> None:
+        blocks = tuple(
+            (record.block.block_id, record.block.digest()) for record in state.log
+        )
+        state_digest = shard_state_digest(
+            shard_id, state.index.level_roots(), blocks
+        )
+        self.env.charge(self.env.params.handoff_offer_cost(len(blocks)))
+        statement = ShardHandoffStatement(
+            edge=self.node_id,
+            dest=dest,
+            shard_id=shard_id,
+            blocks=blocks,
+            state_digest=state_digest,
+            issued_at=self.env.now(),
+        )
+        self.stats["shard_handoffs_offered"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            ShardHandoffRequest(
+                statement=statement,
+                signature=self.env.registry.sign(self.node_id, statement),
+            ),
+        )
+
+    def _accept_certified_proof(self, proof) -> None:
+        super()._accept_certified_proof(proof)
+        shard_id = self._active.shard_id
+        if shard_id is not None and shard_id in self._migrating:
+            self._advance_handoff(shard_id)
+
+    def _handle_merge_response(self, sender: NodeId, message: MergeResponse) -> None:
+        super()._handle_merge_response(sender, message)
+        shard_id = self._active.shard_id
+        if shard_id is not None and shard_id in self._migrating:
+            self._advance_handoff(shard_id)
+
+    def _handle_handoff_rejection(
+        self, sender: NodeId, message: ShardHandoffRejection
+    ) -> None:
+        if sender != self.cloud or message.edge != self.node_id:
+            return
+        self.stats["shard_handoff_rejections"] += 1
+        # The shard stays migrating (requests keep redirecting) — an honest
+        # edge whose offer is rejected needs operator intervention; a clean
+        # automatic fallback would mask real divergence.
+
+    def _handle_handoff_grant(self, sender: NodeId, grant: ShardHandoffGrant) -> None:
+        if sender != self.cloud:
+            return
+        certificate = grant.certificate
+        if (
+            certificate.cloud != self.cloud
+            or certificate.source != self.node_id
+            or not certificate.verify(self.env.registry)
+        ):
+            return
+        shard_id = certificate.shard_id
+        state = self._shard_states.get(shard_id)
+        if state is None:
+            return
+        self._handle_shard_map(sender, grant.shard_map)
+
+        # Archive the shard's blocks: they remain certified under this
+        # edge's name, so log reads must keep working after the handoff.
+        for record in state.log:
+            self._archived_records[record.block.block_id] = record
+
+        blocks = tuple(record.block for record in state.log)
+        proofs = tuple(record.proof for record in state.log)
+        ship_blocks = self._transfer_blocks(blocks)
+        level_pages = tuple(
+            (level.index, tuple(level.pages))
+            for level in state.index.tree.levels[1:]
+            if level.pages
+        )
+        digest_list = tuple(
+            (block.block_id, block.digest()) for block in ship_blocks
+        )
+        roots = level_roots_from_pages(level_pages, self.config.lsmerkle.num_levels)
+        statement = ShardTransferStatement(
+            source=self.node_id,
+            dest=certificate.dest,
+            shard_id=shard_id,
+            map_version=certificate.statement.map_version,
+            blocks=digest_list,
+            state_digest=shard_state_digest(shard_id, roots, digest_list),
+        )
+        self.env.charge(
+            self.env.params.handoff_offer_cost(len(ship_blocks))
+        )
+        self.env.send(
+            self.node_id,
+            certificate.dest,
+            ShardTransferMessage(
+                statement=statement,
+                signature=self.env.registry.sign(self.node_id, statement),
+                certificate=certificate,
+                blocks=ship_blocks,
+                proofs=proofs,
+                level_pages=level_pages,
+                signed_root=grant.signed_root,
+            ),
+        )
+        del self._shard_states[shard_id]
+        self._migrating.pop(shard_id, None)
+        self.stats["shard_handoffs_out"] += 1
+        # Requests parked during the drain now resolve to truthful signed
+        # redirects under the republished map.
+        for parked_sender, parked_message in self._parked_requests.pop(shard_id, []):
+            self.on_message(parked_sender, parked_message)
+
+    # Hook overridden by the tampering variant ------------------------------
+    def _transfer_blocks(self, blocks: tuple) -> tuple:
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Handoff: destination side
+    # ------------------------------------------------------------------
+    def _handle_shard_transfer(
+        self, sender: NodeId, message: ShardTransferMessage
+    ) -> None:
+        params = self.env.params
+        certificate = message.certificate
+        num_pages = sum(len(pages) for _, pages in message.level_pages)
+        self.env.charge(
+            params.handoff_install_cost(len(message.blocks), num_pages)
+        )
+        if (
+            certificate.cloud != self.cloud
+            or certificate.dest != self.node_id
+            or not certificate.verify(self.env.registry)
+        ):
+            return
+        if certificate.shard_id in self._shard_states:
+            # Already installed (a replayed or duplicated transfer): the
+            # live partition has accumulated state since — never overwrite.
+            self.stats.setdefault("shard_transfer_duplicates", 0)
+            self.stats["shard_transfer_duplicates"] += 1
+            return
+        statement = message.statement
+        shard_id = certificate.shard_id
+        if (
+            statement.source != sender
+            or statement.dest != self.node_id
+            or statement.shard_id != shard_id
+            or not self.env.registry.verify(message.signature, statement)
+        ):
+            return
+        if statement.map_version != certificate.statement.map_version:
+            # The statement must bind to the exact countersigned handoff:
+            # a lied-about version would otherwise point the dispute path
+            # at a certificate the cloud never issued, acquitting the liar.
+            self.stats["shard_transfer_invalid"] += 1
+            return
+        if len(message.proofs) != len(message.blocks):
+            # One proof per block, strictly: a short proofs tuple would let
+            # the zipped verification loop below silently skip blocks.
+            self.stats["shard_transfer_invalid"] += 1
+            return
+
+        # Recompute the state digest from the bytes actually received.
+        actual_digests = tuple(
+            (block.block_id, block.digest()) for block in message.blocks
+        )
+        roots = level_roots_from_pages(
+            message.level_pages, self.config.lsmerkle.num_levels
+        )
+        recomputed = shard_state_digest(shard_id, roots, actual_digests)
+        if actual_digests != statement.blocks or recomputed != statement.state_digest:
+            # The payload disagrees with what the source *signed*: nothing
+            # provable either way — refuse the install and wait for a
+            # retransmit (the shard stays pending, requests stay parked).
+            self.stats["shard_transfer_invalid"] += 1
+            return
+        if statement.state_digest != certificate.state_digest:
+            # The source signed state that differs from what the cloud
+            # countersigned: provable tampering — dispute it.
+            self.stats["shard_disputes_sent"] += 1
+            self.env.send(
+                self.node_id,
+                self.cloud,
+                ShardDispute(
+                    reporter=self.node_id,
+                    accused=statement.source,
+                    shard_id=shard_id,
+                    kind="handoff-digest-mismatch",
+                    transfer_statement=statement,
+                    transfer_signature=message.signature,
+                ),
+            )
+            return
+        if not message.signed_root.verify(self.env.registry, self.cloud):
+            self.stats["shard_transfer_invalid"] += 1
+            return
+        root_statement = message.signed_root.statement
+        if (
+            root_statement.edge != self.node_id
+            or tuple(root_statement.level_roots) != roots
+        ):
+            self.stats["shard_transfer_invalid"] += 1
+            return
+        for block, proof in zip(message.blocks, message.proofs):
+            if (
+                proof is None
+                or proof.cloud != self.cloud
+                or not proof.certifies(block)
+                or not proof.verify(self.env.registry)
+            ):
+                self.stats["shard_transfer_invalid"] += 1
+                return
+
+        # Verified end to end: install and start serving.
+        state = self._new_partition(shard_id)
+        for level_index, pages in message.level_pages:
+            state.index.install_level_pages(level_index, pages)
+        state.signed_root = message.signed_root
+        self._shard_states[shard_id] = state
+        for block, proof in zip(message.blocks, message.proofs):
+            self._imported_blocks[(statement.source, block.block_id)] = (block, proof)
+        self.stats["shard_handoffs_in"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            ShardInstallAck(
+                dest=self.node_id,
+                shard_id=shard_id,
+                state_digest=statement.state_digest,
+            ),
+        )
+        for queued_sender, queued_message in self._parked_requests.pop(shard_id, []):
+            self.on_message(queued_sender, queued_message)
+
+    # ------------------------------------------------------------------
+    # Per-shard maintenance helpers
+    # ------------------------------------------------------------------
+    def request_shard_root_refresh(self, shard_id: ShardId) -> None:
+        state = self._shard_states[shard_id]
+        with self._as_active(state):
+            self.request_root_refresh()
+
+
+class TamperingHandoffEdgeNode(ShardedEdgeNode):
+    """Ships tampered block content during a shard handoff.
+
+    The tampering is *self-consistent* — the signed transfer statement lists
+    the digests of the blocks actually shipped — so the destination's
+    payload check passes and the mismatch surfaces exactly where the
+    protocol wants it: the signed statement contradicts the cloud's
+    countersigned certificate, handing the destination provable evidence.
+    """
+
+    def _transfer_blocks(self, blocks: tuple) -> tuple:
+        from ..log.block import Block
+        from ..nodes.malicious import _tamper_entries
+
+        if not blocks:
+            return blocks
+        first = blocks[0]
+        tampered = Block(
+            edge=first.edge,
+            block_id=first.block_id,
+            entries=_tamper_entries(first.entries),
+            created_at=first.created_at,
+        )
+        return (tampered,) + tuple(blocks[1:])
+
+
+class StaleShardOwnerEdgeNode(ShardedEdgeNode):
+    """Keeps serving a shard from a retained snapshot after handing it off.
+
+    The handoff itself runs honestly (the certified transfer reaches the
+    destination untampered), but the node squirrels away a deep copy of the
+    partition and keeps answering gets for the shard as if nothing
+    happened.  Clients holding the new shard map detect the non-owner
+    response; the cloud's ownership history makes the signed response
+    provable evidence.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._stale_states: dict[ShardId, PartitionState] = {}
+
+    def _handle_handoff_grant(self, sender: NodeId, grant: ShardHandoffGrant) -> None:
+        shard_id = grant.certificate.shard_id
+        state = self._shard_states.get(shard_id)
+        if state is not None:
+            self._stale_states[shard_id] = copy.deepcopy(state)
+        super()._handle_handoff_grant(sender, grant)
+
+    def _resolve_serving(
+        self,
+        sender: NodeId,
+        message: Any,
+        shard_id: ShardId,
+        operation_id: OperationId,
+    ) -> Optional[PartitionState]:
+        stale = self._stale_states.get(shard_id)
+        if stale is not None:
+            return stale  # serve the shard it no longer owns
+        return super()._resolve_serving(sender, message, shard_id, operation_id)

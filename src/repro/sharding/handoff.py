@@ -1,0 +1,108 @@
+"""The certified shard-handoff protocol (rebalancing a sharded fleet).
+
+Moving a shard between untrusted edges must not create a window where a
+client can be served tampered or forked state.  The protocol keeps the
+cloud's lazy-certification invariants across the move:
+
+1. **Drain** — the source edge stops serving the shard (requests are
+   answered with signed ``NotOwnerRedirect``\\ s), flushes its buffer, waits
+   until every block of the shard is certified, and merges level 0 into
+   level 1 so the shard's whole index state is committed under the cloud's
+   digest mirror.
+2. **Offer** — the source signs the shard's certified log prefix (every
+   ``(block id, digest)`` in id order) plus a :func:`shard_state_digest`
+   binding that prefix to the shard's level roots, and sends the offer to
+   the cloud (digests only — data-free, like certification itself).
+3. **Countersign** — the cloud checks every digest against what it
+   certified and recomputes the state digest from its own mirror.  On a
+   match it reassigns the shard in the registry, re-signs the global root
+   for the destination, and countersigns a ``ShardHandoffCertificate``.
+4. **Transfer & verify** — the source ships blocks, proofs, and level
+   pages to the destination together with its *own signed transfer
+   statement*.  The destination recomputes the state digest from the bytes
+   it actually received and verifies it against the cloud's certificate
+   before serving a single request.
+5. **Dispute** — if the digests disagree, the destination holds a
+   source-signed statement that contradicts a cloud-countersigned one:
+   it raises a shard dispute and the cloud punishes the source.
+
+This module holds the pure helpers shared by all three parties; the
+message flow lives in :mod:`repro.sharding.edge` and
+:mod:`repro.nodes.cloud`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from ..common.identifiers import BlockId, ShardId
+from ..crypto.hashing import sha256_hex
+from ..lsm.page import Page
+from ..merkle.tree import MerkleTree
+
+
+def shard_state_digest(
+    shard_id: ShardId,
+    level_roots: Sequence[str],
+    blocks: Sequence[tuple[BlockId, str]],
+) -> str:
+    """One digest committing to a shard's full transferable state.
+
+    Binds, with domain separation: the shard id (a digest for shard 3 can
+    never certify shard 5), the Merkle roots of every tracked level, and
+    the certified log prefix in block-id order.  All three parties compute
+    it independently — source from its live state, cloud from its digest
+    mirror plus certified digests, destination from the bytes it received.
+    """
+
+    hasher = hashlib.sha256(b"shard-state:")
+    hasher.update(str(shard_id).encode("ascii"))
+    hasher.update(b"|roots:")
+    for root in level_roots:
+        hasher.update(root.encode("ascii"))
+        hasher.update(b"|")
+    hasher.update(b"blocks:")
+    for block_id, digest in blocks:
+        hasher.update(str(block_id).encode("ascii"))
+        hasher.update(b":")
+        hasher.update(digest.encode("ascii"))
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def level_roots_from_pages(
+    level_pages: Iterable[tuple[int, tuple[Page, ...]]],
+    num_levels: int,
+) -> tuple[str, ...]:
+    """Recompute per-level Merkle roots from transferred page lists.
+
+    ``level_pages`` carries ``(level_index, pages)`` for levels 1..n-1;
+    levels absent from the list are empty.  This is what the destination
+    edge computes from the untrusted transfer payload and compares against
+    the certificate's state digest.
+    """
+
+    by_level = {level_index: pages for level_index, pages in level_pages}
+    roots: list[str] = []
+    for level_index in range(1, num_levels):
+        pages = by_level.get(level_index, ())
+        roots.append(MerkleTree([page.digest() for page in pages]).root)
+    return tuple(roots)
+
+
+def transfer_fingerprint(blocks: Sequence[tuple[BlockId, str]]) -> str:
+    """Order-sensitive fingerprint of a certified log prefix (debug aid)."""
+
+    hasher = hashlib.sha256(b"prefix:")
+    for block_id, digest in blocks:
+        hasher.update(f"{block_id}:{digest}|".encode("ascii"))
+    return hasher.hexdigest()
+
+
+__all__ = [
+    "shard_state_digest",
+    "level_roots_from_pages",
+    "transfer_fingerprint",
+    "sha256_hex",
+]

@@ -1,0 +1,264 @@
+"""The sharded-fleet facade: N edges, one cloud, shard-aware clients.
+
+:class:`ShardedWedgeSystem` is the multi-edge counterpart of
+:class:`~repro.core.system.WedgeChainSystem`: it wires a fleet of
+:class:`~repro.sharding.edge.ShardedEdgeNode`\\ s, installs the cloud-signed
+shard map, hands every client a router, and exposes rebalancing (manual
+``rebalance_shard`` and the load-triggered ``maybe_rebalance``) on top of
+the certified handoff protocol.
+
+:class:`ShardedClosedLoopDriver` drives the fleet the same way the paper's
+closed-loop clients drive one edge — one outstanding *batch* per client —
+except a batch that spans shards fans out into one append per owning edge
+and completes when the last sub-operation commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..common.config import ShardingConfig, SystemConfig
+from ..common.errors import ConfigurationError
+from ..common.identifiers import NodeId, ShardId
+from ..core.system import WedgeChainSystem
+from ..nodes.cloud import CloudNode
+from ..sim.environment import Environment
+from ..sim.parameters import SimulationParameters
+from ..sim.topology import Topology
+from ..workloads.driver import ClosedLoopDriver
+from .client import ShardedClient
+from .edge import ShardedEdgeNode
+from .partitioner import KeyPartitioner, make_partitioner
+
+#: Factory signature for sharded edge nodes (lets tests substitute the
+#: malicious variants without changing the wiring code).
+ShardedEdgeFactory = Callable[..., ShardedEdgeNode]
+
+
+@dataclass(frozen=True)
+class RebalanceAction:
+    """One shard movement decided by the load trigger."""
+
+    shard_id: ShardId
+    source: NodeId
+    dest: NodeId
+    reason: str
+
+
+class ShardedWedgeSystem(WedgeChainSystem):
+    """A sharded WedgeChain fleet: cloud + N sharded edges + routed clients."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: SystemConfig,
+        cloud: CloudNode,
+        edges: Sequence[ShardedEdgeNode],
+        clients: Sequence[ShardedClient],
+        partitioner: KeyPartitioner,
+    ) -> None:
+        super().__init__(env=env, config=config, cloud=cloud, edges=edges, clients=clients)
+        self.partitioner = partitioner
+        #: Per-edge ``entries_logged`` snapshot taken at the last rebalance,
+        #: so the trigger reacts to load since the last move, not lifetime
+        #: totals (which would keep indicting an edge that already shed its
+        #: hotspot).
+        self._rebalance_baseline: dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: Optional[SystemConfig] = None,
+        num_clients: int = 1,
+        env: Optional[Environment] = None,
+        topology: Optional[Topology] = None,
+        params: Optional[SimulationParameters] = None,
+        edge_factory: Optional[ShardedEdgeFactory] = None,
+        seed: int = 7,
+        enable_gossip: bool = False,
+    ) -> "ShardedWedgeSystem":
+        """Create a sharded deployment.
+
+        ``config.sharding`` selects the partitioner and shard count (a
+        default :class:`~repro.common.config.ShardingConfig` is attached
+        when absent); ``config.num_edge_nodes`` sizes the fleet.  Shards are
+        assigned to edges round-robin, and every node starts from the same
+        cloud-signed version-1 shard map.
+        """
+
+        config = config if config is not None else SystemConfig.paper_default()
+        if config.sharding is None:
+            config = config.with_overrides(sharding=ShardingConfig())
+        sharding = config.sharding
+        if num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if env is None:
+            env = Environment(
+                topology=topology,
+                params=params,
+                signature_scheme=config.security.signature_scheme,
+                seed=seed,
+            )
+        partitioner = make_partitioner(
+            sharding.partitioner, sharding.num_shards, key_space=sharding.key_space
+        )
+        factory = edge_factory if edge_factory is not None else ShardedEdgeNode
+
+        cloud = CloudNode(env=env, config=config, name="cloud-0")
+        edges = [
+            factory(
+                env=env,
+                cloud=cloud.node_id,
+                config=config,
+                name=f"edge-{index}",
+                region=config.placement.edge_region,
+                partitioner=partitioner,
+            )
+            for index in range(config.num_edge_nodes)
+        ]
+        assignments = {
+            shard_id: edges[shard_id % len(edges)].node_id
+            for shard_id in range(sharding.num_shards)
+        }
+        map_message = cloud.install_shard_map(
+            num_shards=sharding.num_shards,
+            partitioner_name=sharding.partitioner,
+            assignments=assignments,
+            key_space=sharding.key_space,
+        )
+        for edge in edges:
+            edge.adopt_shard_map(map_message)
+
+        clients = []
+        edge_ids = [edge.node_id for edge in edges]
+        for index in range(num_clients):
+            client = ShardedClient(
+                env=env,
+                edges=edge_ids,
+                cloud=cloud.node_id,
+                partitioner=partitioner,
+                config=config,
+                name=f"client-{index}",
+                region=config.placement.client_region,
+                shard_map=map_message,
+            )
+            clients.append(client)
+            cloud.register_gossip_target(client.node_id)
+        system = cls(
+            env=env,
+            config=config,
+            cloud=cloud,
+            edges=edges,
+            clients=clients,
+            partitioner=partitioner,
+        )
+        if enable_gossip:
+            cloud.start_gossip()
+        return system
+
+    # ------------------------------------------------------------------
+    # Shard management
+    # ------------------------------------------------------------------
+    def shard_owner(self, shard_id: ShardId) -> Optional[NodeId]:
+        """The authoritative current owner (cloud registry)."""
+
+        registry = self.cloud.shard_registry
+        return registry.owner_of(shard_id) if registry is not None else None
+
+    def edge_by_id(self, node_id: NodeId) -> ShardedEdgeNode:
+        for edge in self.edges:
+            if edge.node_id == node_id:
+                return edge
+        raise ConfigurationError(f"unknown edge {node_id}")
+
+    def rebalance_shard(self, shard_id: ShardId, dest: "NodeId | int") -> None:
+        """Order a certified handoff of *shard_id* to *dest* (edge or index)."""
+
+        dest_id = self.edges[dest].node_id if isinstance(dest, int) else dest
+        self.cloud.request_shard_handoff(shard_id, dest_id)
+
+    def maybe_rebalance(self) -> Optional[RebalanceAction]:
+        """Move one shard off the hottest edge when load is skewed enough.
+
+        The trigger compares per-edge logged entries against the fleet mean;
+        an edge beyond ``sharding.rebalance_hot_factor`` times the mean
+        hands its busiest shard to the least-loaded edge.  Returns the
+        action taken (the handoff itself completes asynchronously) or
+        ``None`` when the fleet is balanced or no move is possible.
+        """
+
+        sharding = self.config.sharding
+        loads = {
+            edge.node_id: edge.stats["entries_logged"]
+            - self._rebalance_baseline.get(edge.node_id, 0)
+            for edge in self.edges
+        }
+        if len(loads) < 2:
+            return None
+        mean_load = sum(loads.values()) / len(loads)
+        if mean_load <= 0:
+            return None
+        hottest = max(self.edges, key=lambda edge: loads[edge.node_id])
+        if loads[hottest.node_id] < sharding.rebalance_hot_factor * mean_load:
+            return None
+        candidates = {
+            shard_id: hottest.shard_entry_counts.get(shard_id, 0)
+            for shard_id in hottest.owned_shards()
+            if self.shard_owner(shard_id) == hottest.node_id
+        }
+        if len(candidates) <= 1:
+            return None  # moving an edge's only shard just relocates the hotspot
+        busiest_shard = max(candidates, key=candidates.get)
+        coldest = min(
+            (edge for edge in self.edges if edge.node_id != hottest.node_id),
+            key=lambda edge: loads[edge.node_id],
+        )
+        self.rebalance_shard(busiest_shard, coldest.node_id)
+        self._rebalance_baseline = {
+            edge.node_id: edge.stats["entries_logged"] for edge in self.edges
+        }
+        return RebalanceAction(
+            shard_id=busiest_shard,
+            source=hottest.node_id,
+            dest=coldest.node_id,
+            reason=(
+                f"edge load {loads[hottest.node_id]} exceeds "
+                f"{sharding.rebalance_hot_factor:.1f}x fleet mean {mean_load:.0f}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet statistics
+    # ------------------------------------------------------------------
+    def fleet_stats(self) -> dict:
+        """Shard-level counters on top of the base :meth:`stats`."""
+
+        return {
+            "shard_redirects": sum(e.stats["shard_redirects"] for e in self.edges),
+            "handoffs_granted": self.cloud.stats["shard_handoffs_granted"],
+            "handoffs_completed": self.cloud.stats["shard_installs"],
+            "shard_disputes": self.cloud.stats["shard_disputes"],
+            "map_version": (
+                self.cloud.shard_registry.version
+                if self.cloud.shard_registry is not None
+                else 0
+            ),
+            "entries_per_edge": {
+                str(edge.node_id): edge.stats["entries_logged"] for edge in self.edges
+            },
+        }
+
+
+class ShardedClosedLoopDriver(ClosedLoopDriver):
+    """Closed-loop driver over shard-aware clients.
+
+    Identical to :class:`~repro.workloads.driver.ClosedLoopDriver` — the
+    base driver already tracks the set of operations a batch fans out into
+    (one append per owning edge) and issues the next logical batch when the
+    last of them commits.  The subclass exists as the fleet-facing name and
+    for sharding-specific extensions.
+    """

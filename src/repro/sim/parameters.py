@@ -54,6 +54,15 @@ class SimulationParameters:
     #: structure for full-data (edge-baseline) certification.
     merkle_rebuild_seconds_per_entry: float = 3e-6
 
+    # -------------------------------------------------------- shard handoff
+    #: Per-block CPU cost of packaging/ingesting shard state during a
+    #: certified shard handoff (serialization, proof bundling) on top of the
+    #: bandwidth charge the transfer itself pays.
+    shard_transfer_seconds_per_block: float = 4e-6
+    #: Per-page CPU cost of re-deriving level Merkle roots while verifying a
+    #: received shard snapshot at the destination edge.
+    shard_verify_seconds_per_page: float = 3e-6
+
     # ------------------------------------------------------------- workload
     #: Interval at which a closed-loop client can produce operations: used to
     #: model client-side pacing in the commit-rate experiment (Figure 6).
@@ -73,6 +82,8 @@ class SimulationParameters:
             "merge_seconds_per_entry",
             "request_overhead_seconds",
             "merkle_rebuild_seconds_per_entry",
+            "shard_transfer_seconds_per_block",
+            "shard_verify_seconds_per_page",
             "client_think_time_s",
         ):
             if getattr(self, name) < 0:
@@ -133,6 +144,37 @@ class SimulationParameters:
         O(num_blocks) hashing)."""
 
         return self.verify_seconds + self.lookup_seconds_per_op * max(num_blocks, 0)
+
+    def handoff_offer_cost(self, num_blocks: int) -> float:
+        """CPU time for the source edge to assemble and sign a handoff offer."""
+
+        return (
+            self.sign_seconds
+            + self.shard_transfer_seconds_per_block * max(num_blocks, 0)
+        )
+
+    def handoff_countersign_cost(self, num_blocks: int) -> float:
+        """CPU time for the cloud to verify an offer against its certified
+        digests and mirror, reassign the shard, and countersign (one
+        verification, two signatures: certificate + refreshed shard map)."""
+
+        return (
+            self.request_overhead_seconds
+            + self.verify_seconds
+            + 2 * self.sign_seconds
+            + self.lookup_seconds_per_op * max(num_blocks, 0)
+        )
+
+    def handoff_install_cost(self, num_blocks: int, num_pages: int) -> float:
+        """CPU time for the destination edge to verify and install a shard
+        snapshot: certificate + transfer-statement verification, per-block
+        digest checks, and per-page level-root recomputation."""
+
+        return (
+            2 * self.verify_seconds
+            + self.shard_transfer_seconds_per_block * max(num_blocks, 0)
+            + self.shard_verify_seconds_per_page * max(num_pages, 0)
+        )
 
     def full_certification_cost(self, num_entries: int, num_bytes: int) -> float:
         """CPU time for the cloud to certify a full block (edge-baseline)."""

@@ -26,12 +26,16 @@ class ClientProgress:
     workload: KeyValueWorkload
     operations_left: int
     write_buffer: list[tuple[str, bytes]] = field(default_factory=list)
-    outstanding: Optional[OperationId] = None
+    #: Operation ids of the in-flight logical request.  One element for the
+    #: single-edge client; a shard-aware client's batch may fan out into
+    #: one append per owning edge, and the next request is issued when the
+    #: last of them completes.
+    outstanding: set[OperationId] = field(default_factory=set)
     operations_completed: int = 0
     requests_sent: int = 0
     finished: bool = False
-    #: Number of logical operations carried by each in-flight request.
-    in_flight_ops: int = 0
+    #: Number of logical operations carried by each in-flight operation.
+    in_flight_ops: dict[OperationId, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,6 +102,25 @@ class ClosedLoopDriver:
     # ------------------------------------------------------------------
     # Closed-loop issue logic
     # ------------------------------------------------------------------
+    def _issue_batch(self, progress: ClientProgress, client, items) -> None:
+        """Send one logical write batch (possibly fanning out per shard)."""
+
+        result = client.put_batch(items)
+        if isinstance(result, tuple):
+            # Shard-aware clients return one operation per owning edge.
+            progress.outstanding = set(result)
+            progress.in_flight_ops = {
+                operation_id: client.tracker.get(operation_id).details.get(
+                    "num_entries", 0
+                )
+                for operation_id in result
+            }
+            progress.requests_sent += len(result)
+        else:
+            progress.outstanding = {result}
+            progress.in_flight_ops = {result: len(items)}
+            progress.requests_sent += 1
+
     def _issue_next(self, index: int) -> None:
         progress = self._progress[index]
         client = self.clients[index]
@@ -111,9 +134,7 @@ class ClosedLoopDriver:
                 # Flush the remaining buffered writes as a final short batch.
                 items = progress.write_buffer
                 progress.write_buffer = []
-                progress.outstanding = client.put_batch(items)
-                progress.in_flight_ops = len(items)
-                progress.requests_sent += 1
+                self._issue_batch(progress, client, items)
                 return
 
             operation = progress.workload.next_operation()
@@ -123,21 +144,20 @@ class ClosedLoopDriver:
                 if len(progress.write_buffer) >= batch_size:
                     items = progress.write_buffer
                     progress.write_buffer = []
-                    progress.outstanding = client.put_batch(items)
-                    progress.in_flight_ops = len(items)
-                    progress.requests_sent += 1
+                    self._issue_batch(progress, client, items)
                     return
                 # Buffered write: keep generating until a request goes out.
                 continue
             if isinstance(operation, ReadOp):
-                progress.outstanding = client.get(operation.key)
-                progress.in_flight_ops = 1
+                operation_id = client.get(operation.key)
+                progress.outstanding = {operation_id}
+                progress.in_flight_ops = {operation_id: 1}
                 progress.requests_sent += 1
                 return
 
     def _on_phase_change(self, index: int, record, phase: CommitPhase) -> None:
         progress = self._progress[index]
-        if progress.outstanding is None or record.operation_id != progress.outstanding:
+        if record.operation_id not in progress.outstanding:
             return
         committed = phase in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
         if phase is CommitPhase.FAILED:
@@ -145,11 +165,14 @@ class ClosedLoopDriver:
         if not committed:
             return
         if phase is not CommitPhase.FAILED:
-            progress.operations_completed += progress.in_flight_ops
-        progress.outstanding = None
-        progress.in_flight_ops = 0
+            progress.operations_completed += progress.in_flight_ops.get(
+                record.operation_id, 0
+            )
+        progress.outstanding.discard(record.operation_id)
+        progress.in_flight_ops.pop(record.operation_id, None)
         self._last_completion_at = self.env.now()
-        self._issue_next(index)
+        if not progress.outstanding:
+            self._issue_next(index)
 
     # ------------------------------------------------------------------
     # Execution

@@ -630,6 +630,40 @@ class TestEdgeRetry:
         assert edge.certifier.task(0).retries == 0
         assert edge.certifier.task(1).retries == 1
 
+    def test_retry_rebatches_overdue_digests(self):
+        """With batching enabled, a retry wave ships as CertifyBatchRequests
+        (one signature per chunk) instead of N single-block requests."""
+
+        env, cloud, edge = make_edge_with_blocks(5, batch_size=3)
+        env.scheduler.run_until(5.0)
+        before_batches = edge.stats["certify_batches"]
+        before_requests = edge.stats["certify_requests"]
+        sent = edge.retry_overdue_certifications(timeout_s=1.0)
+        assert sent == 5
+        assert edge.stats["certify_retries"] == 5
+        # 5 overdue digests in chunks of 3 → two batch requests, no singles.
+        assert edge.stats["certify_batches"] - before_batches == 2
+        assert edge.stats["certify_requests"] - before_requests == 2
+        env.run()
+        assert edge.certifier.certified_count == 5
+        for block_id in range(5):
+            assert edge.log.proof_for(block_id) is not None
+
+    def test_retry_batches_are_idempotent_for_certified_blocks(self):
+        """A re-batched retry that races an in-flight answer is absorbed by
+        the cloud's idempotent batch handling (re-certified, not punished)."""
+
+        env, cloud, edge = make_edge_with_blocks(3, batch_size=3)
+        env.scheduler.run_until(5.0)
+        assert edge.retry_overdue_certifications(timeout_s=1.0) == 3
+        env.run()
+        assert edge.certifier.certified_count == 3
+        # Everything certified: nothing overdue, nothing re-sent, no
+        # conflicts recorded at the cloud.
+        assert edge.retry_overdue_certifications(timeout_s=0.0) == 0
+        assert cloud.stats["certify_conflicts"] == 0
+        assert cloud.ledger.is_punished(edge.node_id) is False
+
 
 # ----------------------------------------------------------------------
 # End-to-end: batched protocol behaves like the per-block protocol

@@ -1,0 +1,157 @@
+"""Partitioners, shard map views, and the shard router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import cloud_id, edge_id
+from repro.crypto.signatures import KeyRegistry
+from repro.sharding import (
+    HashRingPartitioner,
+    RangePartitioner,
+    ShardMapView,
+    ShardRegistry,
+    ShardRouter,
+    build_shard_map_message,
+    make_partitioner,
+    verify_shard_map,
+)
+from repro.workloads.generator import format_key
+
+CLOUD = cloud_id("cloud-0")
+EDGES = [edge_id(f"edge-{i}") for i in range(4)]
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    registry = KeyRegistry("hmac")
+    registry.register(CLOUD)
+    for edge in EDGES:
+        registry.register(edge)
+    return registry
+
+
+def signed_map(registry, version=1, num_shards=8, owners=None):
+    assignments = owners or {
+        shard: EDGES[shard % len(EDGES)] for shard in range(num_shards)
+    }
+    return build_shard_map_message(
+        registry, CLOUD, version, num_shards, "hash-ring", assignments, float(version)
+    )
+
+
+class TestPartitioners:
+    def test_hash_ring_is_deterministic_and_total(self):
+        partitioner = HashRingPartitioner(num_shards=8)
+        for index in range(500):
+            key = format_key(index)
+            shard = partitioner.shard_of(key)
+            assert 0 <= shard < 8
+            assert shard == partitioner.shard_of(key)
+
+    def test_hash_ring_spreads_keys_roughly_evenly(self):
+        partitioner = HashRingPartitioner(num_shards=8)
+        counts = [0] * 8
+        for index in range(4000):
+            counts[partitioner.shard_of(format_key(index))] += 1
+        # Every shard owns a meaningful slice (no empty or dominant shard).
+        assert min(counts) > 4000 / 8 / 4
+        assert max(counts) < 4000 / 8 * 3
+
+    def test_range_partitioner_is_ordered_and_balanced(self):
+        partitioner = RangePartitioner(num_shards=4, key_space=1000)
+        shards = [partitioner.shard_of(format_key(index)) for index in range(1000)]
+        # Contiguous, non-decreasing shard assignment over the key order.
+        assert shards == sorted(shards)
+        assert set(shards) == {0, 1, 2, 3}
+        for shard in range(4):
+            assert shards.count(shard) == 250
+
+    def test_range_partitioner_concentrates_zipf_hotspots(self):
+        # Low (popular) key indices all land in shard 0: the hotspot case
+        # rebalancing exists for.
+        partitioner = RangePartitioner(num_shards=4, key_space=100_000)
+        assert {partitioner.shard_of(format_key(i)) for i in range(100)} == {0}
+
+    def test_make_partitioner_registry(self):
+        assert isinstance(make_partitioner("hash-ring", 4), HashRingPartitioner)
+        assert isinstance(make_partitioner("range", 4, key_space=100), RangePartitioner)
+        with pytest.raises(ConfigurationError):
+            make_partitioner("nope", 4)
+        with pytest.raises(ConfigurationError):
+            HashRingPartitioner(num_shards=0)
+
+
+class TestShardMap:
+    def test_signed_map_verifies_and_views_update(self, registry):
+        message = signed_map(registry)
+        assert verify_shard_map(registry, message, cloud=CLOUD)
+        view = ShardMapView(cloud=CLOUD)
+        assert view.update(registry, message)
+        assert view.version == 1
+        assert view.owner_of(0) == EDGES[0]
+        assert view.shards_owned_by(EDGES[1]) == (1, 5)
+
+    def test_stale_or_foreign_map_rejected(self, registry):
+        view = ShardMapView(cloud=CLOUD)
+        assert view.update(registry, signed_map(registry, version=3))
+        # Stale (lower version) maps never regress the view.
+        assert not view.update(registry, signed_map(registry, version=2))
+        assert view.version == 3
+        assert view.rejected == 1
+        # Same-version replays are ignored but not counted as suspicious.
+        assert not view.update(registry, signed_map(registry, version=3))
+        assert view.rejected == 1
+        # A map signed by a non-cloud node never passes.
+        imposter = signed_map(registry, version=9)
+        forged = type(imposter)(
+            statement=imposter.statement,
+            signature=registry.sign(EDGES[0], imposter.statement),
+        )
+        assert not view.update(registry, forged)
+        assert view.version == 3
+
+    def test_registry_history_answers_owner_at(self, registry):
+        shard_registry = ShardRegistry(
+            num_shards=2,
+            partitioner="hash-ring",
+            assignments={0: EDGES[0], 1: EDGES[1]},
+            now=0.0,
+        )
+        assert shard_registry.owner_at(0, 5.0) == EDGES[0]
+        version = shard_registry.reassign(0, EDGES[2], now=10.0)
+        assert version == 2
+        assert shard_registry.owner_of(0) == EDGES[2]
+        # History: before the move the old owner, after it the new one.
+        assert shard_registry.owner_at(0, 9.999) == EDGES[0]
+        assert shard_registry.owner_at(0, 10.0) == EDGES[2]
+        assert shard_registry.owner_at(1, 10.0) == EDGES[1]
+
+
+class TestShardRouter:
+    def test_routes_through_view_with_fallback(self, registry):
+        view = ShardMapView(cloud=CLOUD)
+        partitioner = HashRingPartitioner(num_shards=8)
+        router = ShardRouter(partitioner, view, default_owner=EDGES[0])
+        # Before any map arrives every route falls back to the default.
+        route = router.route(format_key(1))
+        assert route.owner == EDGES[0]
+        view.update(registry, signed_map(registry))
+        route = router.route(format_key(1))
+        assert route.owner == EDGES[route.shard_id % len(EDGES)]
+
+    def test_split_batch_groups_by_owner_and_keeps_order(self, registry):
+        view = ShardMapView(cloud=CLOUD)
+        view.update(registry, signed_map(registry))
+        partitioner = HashRingPartitioner(num_shards=8)
+        router = ShardRouter(partitioner, view)
+        items = [(format_key(index), b"v%d" % index) for index in range(64)]
+        groups = router.split_batch(items)
+        regrouped = [item for group in groups.values() for item in group]
+        assert sorted(regrouped) == sorted(items)
+        for (shard_id, owner), group in groups.items():
+            assert owner == view.owner_of(shard_id)
+            keys = [key for key, _ in group]
+            # Within a group the client's write order is preserved.
+            assert keys == [k for k, _ in items if partitioner.shard_of(k) == shard_id]
