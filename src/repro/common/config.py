@@ -75,6 +75,20 @@ class LoggingConfig:
     #: batch to fill before the partial batch is flushed anyway; bounds the
     #: extra Phase II latency batching can introduce.
     certify_flush_timeout_s: float = 0.050
+    #: Certification pipeline depth: how many
+    #: :class:`~repro.messages.log_messages.CertifyBatchRequest`\\ s may be
+    #: in flight per (edge, shard) at once.  ``1`` (the default) means one
+    #: outstanding batch — under batched certification this is a *bound*
+    #: the pre-pipeline dispatch did not have, so a batched deployment
+    #: whose blocks form faster than one certification round-trip should
+    #: raise the depth (Phase II drains serially otherwise; nothing
+    #: client-visible ever waits either way).  The committed figures use
+    #: ``certify_batch_size = 1``, which bypasses the window entirely and
+    #: keeps their wire format and metrics byte-exact.  Deeper windows
+    #: overlap certification WAN round-trips — lazy certification never
+    #: blocks anything client-visible, so the pipeline can be arbitrarily
+    #: deep.
+    certify_pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -85,6 +99,8 @@ class LoggingConfig:
             raise ConfigurationError("certify_batch_size must be positive")
         if self.certify_flush_timeout_s < 0:
             raise ConfigurationError("certify_flush_timeout_s must be non-negative")
+        if self.certify_pipeline_depth <= 0:
+            raise ConfigurationError("certify_pipeline_depth must be positive")
 
 
 @dataclass(frozen=True)
@@ -164,6 +180,12 @@ class ShardingConfig:
     #: Maximum times a client re-routes one operation after signed
     #: ``NotOwnerRedirect`` responses before failing it.
     max_redirects: int = 3
+    #: Per-shard certification pipeline depth override.  ``None`` inherits
+    #: :attr:`LoggingConfig.certify_pipeline_depth`; a value applies to
+    #: shard partitions only (the default partition keeps the logging-level
+    #: depth), letting a fleet run deep per-shard windows while a
+    #: single-partition deployment stays paper-exact.
+    certify_pipeline_depth: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -179,6 +201,8 @@ class ShardingConfig:
             raise ConfigurationError("rebalance_hot_factor must exceed 1.0")
         if self.max_redirects < 0:
             raise ConfigurationError("max_redirects must be non-negative")
+        if self.certify_pipeline_depth is not None and self.certify_pipeline_depth <= 0:
+            raise ConfigurationError("certify_pipeline_depth must be positive")
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,8 @@
 """Core WedgeChain machinery: lazy certification, commits, disputes, gossip."""
 
-from .certification import CertificationTask, LazyCertifier
+from .certification import CertificationTask, InFlightBatch, LazyCertifier
+from .certify_engine import ParallelCertifyEngine
+from .certify_pipeline import EdgeCertifyPipeline, run_certify_pipeline
 from .commit import CommitTracker, OperationRecord
 from .dispute import DisputeJudgement, PunishmentLedger, PunishmentRecord, judge_dispute
 from .gossip import (
@@ -17,11 +19,14 @@ __all__ = [
     "AnyGossipMessage",
     "CertificationTask",
     "CommitTracker",
+    "EdgeCertifyPipeline",
     "DisputeJudgement",
     "GossipSchedule",
     "GossipView",
+    "InFlightBatch",
     "LazyCertifier",
     "OperationRecord",
+    "ParallelCertifyEngine",
     "PunishmentLedger",
     "PunishmentRecord",
     "SystemStats",
@@ -29,5 +34,6 @@ __all__ = [
     "build_gossip",
     "build_gossip_batch",
     "judge_dispute",
+    "run_certify_pipeline",
     "verify_gossip",
 ]

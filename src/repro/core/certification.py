@@ -12,6 +12,17 @@ client-visible path needs the request to leave immediately: the certifier
 also maintains a *dispatch queue* of digests awaiting their batch, so the
 edge can amortize one signature over a whole
 :class:`~repro.messages.log_messages.CertifyBatchRequest`.
+
+The same asynchrony permits arbitrarily deep certification *pipelines*: the
+certifier tracks a window of :class:`InFlightBatch`\\ es — batches whose
+request has left the edge but whose
+:class:`~repro.log.proofs.BatchCertificate` has not come back yet — so the
+edge can keep several WAN round-trips overlapped instead of absorbing one
+certificate before the next batch ships.  Batch ids are purely local
+bookkeeping (nothing about them is on the wire; certificates are matched
+back to their batch through the block ids they certify), certificates are
+absorbed out of order, and an overdue batch is retried *selectively* — only
+the lost batch is re-sent, never the whole overdue set.
 """
 
 from __future__ import annotations
@@ -41,6 +52,22 @@ class CertificationTask:
         return self.proof is not None
 
 
+@dataclass
+class InFlightBatch:
+    """One dispatched :class:`CertifyBatchRequest` awaiting its certificate.
+
+    ``batch_id`` is local to the issuing edge (never on the wire); the
+    certificate is matched back through the block ids it certifies.
+    """
+
+    batch_id: int
+    block_ids: tuple[BlockId, ...]
+    dispatched_at: float
+    retries: int = 0
+    #: Members still awaiting certification; the batch retires when empty.
+    remaining: set[BlockId] = field(default_factory=set)
+
+
 class LazyCertifier:
     """Tracks asynchronous certification state for one edge node."""
 
@@ -50,6 +77,12 @@ class LazyCertifier:
         #: Block ids queued for the next batched certify request, in the
         #: order they were formed (the cloud sees them in log order).
         self._dispatch_queue: list[BlockId] = []
+        #: Dispatched-but-uncertified batches, by local batch id.
+        self._in_flight: dict[int, InFlightBatch] = {}
+        #: Uncertified block id -> the in-flight batch carrying it.
+        self._block_batch: dict[BlockId, int] = {}
+        self._next_batch_id = 0
+        self._retired_batch_count = 0
 
     # ------------------------------------------------------------------
     # Tracking
@@ -141,10 +174,186 @@ class LazyCertifier:
         return block_id in self._dispatch_queue
 
     # ------------------------------------------------------------------
+    # Windowed (pipelined) dispatch
+    # ------------------------------------------------------------------
+    def begin_batch(
+        self, block_ids: "list[BlockId] | tuple[BlockId, ...]", now: float
+    ) -> InFlightBatch:
+        """Register a dispatched batch request as in flight.
+
+        Every block must be tracked, uncertified, and not already carried by
+        another in-flight batch (a selective retry re-sends the *same* batch
+        through :meth:`record_batch_retry` instead).  Members' request
+        timestamps move to the dispatch time — the overdue clock measures
+        from when the request actually left, not from block formation.
+        """
+
+        members: list[BlockId] = []
+        for block_id in block_ids:
+            task = self._tasks.get(block_id)
+            if task is None:
+                raise ProtocolError(
+                    f"block {block_id} is not tracked for certification"
+                )
+            if task.is_certified:
+                continue
+            if block_id in self._block_batch:
+                raise ProtocolError(
+                    f"block {block_id} is already carried by in-flight batch "
+                    f"{self._block_batch[block_id]}"
+                )
+            task.requested_at = now
+            members.append(block_id)
+        if not members:
+            raise ProtocolError("cannot dispatch an empty certify batch")
+        batch = InFlightBatch(
+            batch_id=self._next_batch_id,
+            block_ids=tuple(members),
+            dispatched_at=now,
+            remaining=set(members),
+        )
+        self._next_batch_id += 1
+        self._in_flight[batch.batch_id] = batch
+        for block_id in members:
+            self._block_batch[block_id] = batch.batch_id
+        return batch
+
+    def drain_window_groups(
+        self,
+        depth: int,
+        batch_size: int,
+        now: float,
+        allow_partial: bool = False,
+    ) -> list[tuple[CertificationTask, ...]]:
+        """Pull dispatchable batches off the queue while the window has room.
+
+        The one window-pump policy shared by the simulated edge node and the
+        wall-clock :class:`~repro.core.certify_pipeline.EdgeCertifyPipeline`:
+        full ``batch_size`` chunks ship while ``in_flight_count < depth``; a
+        trailing partial batch ships only when *allow_partial* (timeout
+        flushes and drains).  Every returned group is already registered in
+        flight via :meth:`begin_batch`; the caller only builds and sends the
+        requests.
+        """
+
+        groups: list[tuple[CertificationTask, ...]] = []
+        while self.pending_dispatch_count and self.in_flight_count < depth:
+            if not allow_partial and self.pending_dispatch_count < batch_size:
+                break
+            tasks = self.drain_dispatch_queue(max_items=batch_size)
+            if not tasks:
+                continue  # drained slice was fully certified already
+            self.begin_batch([task.block_id for task in tasks], now)
+            groups.append(tasks)
+        return groups
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def retired_batch_count(self) -> int:
+        return self._retired_batch_count
+
+    def in_flight_batches(self) -> tuple[InFlightBatch, ...]:
+        return tuple(
+            self._in_flight[batch_id] for batch_id in sorted(self._in_flight)
+        )
+
+    def in_flight(self, block_id: BlockId) -> bool:
+        """Whether the block's request is riding an in-flight batch."""
+
+        return block_id in self._block_batch
+
+    def overdue_batches(
+        self, now: float, timeout_s: float
+    ) -> tuple[InFlightBatch, ...]:
+        """In-flight batches unanswered longer than *timeout_s* (oldest id
+        first) — the selective-retry unit under pipelining."""
+
+        return tuple(
+            self._in_flight[batch_id]
+            for batch_id in sorted(self._in_flight)
+            if now - self._in_flight[batch_id].dispatched_at > timeout_s
+        )
+
+    def record_batch_retry(
+        self, batch_id: int, now: float
+    ) -> tuple[CertificationTask, ...]:
+        """Note that one lost batch was re-sent; returns the tasks re-sent.
+
+        Resets the batch's overdue clock and the member tasks' request
+        timestamps (so the per-task overdue scan does not double-retry
+        them), and bumps both retry counters.
+        """
+
+        batch = self._in_flight.get(batch_id)
+        if batch is None:
+            raise ProtocolError(f"batch {batch_id} is not in flight")
+        batch.retries += 1
+        batch.dispatched_at = now
+        tasks = []
+        for block_id in batch.block_ids:
+            task = self._tasks[block_id]
+            if task.is_certified:
+                continue
+            task.retries += 1
+            task.requested_at = now
+            tasks.append(task)
+        return tuple(tasks)
+
+    def cancel_batch(self, batch_id: int) -> tuple[BlockId, ...]:
+        """Withdraw an in-flight batch and re-queue its uncertified blocks.
+
+        Used when a window must be torn down cleanly (e.g. a shard handoff
+        that prefers re-dispatching under fresh conditions over waiting):
+        the members return to the *front* of the dispatch queue in batch
+        order, so a later flush re-requests them first.
+        """
+
+        batch = self._in_flight.pop(batch_id, None)
+        if batch is None:
+            raise ProtocolError(f"batch {batch_id} is not in flight")
+        requeued = []
+        for block_id in batch.block_ids:
+            self._block_batch.pop(block_id, None)
+            if not self._tasks[block_id].is_certified and (
+                block_id not in self._dispatch_queue
+            ):
+                requeued.append(block_id)
+        self._dispatch_queue[:0] = requeued
+        return tuple(requeued)
+
+    def abandon_in_flight(self, block_id: BlockId) -> None:
+        """Drop a block from its in-flight batch without certifying it.
+
+        Called when the cloud definitively refused the block (a
+        :class:`CertifyRejection`): the batch must not occupy a window slot
+        forever waiting for a certificate that will never come.
+        """
+
+        batch_id = self._block_batch.pop(block_id, None)
+        if batch_id is None:
+            return
+        batch = self._in_flight.get(batch_id)
+        if batch is None:
+            return
+        batch.remaining.discard(block_id)
+        if not batch.remaining:
+            del self._in_flight[batch_id]
+            self._retired_batch_count += 1
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def complete(self, proof: AnyBlockProof) -> list[tuple[NodeId, OperationId]]:
-        """Record an arrived proof; returns the subscribers to notify."""
+        """Record an arrived proof; returns the subscribers to notify.
+
+        Certificates may arrive out of order and duplicated (retries race
+        their original answers): the first proof wins, later duplicates are
+        absorbed idempotently, and the block's in-flight batch retires once
+        its last member is certified.
+        """
 
         task = self._tasks.get(proof.block_id)
         if task is None:
@@ -160,6 +369,13 @@ class LazyCertifier:
         task.proof = proof
         if first_time:
             self._certified_count += 1
+            batch_id = self._block_batch.pop(proof.block_id, None)
+            if batch_id is not None:
+                batch = self._in_flight[batch_id]
+                batch.remaining.discard(proof.block_id)
+                if not batch.remaining:
+                    del self._in_flight[batch_id]
+                    self._retired_batch_count += 1
         subscribers = list(task.subscribers)
         task.subscribers = []
         return subscribers

@@ -1,0 +1,180 @@
+"""The cloud's parallel batch-certify engine.
+
+Under a pipelined edge (``certify_pipeline_depth > 1``) the cloud sees
+*windows* of :class:`~repro.messages.log_messages.CertifyBatchRequest`\\ s —
+several batches outstanding at once, from one edge or from many independent
+shards.  This engine performs the two crypto-bound phases of certifying such
+a window:
+
+* **Verify** — the window's request signatures are checked together.
+  Requests from the same edge collapse into one same-signer Schnorr batch
+  verification (~2 exponentiations for the whole group, see
+  :meth:`~repro.crypto.signatures.KeyRegistry.verify_many`); HMAC windows
+  verify individually (a MAC is already cheap).
+* **Sign** — one :class:`~repro.log.proofs.BatchCertificate` per accepted
+  batch.  With ``workers > 1`` the signing jobs fan out across a
+  ``fork``-based process pool: the 2048-bit modular exponentiation behind a
+  Schnorr signature holds the GIL, so threads cannot parallelize it —
+  processes can.  ``workers == 1`` (the default, and what the deterministic
+  simulation uses) signs inline.
+
+What the engine deliberately does **not** do is conflict ordering: deciding
+whether a digest conflicts with an already-certified one must observe the
+cloud's digest map in per-shard arrival order.  The caller
+(:meth:`~repro.nodes.cloud.CloudNode.certify_batch_window`) runs that serial
+phase between the two crypto phases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..common.identifiers import NodeId
+from ..crypto.signatures import KeyPair, KeyRegistry, get_scheme
+from ..log.proofs import (
+    CERTIFY_BATCH_CONTEXT,
+    BatchCertificate,
+    build_certify_batch_tree,
+)
+from ..crypto.signatures import BatchRootStatement
+
+#: One certificate-issuance job: (edge, ordered (block id, digest) pairs,
+#: certification timestamp).
+CertifyJob = "tuple[NodeId, tuple[tuple[int, str], ...], float]"
+
+
+def _issue_certificate_job(
+    scheme_name: str,
+    cloud: NodeId,
+    private_key: bytes,
+    public_key: bytes,
+    edge: NodeId,
+    blocks: tuple,
+    now: float,
+) -> BatchCertificate:
+    """Build the batch tree and sign its root (runs in a pool worker).
+
+    Top-level (picklable) on purpose; receives raw key material instead of a
+    registry so the worker process needs no shared state beyond the import.
+    """
+
+    scheme = get_scheme(scheme_name)
+    keypair = KeyPair(
+        owner=cloud, scheme=scheme_name, private_key=private_key, public_key=public_key
+    )
+    tree = build_certify_batch_tree(blocks)
+    statement = BatchRootStatement(
+        signer=cloud,
+        context=CERTIFY_BATCH_CONTEXT,
+        root=tree.root,
+        count=len(blocks),
+        issued_at=now,
+        about=edge,
+    )
+    return BatchCertificate(statement=statement, signature=scheme.sign(keypair, statement))
+
+
+class ParallelCertifyEngine:
+    """Crypto engine for windows of certify-batch requests (see module doc)."""
+
+    def __init__(
+        self, registry: KeyRegistry, cloud: NodeId, workers: int = 1
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.registry = registry
+        self.cloud = cloud
+        self.workers = workers
+        self._pool: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Phase A: window signature verification
+    # ------------------------------------------------------------------
+    def verify_requests(self, requests: Sequence[Any]) -> list[bool]:
+        """Verdicts (input order) for a window of CertifyBatchRequests.
+
+        Same-signer groups are batch-verified; the caller still owns the
+        transport-level check that each request's claimed edge matches the
+        actual sender.
+        """
+
+        if not requests:
+            return []
+        return self.registry.verify_many(
+            [(request.signature, request.statement) for request in requests]
+        )
+
+    # ------------------------------------------------------------------
+    # Phase C: certificate issuance
+    # ------------------------------------------------------------------
+    def issue_certificates(self, jobs: Sequence[tuple]) -> list[BatchCertificate]:
+        """One signed :class:`BatchCertificate` per ``(edge, blocks, now)`` job.
+
+        Jobs are independent (one per accepted batch), so with
+        ``workers > 1`` they fan out across the process pool; results come
+        back in job order either way.
+        """
+
+        if not jobs:
+            return []
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [self._issue_inline(edge, blocks, now) for edge, blocks, now in jobs]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [self._issue_inline(edge, blocks, now) for edge, blocks, now in jobs]
+        keypair = self.registry.register(self.cloud)
+        return pool.starmap(
+            _issue_certificate_job,
+            [
+                (
+                    self.registry.scheme_name,
+                    self.cloud,
+                    keypair.private_key,
+                    keypair.public_key,
+                    edge,
+                    tuple(blocks),
+                    now,
+                )
+                for edge, blocks, now in jobs
+            ],
+        )
+
+    def _issue_inline(
+        self, edge: NodeId, blocks: tuple, now: float
+    ) -> BatchCertificate:
+        keypair = self.registry.register(self.cloud)
+        return _issue_certificate_job(
+            self.registry.scheme_name,
+            self.cloud,
+            keypair.private_key,
+            keypair.public_key,
+            edge,
+            tuple(blocks),
+            now,
+        )
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[Any]:
+        if self._pool is not None:
+            return self._pool
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(processes=self.workers)
+        except (ImportError, OSError, ValueError):
+            # No fork on this platform (or process creation refused): fall
+            # back to inline signing — correctness never depends on the pool.
+            self.workers = 1
+            self._pool = None
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

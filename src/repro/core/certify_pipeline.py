@@ -1,0 +1,246 @@
+"""Edge-side pipelined certification engine for wall-clock deployments.
+
+The simulator models CPU and WAN costs explicitly, so inside it the
+pipeline lives in :class:`~repro.nodes.edge.EdgeNode` and the event loop.
+Outside the simulator — the tracked ``cert_pipeline_*`` benchmarks, or a
+real deployment shim — the same windowed protocol needs a driver that does
+the actual crypto: sign a bounded window of
+:class:`~repro.messages.log_messages.CertifyBatchRequest`\\ s, hand them to
+the cloud's :class:`~repro.core.certify_engine.ParallelCertifyEngine`-backed
+window path, and absorb the returned certificates (out of order, duplicates
+idempotent).
+
+What pipelining buys at the crypto layer: a window of ``d`` outstanding
+batches means the cloud sees ``d`` same-edge request signatures per burst
+and the edge sees ``d`` same-cloud certificate signatures per burst — both
+collapse into one Schnorr batch verification each
+(:meth:`~repro.crypto.signatures.KeyRegistry.verify_many`), so per batch
+only the two unavoidable *signing* exponentiations remain.  Depth 1
+degenerates to exactly the serial per-batch round measured by the
+``certify_batch`` benchmark row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.identifiers import BlockId, NodeId
+from ..crypto.signatures import KeyRegistry
+from ..log.proofs import derive_batched_proofs, verify_batch_certificates
+from ..messages.log_messages import (
+    BatchCertificateMessage,
+    CertifyBatchRequest,
+    CertifyBatchStatement,
+    CertifyRejection,
+    CertifyStatement,
+    CertifyWindowRequest,
+    CertifyWindowStatement,
+)
+from .certification import LazyCertifier
+
+
+class EdgeCertifyPipeline:
+    """Drives one edge's bounded in-flight certification window.
+
+    The engine wraps the same :class:`LazyCertifier` windowed state the
+    simulated edge node uses, so dispatch-window accounting, out-of-order
+    absorption, and selective retry behave identically in and out of the
+    simulator.
+    """
+
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        edge: NodeId,
+        cloud: NodeId,
+        depth: int = 1,
+        batch_size: int = 32,
+    ) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.registry = registry
+        self.edge = edge
+        self.cloud = cloud
+        self.depth = depth
+        self.batch_size = batch_size
+        self.certifier = LazyCertifier()
+        self.absorbed = 0
+        self.rejected = 0
+        #: Blocks the cloud definitively refused (a conflict rejection):
+        #: they will never certify, so the drain treats them as terminal.
+        self.abandoned: set[BlockId] = set()
+
+    # ------------------------------------------------------------------
+    # Producing work
+    # ------------------------------------------------------------------
+    def submit(self, block_id: BlockId, block_digest: str, now: float) -> None:
+        """Queue one freshly formed block's digest for certification."""
+
+        self.certifier.track(block_id, block_digest, requested_at=now)
+        self.certifier.enqueue_for_dispatch(block_id)
+
+    def dispatch_ready(
+        self, now: float, allow_partial: bool = True
+    ) -> "list[CertifyBatchRequest | CertifyWindowRequest]":
+        """Sign and return dispatchable requests while the window has room.
+
+        Mirrors the simulated edge's pump: full ``batch_size`` chunks ship
+        while ``in_flight_count < depth``; a trailing partial batch ships
+        only when *allow_partial* (there is no flush timer out here — the
+        caller decides when stragglers must go).  A pump that fills more
+        than one window slot ships them as one
+        :class:`CertifyWindowRequest` envelope — one edge signature for the
+        whole window; a single batch keeps the plain wire format.
+        """
+
+        groups = self.certifier.drain_window_groups(
+            depth=self.depth,
+            batch_size=self.batch_size,
+            now=now,
+            allow_partial=allow_partial,
+        )
+        if not groups:
+            return []
+        statements = [
+            CertifyBatchStatement(
+                edge=self.edge,
+                items=tuple(
+                    CertifyStatement(
+                        edge=self.edge,
+                        block_id=task.block_id,
+                        block_digest=task.block_digest,
+                        num_entries=0,
+                    )
+                    for task in tasks
+                ),
+            )
+            for tasks in groups
+        ]
+        if len(statements) == 1:
+            statement = statements[0]
+            return [
+                CertifyBatchRequest(
+                    statement=statement,
+                    signature=self.registry.sign(self.edge, statement),
+                )
+            ]
+        window = CertifyWindowStatement(edge=self.edge, batches=tuple(statements))
+        return [
+            CertifyWindowRequest(
+                statement=window, signature=self.registry.sign(self.edge, window)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Absorbing certificates
+    # ------------------------------------------------------------------
+    def absorb(self, messages: Sequence[BatchCertificateMessage]) -> int:
+        """Absorb a burst of certificates; returns newly certified blocks.
+
+        The burst's root signatures are verified together (one amortized
+        pass seeding the per-certificate verdict memos), then each per-block
+        proof costs only hashing.  Order within the burst is irrelevant and
+        duplicates are idempotent — exactly the simulated edge's semantics.
+        """
+
+        verdicts = verify_batch_certificates(
+            self.registry,
+            [message.certificate for message in messages],
+            expected_cloud=self.cloud,
+        )
+        newly_certified = 0
+        for message, valid in zip(messages, verdicts):
+            if not valid or message.certificate.edge != self.edge:
+                self.rejected += 1
+                continue
+            proofs = derive_batched_proofs(message.certificate, message.blocks)
+            for proof in proofs:
+                task = self.certifier.task(proof.block_id)
+                if task is None or task.block_digest != proof.block_digest:
+                    self.rejected += 1
+                    continue
+                if task.is_certified:
+                    continue  # duplicate answer (retry race): idempotent
+                if not proof.verify(self.registry):
+                    self.rejected += 1
+                    continue
+                self.certifier.complete(proof)
+                newly_certified += 1
+        self.absorbed += newly_certified
+        return newly_certified
+
+    def absorb_rejection(self, rejection) -> None:
+        """Handle the cloud's definitive refusal of one block.
+
+        Mirrors the simulated edge's handler: the block will never produce
+        a certificate, so its in-flight batch slot is released (the window
+        must not wedge on it) and the block is marked terminally abandoned.
+        """
+
+        if rejection.cloud != self.cloud or rejection.edge != self.edge:
+            return
+        self.rejected += 1
+        self.abandoned.add(rejection.block_id)
+        self.certifier.abandon_in_flight(rejection.block_id)
+
+    @property
+    def drained(self) -> bool:
+        """Nothing queued or in flight, and every survivor certified.
+
+        Blocks the cloud refused outright count as terminal — waiting for
+        their certificates would wait forever.
+        """
+
+        return (
+            not self.certifier.pending_dispatch_count
+            and not self.certifier.in_flight_count
+            and all(
+                task.block_id in self.abandoned
+                for task in self.certifier.outstanding()
+            )
+        )
+
+
+def run_certify_pipeline(
+    pipeline: EdgeCertifyPipeline,
+    cloud_node,
+    pairs: Sequence[tuple[BlockId, str]],
+    now: float = 0.0,
+    max_rounds: Optional[int] = None,
+) -> int:
+    """Push ``(block id, digest)`` pairs through a full pipelined round trip.
+
+    Drives *pipeline* against a :class:`~repro.nodes.cloud.CloudNode`'s
+    :meth:`certify_batch_window` until every block is certified: each round
+    fills the window, certifies it as one cloud-side burst, and absorbs the
+    returned certificates as one edge-side burst.  At depth 1 each round is
+    exactly one serial request/certificate exchange; at depth ``d`` both
+    sides amortize their burst's signature verifications.  Returns the
+    number of rounds taken.
+    """
+
+    for block_id, digest in pairs:
+        pipeline.submit(block_id, digest, now)
+    rounds = 0
+    while not pipeline.drained:
+        if max_rounds is not None and rounds >= max_rounds:
+            raise RuntimeError(f"pipeline did not drain in {max_rounds} rounds")
+        requests = pipeline.dispatch_ready(now)
+        responses = cloud_node.certify_batch_window(
+            tuple((pipeline.edge, request) for request in requests)
+        )
+        progressed = 0
+        certificates = []
+        for _target, message in responses:
+            if isinstance(message, BatchCertificateMessage):
+                certificates.append(message)
+            elif isinstance(message, CertifyRejection):
+                pipeline.absorb_rejection(message)
+                progressed += 1
+        progressed += pipeline.absorb(certificates)
+        rounds += 1
+        if not requests and not progressed:
+            raise RuntimeError("pipeline stalled: no requests shipped, nothing absorbed")
+    return rounds

@@ -152,6 +152,53 @@ class CertifyBatchRequest:
 
 
 @dataclass(frozen=True)
+class CertifyWindowStatement:
+    """What the edge signs when a pipelined pump ships several batches at once.
+
+    One uplink signature covers the whole in-flight window's worth of
+    batches; the cloud still answers with one :class:`BatchCertificate`
+    *per inner batch*, so window slots retire independently and a lost
+    batch retries alone (as a plain :class:`CertifyBatchRequest`).  A
+    single-batch dispatch never uses the envelope — ``certify_pipeline_depth
+    = 1`` keeps the pre-pipeline wire format byte-exactly.
+    """
+
+    edge: NodeId
+    batches: tuple[CertifyBatchStatement, ...]
+
+
+@dataclass(frozen=True)
+class CertifyWindowRequest:
+    """certify-window: edge → cloud, a window of batches under one signature."""
+
+    statement: CertifyWindowStatement
+    signature: Signature
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def batches(self) -> tuple[CertifyBatchStatement, ...]:
+        return self.statement.batches
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(len(batch.items) for batch in self.statement.batches)
+
+    @property
+    def wire_size(self) -> int:
+        # One signature + header for the window; each inner batch costs a
+        # small frame plus its items (same 80 bytes per item as a plain
+        # batch request, minus the per-batch signature it no longer carries).
+        return (
+            64
+            + 64
+            + sum(16 + 80 * len(batch.items) for batch in self.statement.batches)
+        )
+
+
+@dataclass(frozen=True)
 class BatchCertificateMessage:
     """batch-certificate: cloud → edge, one signed root for N blocks.
 

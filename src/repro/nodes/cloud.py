@@ -33,7 +33,9 @@ from ..messages.log_messages import (
     BlockCertifyRequest,
     BlockProofMessage,
     CertifyBatchRequest,
+    CertifyBatchStatement,
     CertifyRejection,
+    CertifyWindowRequest,
     DisputeRequest,
     DisputeVerdict,
 )
@@ -50,13 +52,12 @@ from ..messages.shard_messages import (
     ShardMapMessage,
 )
 from ..common.errors import ConfigurationError, MergeProtocolError
+from ..core.certify_engine import ParallelCertifyEngine
 from ..core.dispute import PunishmentLedger, judge_dispute, judge_shard_dispute
 from ..core.gossip import build_gossip, build_gossip_batch
 from ..log.proofs import (
     AnyBlockProof,
-    build_certify_batch_tree,
     derive_batched_proofs,
-    issue_batch_certificate,
     issue_block_proof,
 )
 from ..sim.environment import Environment
@@ -71,17 +72,34 @@ class CloudNode:
         config: Optional[SystemConfig] = None,
         name: str = "cloud-0",
         region: Optional[Region] = None,
+        certify_workers: int = 1,
     ) -> None:
         self.env = env
         self.config = config if config is not None else SystemConfig.paper_default()
         self.node_id = cloud_id(name)
         self.region = region if region is not None else self.config.placement.cloud_region
         self.ledger = PunishmentLedger(self.config.security.punishment_score)
+        #: Crypto engine behind the batch-certify path.  The simulated
+        #: message handler feeds it windows of one (the event loop is
+        #: deterministic and single-threaded); real deployments and the
+        #: pipelined benchmarks call :meth:`certify_batch_window` with whole
+        #: windows and may run it with ``certify_workers > 1``.
+        self.certify_engine = ParallelCertifyEngine(
+            registry=env.registry, cloud=self.node_id, workers=certify_workers
+        )
 
         #: Certified digests: edge -> block id -> digest.
         self._certified: dict[NodeId, dict[BlockId, str]] = {}
         #: Issued proofs: (edge, block id) -> proof (per-block or batched).
         self._proofs: dict[tuple[NodeId, BlockId], AnyBlockProof] = {}
+        #: Lazily derivable dispute proofs: (edge, block id) -> the batch
+        #: certificate and ordered block list that can produce the proof on
+        #: demand.  The batch-certify hot path stores this instead of
+        #: deriving every per-block membership proof eagerly — disputes are
+        #: rare, certifications are not.
+        self._batch_proof_sources: dict[
+            tuple[NodeId, BlockId], tuple[Any, tuple[tuple[BlockId, str], ...]]
+        ] = {}
         #: Digest-level index mirrors used to validate merges, one per
         #: (edge, shard) — the shard key is ``None`` for the paper's
         #: single-partition deployment.
@@ -135,6 +153,19 @@ class CloudNode:
         return len(self._certified.get(edge, {}))
 
     def proof_for(self, edge: NodeId, block_id: BlockId) -> Optional[AnyBlockProof]:
+        proof = self._proofs.get((edge, block_id))
+        if proof is not None:
+            return proof
+        source = self._batch_proof_sources.get((edge, block_id))
+        if source is None:
+            return None
+        # Dispute path: derive the batch-anchored proof on first demand and
+        # memoize it (the hot certify path only recorded the certificate).
+        certificate, blocks = source
+        for derived in derive_batched_proofs(certificate, blocks):
+            key = (edge, derived.block_id)
+            if key not in self._proofs:
+                self._proofs[key] = derived
         return self._proofs.get((edge, block_id))
 
     def mirror_for(
@@ -212,7 +243,7 @@ class CloudNode:
     def on_message(self, sender: NodeId, message: Any) -> None:
         if isinstance(message, BlockCertifyRequest):
             self._handle_certify(sender, message)
-        elif isinstance(message, CertifyBatchRequest):
+        elif isinstance(message, (CertifyBatchRequest, CertifyWindowRequest)):
             self._handle_certify_batch(sender, message)
         elif isinstance(message, MergeRequest):
             self._handle_merge(sender, message)
@@ -283,94 +314,141 @@ class CloudNode:
             self.env.send(self.node_id, sender, rejection)
 
     def _handle_certify_batch(
-        self, sender: NodeId, request: CertifyBatchRequest
+        self, sender: NodeId, request: "CertifyBatchRequest | CertifyWindowRequest"
     ) -> None:
-        """Certify a whole batch of digests under one signature each way.
-
-        The edge's signature over the batch statement is verified once; every
-        non-conflicting item is recorded exactly as the single-block path
-        would record it, and one :class:`BatchCertificate` over the Merkle
-        root of the accepted ``(block id, digest)`` pairs replaces N signed
-        block proofs.  Conflicting items (a second digest for an already
-        certified block id) are punished and rejected individually without
-        sinking the rest of the batch.
-        """
-
         params = self.env.params
-        statement = request.statement
-        cost = params.batch_certification_cost(len(statement.items))
+        if isinstance(request, CertifyWindowRequest):
+            # One envelope signature to verify, but one certificate to sign
+            # per inner batch: charge every signature the window costs.
+            cost = params.window_certification_cost(
+                len(request.batches), request.num_blocks
+            )
+        else:
+            cost = params.batch_certification_cost(len(request.statement.items))
         self.env.charge(cost)
         self.stats["certify_cpu_seconds"] = (
             self.stats.get("certify_cpu_seconds", 0.0) + cost
         )
+        for target, message in self.certify_batch_window(((sender, request),)):
+            self.env.send(self.node_id, target, message)
 
-        if statement.edge != sender or not self.env.registry.verify(
-            request.signature, statement
-        ):
-            # Unsigned or mis-attributed requests are dropped.
-            return
-        if not statement.items:
-            return
+    def certify_batch_window(
+        self,
+        requests: "tuple[tuple[NodeId, CertifyBatchRequest | CertifyWindowRequest], ...]",
+    ) -> list[tuple[NodeId, Any]]:
+        """Certify a whole *window* of batch requests: the parallel path.
 
-        edge_digests = self._certified.setdefault(statement.edge, {})
-        accepted: list[tuple[BlockId, str]] = []
-        for item in statement.items:
-            if item.edge != statement.edge:
-                # An item smuggled in for another edge: drop it (the batch
-                # signature only attests the sending edge's own blocks).
+        Accepts plain :class:`CertifyBatchRequest`\\ s and
+        :class:`CertifyWindowRequest` envelopes (several batches under one
+        edge signature) interchangeably.  Three phases, preserving
+        per-shard conflict ordering throughout:
+
+        1. **Verify (amortized/parallel)** — every request signature in the
+           window is checked by the :class:`ParallelCertifyEngine`;
+           same-edge requests collapse into one Schnorr batch verification,
+           and a window envelope is one signature however many batches it
+           carries.
+        2. **Order (serial)** — conflict decisions against the certified
+           digest map are applied in arrival order, batch by batch:
+           whether a digest conflicts depends on what was accepted before
+           it, so this phase never runs concurrently.  Conflicting items
+           are punished and rejected individually without sinking their
+           batch; items smuggled in for another edge are dropped (the
+           signature only attests the sending edge's own blocks).
+        3. **Sign (parallel)** — one :class:`BatchCertificate` per accepted
+           batch (window slots retire independently at the edge), fanned
+           out across the engine's workers when it has any.
+
+        Returns the ``(recipient, message)`` responses instead of sending
+        them, so the simulated handler, the wall-clock pipeline benchmark,
+        and a real deployment shim can all transport them their own way.
+        """
+
+        verdicts = self.certify_engine.verify_requests(
+            [request for _sender, request in requests]
+        )
+        batches: list[tuple[NodeId, CertifyBatchStatement]] = []
+        for (sender, request), valid in zip(requests, verdicts):
+            statement = request.statement
+            if (
+                statement.edge != sender
+                or request.signature.signer != statement.edge
+                or not valid
+            ):
+                # Unsigned or mis-attributed requests are dropped — the
+                # signer pin also rejects a valid signature from the *wrong*
+                # node riding an honestly-named statement.
                 continue
-            existing = edge_digests.get(item.block_id)
-            if existing is None:
-                edge_digests[item.block_id] = item.block_digest
-                self.stats["certifications"] += 1
-                accepted.append((item.block_id, item.block_digest))
-            elif existing == item.block_digest:
-                # Idempotent retry: re-certify under the new batch root.
-                accepted.append((item.block_id, item.block_digest))
-            else:
-                self.stats["certify_conflicts"] += 1
-                self._punish(
-                    statement.edge,
-                    reason="attempted to certify two different digests for "
-                    f"block {item.block_id}",
-                    block_id=item.block_id,
-                )
-                self.env.send(
-                    self.node_id,
-                    sender,
-                    CertifyRejection(
-                        cloud=self.node_id,
-                        edge=statement.edge,
-                        block_id=item.block_id,
-                        existing_digest=existing,
-                        offending_digest=item.block_digest,
-                        reason="conflicting digest for an already certified "
-                        "block id",
-                    ),
-                )
-        if not accepted:
-            return
+            if isinstance(request, CertifyWindowRequest):
+                for batch in statement.batches:
+                    if batch.edge == statement.edge and batch.items:
+                        batches.append((sender, batch))
+            elif statement.items:
+                batches.append((sender, statement))
+        return self._certify_verified_batches(batches)
 
-        blocks = tuple(accepted)
-        tree = build_certify_batch_tree(blocks)
-        certificate = issue_batch_certificate(
-            registry=self.env.registry,
-            cloud=self.node_id,
-            edge=statement.edge,
-            batch_root=tree.root,
-            num_blocks=len(blocks),
-            certified_at=self.env.now(),
+    def _certify_verified_batches(
+        self, batches: "list[tuple[NodeId, CertifyBatchStatement]]"
+    ) -> list[tuple[NodeId, Any]]:
+        """Serial conflict ordering + parallel certificate issuance."""
+
+        responses: list[tuple[NodeId, Any]] = []
+        jobs: list[tuple[NodeId, NodeId, tuple[tuple[BlockId, str], ...]]] = []
+        now = self.env.now()
+        for sender, statement in batches:
+            edge_digests = self._certified.setdefault(statement.edge, {})
+            accepted: list[tuple[BlockId, str]] = []
+            for item in statement.items:
+                if item.edge != statement.edge:
+                    continue
+                existing = edge_digests.get(item.block_id)
+                if existing is None:
+                    edge_digests[item.block_id] = item.block_digest
+                    self.stats["certifications"] += 1
+                    accepted.append((item.block_id, item.block_digest))
+                elif existing == item.block_digest:
+                    # Idempotent retry: re-certify under the new batch root.
+                    accepted.append((item.block_id, item.block_digest))
+                else:
+                    self.stats["certify_conflicts"] += 1
+                    self._punish(
+                        statement.edge,
+                        reason="attempted to certify two different digests for "
+                        f"block {item.block_id}",
+                        block_id=item.block_id,
+                    )
+                    responses.append(
+                        (
+                            sender,
+                            CertifyRejection(
+                                cloud=self.node_id,
+                                edge=statement.edge,
+                                block_id=item.block_id,
+                                existing_digest=existing,
+                                offending_digest=item.block_digest,
+                                reason="conflicting digest for an already "
+                                "certified block id",
+                            ),
+                        )
+                    )
+            if accepted:
+                jobs.append((sender, statement.edge, tuple(accepted)))
+
+        certificates = self.certify_engine.issue_certificates(
+            [(edge, blocks, now) for _sender, edge, blocks in jobs]
         )
-        # Keep a per-block proof for the dispute path (proof_for), derived
-        # from the tree already built above (the edge rebuilds its own).
-        for proof in derive_batched_proofs(certificate, blocks, tree=tree):
-            self._proofs[(statement.edge, proof.block_id)] = proof
-        self.stats["certify_batches"] += 1
-        self.env.send(
-            self.node_id,
-            sender,
-            BatchCertificateMessage(certificate=certificate, blocks=blocks),
-        )
+        for (sender, edge, blocks), certificate in zip(jobs, certificates):
+            # Record the certificate as the lazily derivable dispute
+            # evidence for every covered block (proof_for derives per-block
+            # membership proofs on demand); the requesting edge rebuilds its
+            # own tree from the returned list.
+            for block_id, _digest in blocks:
+                self._batch_proof_sources[(edge, block_id)] = (certificate, blocks)
+            self.stats["certify_batches"] += 1
+            responses.append(
+                (sender, BatchCertificateMessage(certificate=certificate, blocks=blocks))
+            )
+        return responses
 
     # ---------------------------------------------------------------- merges
     def _handle_merge(self, sender: NodeId, request: MergeRequest) -> None:

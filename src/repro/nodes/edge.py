@@ -61,6 +61,8 @@ from ..messages.log_messages import (
     CertifyBatchStatement,
     CertifyRejection,
     CertifyStatement,
+    CertifyWindowRequest,
+    CertifyWindowStatement,
     ReadRequest,
     ReadResponse,
     ReadResponseStatement,
@@ -425,6 +427,23 @@ class EdgeNode:
     def _digest_to_certify(self, block: Block) -> str:
         return block.digest()
 
+    def _certify_pipeline_depth(self) -> int:
+        """In-flight window bound for the active partition's certifier.
+
+        Shard partitions may override the logging-level depth through
+        ``ShardingConfig.certify_pipeline_depth``; the default partition
+        always uses ``LoggingConfig.certify_pipeline_depth``.
+        """
+
+        sharding = self.config.sharding
+        if (
+            self._active.shard_id is not None
+            and sharding is not None
+            and sharding.certify_pipeline_depth is not None
+        ):
+            return sharding.certify_pipeline_depth
+        return self.config.logging.certify_pipeline_depth
+
     def _send_certify_request(self, block: Block, digest: str) -> None:
         batch_size = self.config.logging.certify_batch_size
         if batch_size <= 1:
@@ -435,12 +454,54 @@ class EdgeNode:
             )
             return
         # Lazy certification is asynchronous, so the digest can wait for its
-        # batch: queue it and flush when the batch fills (or on timeout).
-        pending = self.certifier.enqueue_for_dispatch(block.block_id)
-        if pending >= batch_size:
-            self._flush_certify_batch()
-        else:
+        # batch: queue it, ship full batches while the in-flight window has
+        # room, and bound whatever stays queued (a partial batch, or a full
+        # window) with the flush timer.  A size-triggered dispatch that
+        # empties the queue cancels the timer so the next digest starts a
+        # fresh full window instead of inheriting a near-expired deadline.
+        self.certifier.enqueue_for_dispatch(block.block_id)
+        self._pump_certify_pipeline()
+        if self.certifier.pending_dispatch_count:
             self._arm_certify_flush_timer()
+        else:
+            self._cancel_certify_flush_timer()
+
+    def _pump_certify_pipeline(self, allow_partial: bool = False) -> int:
+        """Ship queued digests while the in-flight window has room.
+
+        Full batches ship immediately; a trailing partial batch only ships
+        when *allow_partial* is set (the timeout flush and the handoff
+        drain), so steady load keeps producing full-size batches.  Returns
+        how many batch requests left the edge.  When digests stay queued
+        because the window is full, the next certificate retirement pumps
+        again — batch formation overlaps the outstanding round-trips.
+        """
+
+        depth = self._certify_pipeline_depth()
+        groups = self.certifier.drain_window_groups(
+            depth=depth,
+            batch_size=self.config.logging.certify_batch_size,
+            now=self.env.now(),
+            allow_partial=allow_partial,
+        )
+        shipped = len(groups)
+        if len(groups) == 1:
+            self._send_certify_batch_request(groups[0])
+        elif groups:
+            # Several batches leave in one pump: one window envelope
+            # signature covers them all; the cloud still answers with one
+            # certificate per batch, so the slots retire independently.
+            self._send_certify_window_request(groups)
+        if (
+            self.certifier.pending_dispatch_count
+            and self.certifier.in_flight_count >= depth
+        ):
+            self.stats.setdefault("certify_window_stalls", 0)
+            self.stats["certify_window_stalls"] += 1
+        peak = self.stats.setdefault("certify_inflight_peak", 0)
+        if self.certifier.in_flight_count > peak:
+            self.stats["certify_inflight_peak"] = self.certifier.in_flight_count
+        return shipped
 
     def _send_single_certify_request(
         self, block_id: BlockId, digest: str, num_entries: int
@@ -479,10 +540,8 @@ class EdgeNode:
 
         return self.log.block(block_id).num_entries if block_id in self.log else 0
 
-    def _send_certify_batch_request(self, tasks) -> None:
-        """Ship the given certification tasks as one signed batch request."""
-
-        items = tuple(
+    def _certify_items_for(self, tasks) -> tuple[CertifyStatement, ...]:
+        return tuple(
             CertifyStatement(
                 edge=self.node_id,
                 block_id=task.block_id,
@@ -491,7 +550,13 @@ class EdgeNode:
             )
             for task in tasks
         )
-        statement = CertifyBatchStatement(edge=self.node_id, items=items)
+
+    def _send_certify_batch_request(self, tasks) -> None:
+        """Ship the given certification tasks as one signed batch request."""
+
+        statement = CertifyBatchStatement(
+            edge=self.node_id, items=self._certify_items_for(tasks)
+        )
         signature = self.env.registry.sign(self.node_id, statement)
         self.stats["certify_requests"] += 1
         self.stats["certify_batches"] += 1
@@ -501,24 +566,51 @@ class EdgeNode:
             CertifyBatchRequest(statement=statement, signature=signature),
         )
 
-    def _flush_certify_batch(self) -> None:
-        """Ship every queued digest as one signed CertifyBatchRequest.
+    def _send_certify_window_request(self, groups) -> None:
+        """Ship several batches under one window-envelope signature.
 
-        A size-triggered flush cancels the pending timeout timer: the timer
-        exists to bound how long the *current* queue can wait, so once that
-        queue ships, the next digest to arrive starts a fresh window instead
-        of inheriting a stale, near-expired deadline (which would ship
-        undersized batches once per window under steady load).
+        The envelope amortizes the edge's asymmetric signature over every
+        batch the pump dispatched together; selective retries later re-send
+        individual batches as plain :class:`CertifyBatchRequest`\\ s.
         """
 
+        batches = tuple(
+            CertifyBatchStatement(
+                edge=self.node_id, items=self._certify_items_for(tasks)
+            )
+            for tasks in groups
+        )
+        statement = CertifyWindowStatement(edge=self.node_id, batches=batches)
+        signature = self.env.registry.sign(self.node_id, statement)
+        self.stats["certify_requests"] += 1
+        self.stats["certify_batches"] += len(groups)
+        self.stats.setdefault("certify_windows", 0)
+        self.stats["certify_windows"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            CertifyWindowRequest(statement=statement, signature=signature),
+        )
+
+    def _cancel_certify_flush_timer(self) -> None:
         state = self._active
         if state.certify_flush_timer is not None:
             state.certify_flush_timer.cancel()
             state.certify_flush_timer = None
-        tasks = self.certifier.drain_dispatch_queue()
-        if not tasks:
-            return
-        self._send_certify_batch_request(tasks)
+
+    def _flush_certify_batch(self) -> None:
+        """Flush the dispatch queue into the in-flight window, stragglers too.
+
+        The timeout flush (and the handoff drain, which calls this directly)
+        ships partial batches; queued digests the full window leaves behind
+        get a fresh timer so their wait stays bounded — certificate
+        retirements pump the pipeline in between.
+        """
+
+        self._cancel_certify_flush_timer()
+        self._pump_certify_pipeline(allow_partial=True)
+        if self.certifier.pending_dispatch_count:
+            self._arm_certify_flush_timer()
 
     # ------------------------------------------------------------------
     # Block proofs from the cloud
@@ -538,6 +630,7 @@ class EdgeNode:
             return
         self._accept_certified_proof(proof)
         self._maybe_start_merge()
+        self._pump_certify_pipeline()
 
     def _accept_certified_proof(self, proof: AnyBlockProof) -> None:
         """Record a verified proof and forward it to waiting subscribers."""
@@ -565,6 +658,14 @@ class EdgeNode:
         certify (a malicious or confused cloud) is rejected individually,
         and a certificate whose root does not commit to exactly the returned
         item list is rejected outright.
+
+        Under pipelining, certificates for different in-flight batches
+        arrive in whatever order the WAN delivers them — and a certificate
+        may arrive twice when a selective retry races the original answer.
+        Absorption is per block and idempotent, so out-of-order and
+        duplicate certificates need no special casing; retiring a batch
+        frees a window slot, and the pump below ships the next queued batch
+        into it.
         """
 
         params = self.env.params
@@ -593,21 +694,25 @@ class EdgeNode:
                 continue
             self._accept_certified_proof(proof)
         self._maybe_start_merge()
+        self._pump_certify_pipeline()
 
     def retry_overdue_certifications(self, timeout_s: float) -> int:
         """Re-send certification requests pending longer than *timeout_s*.
 
-        With ``certify_batch_size`` of 1 each overdue digest is re-sent
-        through the single-block path (an idempotent retry the cloud answers
-        with the already issued proof when one exists).  With batching
-        enabled, overdue digests are re-batched into
-        :class:`CertifyBatchRequest`\\ s — the cloud's batch handler treats
-        already-certified items idempotently, so one signature still covers
-        the whole retry wave instead of falling back to N single-block
-        requests.  Returns how many retries were sent.  Blocks still sitting
-        in the dispatch queue are skipped — their first request has not left
-        the edge yet, so there is nothing to retry (the pending batch flush
-        covers them).
+        Retry granularity is *per lost batch*: an overdue in-flight batch is
+        re-sent as exactly that batch (its still-uncertified members under a
+        fresh signature) — never folded into a whole-overdue-set re-chunk,
+        so one lost request costs one retry message however deep the
+        pipeline is, and a duplicate late certificate (the original answer
+        racing the retry's) is absorbed idempotently.
+
+        Overdue digests that ride no in-flight batch (e.g. requested through
+        the single-block path) fall back to the pre-pipeline behaviour: the
+        single-block path with ``certify_batch_size`` of 1, re-batched
+        :class:`CertifyBatchRequest` chunks otherwise.  Returns how many
+        block retries were sent.  Blocks still sitting in the dispatch queue
+        are skipped — their first request has not left the edge yet, so
+        there is nothing to retry (the pending batch flush covers them).
         """
 
         total = 0
@@ -618,13 +723,25 @@ class EdgeNode:
 
     def _retry_overdue_for_active(self, timeout_s: float) -> int:
         now = self.env.now()
+        sent = 0
+        # Selective per-batch retries first: only the lost batches re-ship.
+        for batch in self.certifier.overdue_batches(now, timeout_s):
+            tasks = self.certifier.record_batch_retry(batch.batch_id, now)
+            if not tasks:
+                continue
+            self.stats["certify_retries"] += len(tasks)
+            self.stats.setdefault("certify_batch_retries", 0)
+            self.stats["certify_batch_retries"] += 1
+            self._send_certify_batch_request(tasks)
+            sent += len(tasks)
         overdue = [
             task
             for task in self.certifier.overdue(now, timeout_s)
             if not self.certifier.queued_for_dispatch(task.block_id)
+            and not self.certifier.in_flight(task.block_id)
         ]
         if not overdue:
-            return 0
+            return sent
         overdue.sort(key=lambda task: task.block_id)
         for task in overdue:
             self.certifier.record_retry(task.block_id, now)
@@ -638,7 +755,7 @@ class EdgeNode:
         else:
             for start in range(0, len(overdue), batch_size):
                 self._send_certify_batch_request(overdue[start : start + batch_size])
-        return len(overdue)
+        return sent + len(overdue)
 
     def _handle_certify_rejection(
         self, sender: NodeId, message: CertifyRejection
@@ -646,6 +763,13 @@ class EdgeNode:
         # An honest edge should never be rejected; record it for diagnostics.
         self.stats.setdefault("certify_rejections", 0)
         self.stats["certify_rejections"] += 1
+        if sender != self.cloud:
+            return
+        # A definitively refused block will never produce a certificate:
+        # release its in-flight batch slot so the window cannot wedge on it,
+        # and let the freed slot pull the next queued batch forward.
+        self.certifier.abandon_in_flight(message.block_id)
+        self._pump_certify_pipeline()
 
     # ------------------------------------------------------------------
     # Log reads

@@ -328,6 +328,13 @@ class ShardedEdgeNode(EdgeNode):
             return
         self._migrating[shard_id] = order.dest
         with self._as_active(state):
+            if self.certifier.in_flight_count:
+                # A pipelined shard may have a whole window of certify
+                # batches outstanding when the order arrives; the drain
+                # below waits for the window (certificates keep absorbing
+                # out of order and re-advance the handoff as they land).
+                self.stats.setdefault("handoff_window_waits", 0)
+                self.stats["handoff_window_waits"] += 1
             # Stop accepting new writes (requests now redirect to the dest);
             # flush the partial block so the log prefix is complete.
             batch = self.buffer.flush()
@@ -336,7 +343,16 @@ class ShardedEdgeNode(EdgeNode):
             self._advance_handoff(shard_id)
 
     def _advance_handoff(self, shard_id: ShardId) -> None:
-        """Drive the drain state machine; called whenever progress is possible."""
+        """Drive the drain state machine; called whenever progress is possible.
+
+        With a pipelined certifier the drain *waits for* the in-flight
+        window rather than cancelling it: every member block must be
+        certified before the offer anyway (the cloud checks the offer's
+        prefix against its certified digests), so cancelling would only
+        re-send requests whose answers are already on the wire.  The flush
+        below keeps pumping queued digests into freed window slots until
+        the partition's certifier runs dry.
+        """
 
         state = self._shard_states.get(shard_id)
         dest = self._migrating.get(shard_id)
@@ -608,6 +624,26 @@ class ShardedEdgeNode(EdgeNode):
         state = self._shard_states[shard_id]
         with self._as_active(state):
             self.request_root_refresh()
+
+    def certify_pipeline_snapshot(self) -> dict:
+        """Per-partition certification-pipeline state, for fleet telemetry.
+
+        Keys are shard ids (``"default"`` for the default partition); values
+        report the in-flight window occupancy, the queued-but-undispatched
+        digests, the retired batch count, and the uncertified block count.
+        """
+
+        snapshot: dict = {}
+        for state in self._partition_states():
+            key = "default" if state.shard_id is None else state.shard_id
+            certifier = state.certifier
+            snapshot[key] = {
+                "in_flight": certifier.in_flight_count,
+                "queued": certifier.pending_dispatch_count,
+                "retired_batches": certifier.retired_batch_count,
+                "uncertified": len(certifier.outstanding()),
+            }
+        return snapshot
 
 
 class TamperingHandoffEdgeNode(ShardedEdgeNode):

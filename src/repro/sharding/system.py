@@ -250,6 +250,40 @@ class ShardedWedgeSystem(WedgeChainSystem):
             "entries_per_edge": {
                 str(edge.node_id): edge.stats["entries_logged"] for edge in self.edges
             },
+            "certify_batches": sum(
+                edge.stats.get("certify_batches", 0) for edge in self.edges
+            ),
+            "certify_inflight_peak": max(
+                (edge.stats.get("certify_inflight_peak", 0) for edge in self.edges),
+                default=0,
+            ),
+        }
+
+    def certify_pipeline_stats(self) -> dict:
+        """Fleet-wide view of every edge's certification pipeline.
+
+        One entry per edge (see
+        :meth:`~repro.sharding.edge.ShardedEdgeNode.certify_pipeline_snapshot`),
+        plus aggregate in-flight and retired-batch totals — the dashboard
+        surface for "is Phase II keeping up with Phase I" at fleet scale.
+        """
+
+        per_edge = {
+            str(edge.node_id): edge.certify_pipeline_snapshot()
+            for edge in self.edges
+        }
+        return {
+            "per_edge": per_edge,
+            "in_flight_total": sum(
+                shard["in_flight"]
+                for snapshot in per_edge.values()
+                for shard in snapshot.values()
+            ),
+            "retired_batches_total": sum(
+                shard["retired_batches"]
+                for snapshot in per_edge.values()
+                for shard in snapshot.values()
+            ),
         }
 
 

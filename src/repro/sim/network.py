@@ -8,8 +8,12 @@ Messages between nodes experience:
   where the WAN bandwidth (edge ↔ cloud) is far smaller than the metro
   bandwidth (client ↔ edge) — this is what makes *data-free* certification
   matter and what degrades the synchronous edge-baseline at large batches;
-* FIFO ordering per sender uplink (transfers on the same uplink queue behind
-  each other).
+* FIFO ordering per sender uplink lane (transfers on the same lane queue
+  behind each other).  ``SimulationParameters.uplink_channels`` sets how
+  many lanes a sender has: one (the default) reproduces the single-FIFO
+  uplink the figures were calibrated with; more lanes model multiplexed
+  streams, letting the overlapped WAN round-trips of a pipelined
+  certification window serialize concurrently.
 
 Message sizes come from the message's ``wire_size`` attribute when present
 (protocol messages compute a realistic payload size cheaply) and otherwise
@@ -95,8 +99,9 @@ class SimNetwork:
         self._params = params
         self._rng = rng
         self._nodes: Dict[NodeId, NetworkEndpoint] = {}
-        #: Time until which each sender's uplink is busy serializing data.
-        self._uplink_busy: Dict[NodeId, float] = {}
+        #: Time until which each of a sender's uplink lanes is busy
+        #: serializing data (one slot per ``params.uplink_channels``).
+        self._uplink_busy: Dict[NodeId, list[float]] = {}
         self.stats = NetworkStats()
         #: Optional hook invoked for every send; used by fault-injection tests.
         self.send_interceptor: Callable[[NodeId, NodeId, Any], bool] | None = None
@@ -108,7 +113,7 @@ class SimNetwork:
         if node.node_id in self._nodes:
             raise TransportError(f"node {node.node_id} already registered")
         self._nodes[node.node_id] = node
-        self._uplink_busy[node.node_id] = 0.0
+        self._uplink_busy[node.node_id] = [0.0] * max(self._params.uplink_channels, 1)
 
     def node(self, node_id: NodeId) -> NetworkEndpoint:
         try:
@@ -177,11 +182,14 @@ class SimNetwork:
         wan = self._is_wan(src, dst)
         self.stats.record(src_id, dst_id, size, wan)
 
-        # Uplink serialization: transfers from the same sender queue up.
+        # Uplink serialization: transfers from the same sender queue up per
+        # lane; the message takes the lane that frees up first.
         transfer = self._params.transfer_time(size, wan)
-        uplink_free = max(depart, self._uplink_busy.get(src_id, 0.0))
+        lanes = self._uplink_busy[src_id]
+        lane = min(range(len(lanes)), key=lanes.__getitem__)
+        uplink_free = max(depart, lanes[lane])
         serialization_done = uplink_free + transfer
-        self._uplink_busy[src_id] = serialization_done
+        lanes[lane] = serialization_done
 
         delivery_time = serialization_done + self._propagation_delay(src, dst)
         self._scheduler.schedule_at(

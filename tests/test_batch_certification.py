@@ -306,13 +306,14 @@ class TestCertifierOverdueRetry:
 # ----------------------------------------------------------------------
 # Cloud batch handling (driven through a probe edge endpoint)
 # ----------------------------------------------------------------------
-def batch_config(batch_size=4):
+def batch_config(batch_size=4, pipeline_depth=1):
     return SystemConfig.paper_default().with_overrides(
         logging=LoggingConfig(
             block_size=4,
             block_timeout_s=0.02,
             certify_batch_size=batch_size,
             certify_flush_timeout_s=0.02,
+            certify_pipeline_depth=pipeline_depth,
         ),
         lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
     )
@@ -459,12 +460,13 @@ class TestCloudBatchCertification:
 # ----------------------------------------------------------------------
 # Edge handling of batch certificates (including a malicious cloud)
 # ----------------------------------------------------------------------
-def make_edge_with_blocks(num_blocks, batch_size=8):
+def make_edge_with_blocks(num_blocks, batch_size=8, pipeline_depth=1):
     """An edge with ``num_blocks`` formed blocks queued for batch dispatch."""
 
     env = local_environment(seed=13)
-    cloud = CloudNode(env=env, config=batch_config(batch_size))
-    edge = EdgeNode(env=env, cloud=cloud.node_id, config=batch_config(batch_size))
+    config = batch_config(batch_size, pipeline_depth)
+    cloud = CloudNode(env=env, config=config)
+    edge = EdgeNode(env=env, cloud=cloud.node_id, config=config)
     env.registry.register(ALICE)
     for index in range(num_blocks):
         entries = [
@@ -755,9 +757,16 @@ class TestEndToEndBatching:
     def test_size_flush_cancels_stale_timer(self):
         """A size-triggered flush cancels the pending timeout timer: the
         next digest to arrive gets a fresh full window instead of being
-        shipped early (and undersized) by the previous queue's deadline."""
+        shipped early (and undersized) by the previous queue's deadline.
 
-        env, cloud, edge = make_edge_with_blocks(4, batch_size=3)
+        Pipeline depth 2 gives the second (partial) batch a free window
+        slot: this test is about timer freshness, not window flow control —
+        the certify round trip in this environment (~61 ms WAN) outlasts
+        both timer deadlines, so at depth 1 the partial batch would
+        correctly park behind the first batch instead of shipping on time.
+        """
+
+        env, cloud, edge = make_edge_with_blocks(4, batch_size=3, pipeline_depth=2)
         blocks = [edge.log.block(i) for i in range(4)]
         start = env.now()
         timeout = edge.config.logging.certify_flush_timeout_s

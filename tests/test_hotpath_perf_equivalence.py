@@ -162,6 +162,56 @@ class TestGoldenDigests:
         assert digest_pair("a" * 64, "b" * 64) == GOLDEN["digest_pair"]["digest"]
         assert digest_chain(["a" * 64, "b" * 64, "c" * 64]) == GOLDEN["digest_chain"]["digest"]
 
+    def test_certification_message_golden(self):
+        """Pipelined-certification statements through the precompiled
+        template fast path must stay byte-identical to the reference
+        encoder (these are exactly the bytes batch/window signatures and
+        batch-root signatures cover)."""
+
+        from repro.crypto.signatures import BatchRootStatement
+        from repro.messages.log_messages import (
+            CertifyBatchStatement,
+            CertifyStatement,
+            CertifyWindowStatement,
+        )
+
+        cloud = cloud_id("cloud-0")
+        items = tuple(
+            CertifyStatement(
+                edge=EDGE, block_id=i, block_digest=f"{i:064x}", num_entries=4
+            )
+            for i in range(2)
+        )
+        batch = CertifyBatchStatement(edge=EDGE, items=items)
+        items2 = tuple(
+            CertifyStatement(
+                edge=EDGE, block_id=2 + i, block_digest=f"{2 + i:064x}", num_entries=4
+            )
+            for i in range(2)
+        )
+        window = CertifyWindowStatement(
+            edge=EDGE, batches=(batch, CertifyBatchStatement(edge=EDGE, items=items2))
+        )
+        root = BatchRootStatement(
+            signer=cloud,
+            context="certify-batch",
+            root="ab" * 32,
+            count=4,
+            issued_at=2.5,
+            about=EDGE,
+        )
+        for name, value in (
+            ("certify_statement", items[0]),
+            ("certify_batch_statement", batch),
+            ("certify_window_statement", window),
+            ("batch_root_statement", root),
+        ):
+            expected = GOLDEN[name]
+            assert canonical_encode(value).decode() == expected["encoded"]
+            assert digest_value(value) == expected["digest"]
+            assert reference_encode(value) == canonical_encode(value)
+            assert encoded_size(value) == len(expected["encoded"])
+
     def test_merge_golden(self):
         source = build_page(
             [

@@ -1,0 +1,747 @@
+"""Tests for the pipelined (windowed) certification engine.
+
+Covers the LazyCertifier in-flight window (batch ids, out-of-order
+retirement, selective retry, cancellation), the edge's windowed dispatch and
+window-envelope requests, adversarial cases at depth ≥ 4 (out-of-order and
+duplicate certificates, a malicious cloud signing a reordered batch, a lost
+request retried selectively with its late duplicate absorbed idempotently),
+the mid-handoff drain with an in-flight window, the same-signer Schnorr
+batch verification substrate, and the wall-clock pipeline engine the
+``cert_pipeline_*`` benchmark rows measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import ProtocolError
+from repro.common.config import (
+    ConfigurationError,
+    LoggingConfig,
+    LSMerkleConfig,
+    SecurityConfig,
+    ShardingConfig,
+    SystemConfig,
+)
+from repro.common.identifiers import client_id, cloud_id, edge_id
+from repro.common.regions import Region
+from repro.core.certification import LazyCertifier
+from repro.core.certify_engine import ParallelCertifyEngine
+from repro.core.certify_pipeline import EdgeCertifyPipeline, run_certify_pipeline
+from repro.crypto.signatures import KeyRegistry
+from repro.log.block import build_block
+from repro.log.entry import make_entry
+from repro.log.proofs import (
+    build_certify_batch_tree,
+    issue_batch_certificate,
+    issue_block_proof,
+    verify_batch_certificates,
+)
+from repro.messages.log_messages import (
+    BatchCertificateMessage,
+    CertifyBatchRequest,
+    CertifyWindowRequest,
+)
+from repro.nodes.cloud import CloudNode
+from repro.nodes.edge import EdgeNode
+from repro.sim.environment import local_environment
+from repro.sim.parameters import SimulationParameters
+
+CLOUD = cloud_id("cloud-0")
+EDGE = edge_id("edge-0")
+ALICE = client_id("alice")
+
+
+def pipeline_config(batch_size=3, depth=4):
+    return SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(
+            block_size=4,
+            block_timeout_s=0.02,
+            certify_batch_size=batch_size,
+            certify_flush_timeout_s=0.02,
+            certify_pipeline_depth=depth,
+        ),
+        lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
+    )
+
+
+def make_pipelined_edge(num_blocks, batch_size=3, depth=4):
+    """A colocated edge/cloud pair with *num_blocks* tracked, queued blocks."""
+
+    env = local_environment(seed=17)
+    config = pipeline_config(batch_size, depth)
+    cloud = CloudNode(env=env, config=config, region=Region.CALIFORNIA)
+    edge = EdgeNode(env=env, cloud=cloud.node_id, config=config)
+    env.registry.register(ALICE)
+    for index in range(num_blocks):
+        entries = [
+            make_entry(
+                env.registry,
+                ALICE,
+                sequence=index * 4 + offset,
+                payload=b"p-%d" % (index * 4 + offset),
+                produced_at=0.0,
+            )
+            for offset in range(4)
+        ]
+        block = build_block(edge.node_id, index, entries, created_at=0.0)
+        edge.log.append(block)
+        edge.certifier.track(index, block.digest(), requested_at=0.0)
+        edge.certifier.enqueue_for_dispatch(index)
+    return env, cloud, edge
+
+
+# ----------------------------------------------------------------------
+# LazyCertifier windowed state
+# ----------------------------------------------------------------------
+class TestInFlightWindow:
+    def make(self, count):
+        certifier = LazyCertifier()
+        for block_id in range(count):
+            certifier.track(block_id, f"{block_id:064x}", requested_at=1.0)
+        return certifier
+
+    def proof(self, registry, block_id):
+        return issue_block_proof(
+            registry, CLOUD, EDGE, block_id, f"{block_id:064x}", 2.0
+        )
+
+    def test_begin_and_retire_out_of_order(self, registry):
+        certifier = self.make(4)
+        first = certifier.begin_batch([0, 1], now=1.0)
+        second = certifier.begin_batch([2, 3], now=1.1)
+        assert certifier.in_flight_count == 2
+        assert certifier.in_flight(0) and certifier.in_flight(3)
+        # The *second* batch's certificate lands first.
+        certifier.complete(self.proof(registry, 3))
+        certifier.complete(self.proof(registry, 2))
+        assert certifier.in_flight_count == 1
+        assert second.batch_id not in {
+            batch.batch_id for batch in certifier.in_flight_batches()
+        }
+        certifier.complete(self.proof(registry, 0))
+        certifier.complete(self.proof(registry, 1))
+        assert certifier.in_flight_count == 0
+        assert certifier.retired_batch_count == 2
+        assert first.remaining == set()
+
+    def test_begin_batch_rejects_double_membership_and_empty(self):
+        certifier = self.make(2)
+        certifier.begin_batch([0], now=1.0)
+        with pytest.raises(ProtocolError):
+            certifier.begin_batch([0, 1], now=1.1)
+        with pytest.raises(ProtocolError):
+            certifier.begin_batch([], now=1.2)
+        with pytest.raises(ProtocolError):
+            certifier.begin_batch([99], now=1.3)
+
+    def test_overdue_batches_and_selective_retry_clock(self, registry):
+        certifier = self.make(4)
+        certifier.begin_batch([0, 1], now=1.0)
+        late = certifier.begin_batch([2, 3], now=5.0)
+        overdue = certifier.overdue_batches(now=4.0, timeout_s=2.0)
+        assert [batch.block_ids for batch in overdue] == [(0, 1)]
+        # Retrying the lost batch resets only that batch's clock.
+        tasks = certifier.record_batch_retry(overdue[0].batch_id, now=4.0)
+        assert [task.block_id for task in tasks] == [0, 1]
+        assert all(task.retries == 1 for task in tasks)
+        assert certifier.overdue_batches(now=5.5, timeout_s=2.0) == ()
+        assert late.retries == 0
+        # Tasks riding an in-flight batch are not re-retried by the
+        # per-task overdue scan (their clocks were reset with the batch).
+        assert certifier.overdue(now=5.5, timeout_s=2.0) == ()
+
+    def test_cancel_batch_requeues_uncertified_members_in_front(self, registry):
+        certifier = self.make(4)
+        certifier.enqueue_for_dispatch(3)
+        batch = certifier.begin_batch([0, 1, 2], now=1.0)
+        certifier.complete(self.proof(registry, 1))
+        requeued = certifier.cancel_batch(batch.batch_id)
+        assert requeued == (0, 2)
+        assert certifier.in_flight_count == 0
+        assert not certifier.in_flight(0)
+        drained = certifier.drain_dispatch_queue()
+        assert [task.block_id for task in drained] == [0, 2, 3]
+
+    def test_duplicate_completion_is_idempotent(self, registry):
+        certifier = self.make(2)
+        certifier.begin_batch([0, 1], now=1.0)
+        certifier.complete(self.proof(registry, 0))
+        certifier.complete(self.proof(registry, 0))  # duplicate
+        assert certifier.certified_count == 1
+        assert certifier.in_flight_count == 1
+        certifier.complete(self.proof(registry, 1))
+        assert certifier.in_flight_count == 0
+        assert certifier.retired_batch_count == 1
+
+    def test_abandon_in_flight_frees_the_slot(self, registry):
+        certifier = self.make(2)
+        batch = certifier.begin_batch([0, 1], now=1.0)
+        certifier.abandon_in_flight(0)
+        assert certifier.in_flight_count == 1
+        certifier.complete(self.proof(registry, 1))
+        assert certifier.in_flight_count == 0
+        assert batch.remaining == set()
+
+
+# ----------------------------------------------------------------------
+# Edge windowed dispatch + window envelope
+# ----------------------------------------------------------------------
+class TestWindowedDispatch:
+    def test_window_bounds_in_flight_batches(self):
+        env, cloud, edge = make_pipelined_edge(12, batch_size=3, depth=2)
+        edge._pump_certify_pipeline()
+        # Only `depth` batches leave; the rest stay queued.
+        assert edge.certifier.in_flight_count == 2
+        assert edge.certifier.pending_dispatch_count == 6
+        assert edge.stats.get("certify_window_stalls", 0) == 1
+        env.run()
+        # Retirements pump the queue through the window until dry.
+        assert edge.certifier.certified_count == 12
+        assert edge.certifier.in_flight_count == 0
+        assert edge.stats["certify_batches"] == 4
+
+    def test_multi_batch_pump_ships_one_window_envelope(self):
+        env, cloud, edge = make_pipelined_edge(9, batch_size=3, depth=4)
+        sent = []
+        original_send = env.send
+
+        def recording_send(src, dst, message):
+            sent.append(message)
+            return original_send(src, dst, message)
+
+        env.send = recording_send
+        edge._pump_certify_pipeline()
+        windows = [m for m in sent if isinstance(m, CertifyWindowRequest)]
+        batches = [m for m in sent if isinstance(m, CertifyBatchRequest)]
+        assert len(windows) == 1 and not batches
+        assert len(windows[0].batches) == 3
+        assert windows[0].num_blocks == 9
+        assert edge.stats["certify_windows"] == 1
+        assert edge.stats["certify_requests"] == 1
+        assert edge.stats["certify_batches"] == 3
+        env.run()
+        # One certificate per inner batch; all slots retired.
+        assert edge.certifier.certified_count == 9
+        assert cloud.stats["certify_batches"] == 3
+        assert edge.certifier.retired_batch_count == 3
+
+    def test_single_batch_pump_keeps_plain_wire_format(self):
+        env, cloud, edge = make_pipelined_edge(3, batch_size=3, depth=4)
+        sent = []
+        original_send = env.send
+
+        def recording_send(src, dst, message):
+            sent.append(message)
+            return original_send(src, dst, message)
+
+        env.send = recording_send
+        edge._pump_certify_pipeline()
+        assert [type(m) for m in sent] == [CertifyBatchRequest]
+
+    def test_misattributed_window_envelope_dropped(self):
+        env, cloud, edge = make_pipelined_edge(6, batch_size=3, depth=4)
+        mallory = edge_id("edge-mallory")
+        env.registry.register(mallory)
+        sent = []
+        original_send = env.send
+
+        def recording_send(src, dst, message):
+            sent.append(message)
+            return original_send(src, dst, message)
+
+        env.send = recording_send
+        edge._pump_certify_pipeline()
+        (window,) = [m for m in sent if isinstance(m, CertifyWindowRequest)]
+        # Mallory replays the edge's window under its own name.
+        responses = cloud.certify_batch_window(((mallory, window),))
+        assert responses == []
+        # And a forged signature over the same statement is dropped too.
+        forged = CertifyWindowRequest(
+            statement=window.statement,
+            signature=env.registry.sign(mallory, window.statement),
+        )
+        assert cloud.certify_batch_window(((edge.node_id, forged),)) == []
+
+
+# ----------------------------------------------------------------------
+# Adversarial pipeline cases at depth >= 4
+# ----------------------------------------------------------------------
+class TestPipelineAdversarial:
+    def certificates_for(self, env, cloud, edge):
+        """Short-circuit the cloud: certificates for the edge's window."""
+
+        edge._pump_certify_pipeline()
+        batches = [
+            tuple(
+                (block_id, edge.certifier.task(block_id).block_digest)
+                for block_id in batch.block_ids
+            )
+            for batch in edge.certifier.in_flight_batches()
+        ]
+        messages = []
+        for blocks in batches:
+            tree = build_certify_batch_tree(blocks)
+            certificate = issue_batch_certificate(
+                registry=env.registry,
+                cloud=cloud.node_id,
+                edge=edge.node_id,
+                batch_root=tree.root,
+                num_blocks=len(blocks),
+                certified_at=1.0,
+            )
+            messages.append(
+                BatchCertificateMessage(certificate=certificate, blocks=blocks)
+            )
+        return messages
+
+    def test_out_of_order_and_duplicate_certificates_at_depth_4(self):
+        env, cloud, edge = make_pipelined_edge(12, batch_size=3, depth=4)
+        messages = self.certificates_for(env, cloud, edge)
+        assert len(messages) == 4
+        # Deliver in reverse order, with a duplicate in the middle.
+        for message in [messages[3], messages[1], messages[1], messages[0], messages[2]]:
+            edge.on_message(cloud.node_id, message)
+        assert edge.certifier.certified_count == 12
+        assert edge.certifier.in_flight_count == 0
+        assert edge.certifier.retired_batch_count == 4
+        assert edge.stats["batch_cert_mismatches"] == 0
+        for block_id in range(12):
+            assert edge.log.proof_for(block_id) is not None
+
+    def test_malicious_cloud_signing_reordered_batch_rejected(self):
+        """A cloud that signs a *reordered* block list produced a root the
+        edge cannot reproduce from the returned list order — the whole
+        message is rejected and the batch stays in flight for retry."""
+
+        env, cloud, edge = make_pipelined_edge(6, batch_size=3, depth=4)
+        messages = self.certificates_for(env, cloud, edge)
+        genuine = messages[0]
+        reordered_blocks = tuple(reversed(genuine.blocks))
+        # The malicious cloud signs the root of the *reordered* list but
+        # returns the original order alongside it.
+        tree = build_certify_batch_tree(reordered_blocks)
+        certificate = issue_batch_certificate(
+            registry=env.registry,
+            cloud=cloud.node_id,
+            edge=edge.node_id,
+            batch_root=tree.root,
+            num_blocks=len(reordered_blocks),
+            certified_at=1.0,
+        )
+        edge.on_message(
+            cloud.node_id,
+            BatchCertificateMessage(certificate=certificate, blocks=genuine.blocks),
+        )
+        assert edge.stats["batch_cert_mismatches"] == 1
+        assert edge.certifier.certified_count == 0
+        assert edge.certifier.in_flight_count == 2  # both batches still open
+        # The reordered delivery *with* its matching list derives proofs for
+        # blocks the edge asked to certify under those exact digests, so it
+        # is absorbed — order inside a batch is a transport detail; the
+        # (id, digest) binding is what the leaves pin.
+        edge.on_message(
+            cloud.node_id,
+            BatchCertificateMessage(
+                certificate=certificate, blocks=reordered_blocks
+            ),
+        )
+        assert edge.certifier.certified_count == 3
+
+    def test_lost_batch_retried_selectively_and_duplicate_absorbed(self):
+        """Only the lost batch is re-sent; when the 'lost' original answer
+        arrives late after the retry's, it is absorbed idempotently."""
+
+        env, cloud, edge = make_pipelined_edge(6, batch_size=3, depth=4)
+        dropped = []
+
+        def drop_first_batch(src, dst, message):
+            if (
+                isinstance(message, (CertifyBatchRequest, CertifyWindowRequest))
+                and not dropped
+            ):
+                dropped.append(message)
+                return False
+            return True
+
+        env.network.send_interceptor = drop_first_batch
+        edge._pump_certify_pipeline()
+        env.run()
+        # The window (both batches) was lost in one envelope: nothing came back.
+        assert dropped and edge.certifier.certified_count == 0
+        assert edge.certifier.in_flight_count == 2
+        env.network.send_interceptor = None
+
+        env.scheduler.run_until(env.now() + 5.0)
+        sent = edge.retry_overdue_certifications(timeout_s=1.0)
+        assert sent == 6
+        assert edge.stats["certify_batch_retries"] == 2
+        # Each lost batch retried as exactly itself (plain batch requests).
+        env.run()
+        assert edge.certifier.certified_count == 6
+        assert edge.certifier.in_flight_count == 0
+        retries = edge.certifier.task(0).retries
+        assert retries == 1
+
+        # The lost window's certificates surface late (duplicate answers):
+        # replay what the cloud would have answered for the original window.
+        (window,) = [
+            m for m in dropped if isinstance(m, CertifyWindowRequest)
+        ] or [None]
+        assert window is not None
+        for target, message in cloud.certify_batch_window(
+            ((edge.node_id, window),)
+        ):
+            if isinstance(message, BatchCertificateMessage):
+                edge.on_message(cloud.node_id, message)
+        assert edge.certifier.certified_count == 6  # idempotent
+        assert cloud.stats["certify_conflicts"] == 0
+        assert cloud.ledger.is_punished(edge.node_id) is False
+
+    def test_rejection_releases_window_slot(self):
+        env, cloud, edge = make_pipelined_edge(3, batch_size=3, depth=4)
+        # The cloud already certified block 0 under a different digest.
+        cloud._certified.setdefault(edge.node_id, {})[0] = "f" * 64
+        edge._pump_certify_pipeline()
+        env.run()
+        # Blocks 1-2 certified; block 0 rejected and its slot released.
+        assert edge.certifier.certified_count == 2
+        assert edge.stats["certify_rejections"] == 1
+        assert edge.certifier.in_flight_count == 0
+
+
+# ----------------------------------------------------------------------
+# Mid-handoff shard with an in-flight window
+# ----------------------------------------------------------------------
+class TestMidHandoffWindow:
+    def build_fleet(self, seed=31):
+        from repro.sharding import ShardedWedgeSystem
+
+        config = SystemConfig.paper_default().with_overrides(
+            num_edge_nodes=2,
+            sharding=ShardingConfig(num_shards=4, certify_pipeline_depth=4),
+            logging=LoggingConfig(
+                block_size=5,
+                block_timeout_s=0.02,
+                certify_batch_size=2,
+                certify_flush_timeout_s=0.02,
+            ),
+            lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
+        )
+        return ShardedWedgeSystem.build(
+            config=config, num_clients=1, env=local_environment(seed=seed)
+        )
+
+    def test_drain_waits_for_window_then_hands_off_cleanly(self):
+        """A handoff ordered while certify batches are in flight must not
+        offer until the window drains; lost answers are recovered by the
+        selective per-batch retry and the handoff then completes."""
+
+        from repro.log.proofs import CommitPhase
+        from repro.workloads.generator import format_key
+
+        system = self.build_fleet()
+        client = system.clients[0]
+
+        # Hold back every batch certificate so dispatched windows stay open.
+        def drop_certificates(src, dst, message):
+            return not isinstance(message, BatchCertificateMessage)
+
+        system.env.network.send_interceptor = drop_certificates
+        operations = [
+            (client, client.put(format_key(index), b"v%d" % index))
+            for index in range(40)
+        ]
+        assert system.wait_for_all(operations, CommitPhase.PHASE_ONE, 120)
+        system.run_for(0.5)
+
+        source = next(
+            edge
+            for edge in system.edges
+            if any(
+                edge.shard_state(s) is not None
+                and edge.shard_state(s).certifier.in_flight_count
+                for s in edge.owned_shards()
+            )
+        )
+        shard = next(
+            s
+            for s in source.owned_shards()
+            if source.shard_state(s).certifier.in_flight_count
+        )
+        dest = next(e for e in system.edges if e is not source)
+
+        system.rebalance_shard(shard, dest.node_id)
+        system.run_for(1.0)
+        # The drain is parked on the open window: no offer can be verified
+        # until every listed block is certified, so nothing was granted.
+        assert source.stats.get("handoff_window_waits", 0) == 1
+        assert system.cloud.stats["shard_handoffs_granted"] == 0
+        assert shard in source._migrating
+
+        # Release the network; the lost window is re-sent batch by batch.
+        system.env.network.send_interceptor = None
+        system.run_for(1.0)
+        assert source.retry_overdue_certifications(timeout_s=0.1) > 0
+        system.run_for(5.0)
+        assert system.cloud.stats["shard_handoffs_granted"] == 1
+        assert system.cloud.stats["shard_installs"] == 1
+        assert system.shard_owner(shard) == dest.node_id
+        assert source.shard_state(shard) is None
+        assert dest.shard_state(shard) is not None
+        # The moved partition left no certification debris behind.
+        snapshot = source.certify_pipeline_snapshot()
+        assert shard not in snapshot
+
+
+# ----------------------------------------------------------------------
+# Per-shard depth override
+# ----------------------------------------------------------------------
+class TestShardDepthOverride:
+    def test_sharding_config_overrides_logging_depth(self):
+        config = pipeline_config(depth=1).with_overrides(
+            sharding=ShardingConfig(certify_pipeline_depth=8)
+        )
+        env = local_environment(seed=19)
+        cloud = CloudNode(env=env, config=config, region=Region.CALIFORNIA)
+        edge = EdgeNode(env=env, cloud=cloud.node_id, config=config)
+        assert edge._certify_pipeline_depth() == 1  # default partition
+        shard_state = edge._new_partition(shard_id=3)
+        with edge._as_active(shard_state):
+            assert edge._certify_pipeline_depth() == 8
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoggingConfig(certify_pipeline_depth=0)
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(certify_pipeline_depth=-1)
+
+
+# ----------------------------------------------------------------------
+# Crypto substrate: same-signer batch verification
+# ----------------------------------------------------------------------
+class TestBatchVerification:
+    def make_signed(self, registry, signer, count):
+        messages = [f"message-{index}" for index in range(count)]
+        return [(registry.sign(signer, m), m) for m in messages]
+
+    def test_schnorr_group_verifies_and_pinpoints_forgery(self):
+        registry = KeyRegistry("schnorr")
+        registry.register(CLOUD)
+        pairs = self.make_signed(registry, CLOUD, 5)
+        assert registry.verify_many(pairs) == [True] * 5
+        from dataclasses import replace
+
+        forged = (replace(pairs[2][0], value=b"\x01" * 512), pairs[2][1])
+        tampered = pairs[:2] + [forged] + pairs[3:]
+        assert registry.verify_many(tampered) == [True, True, False, True, True]
+
+    def test_mixed_signers_group_independently(self):
+        registry = KeyRegistry("schnorr")
+        registry.register(CLOUD)
+        registry.register(EDGE)
+        pairs = self.make_signed(registry, CLOUD, 2) + self.make_signed(
+            registry, EDGE, 2
+        )
+        assert registry.verify_many(pairs) == [True] * 4
+
+    def test_hmac_falls_back_to_individual(self):
+        registry = KeyRegistry("hmac")
+        registry.register(CLOUD)
+        pairs = self.make_signed(registry, CLOUD, 3)
+        assert registry.verify_many(pairs) == [True] * 3
+
+    def test_batch_certificates_group_verify_and_seed_memo(self):
+        registry = KeyRegistry("schnorr")
+        registry.register(CLOUD)
+        registry.register(EDGE)
+        certificates = []
+        for start in (0, 8):
+            blocks = tuple((start + i, f"{start + i:064x}") for i in range(4))
+            tree = build_certify_batch_tree(blocks)
+            certificates.append(
+                issue_batch_certificate(
+                    registry=registry,
+                    cloud=CLOUD,
+                    edge=EDGE,
+                    batch_root=tree.root,
+                    num_blocks=4,
+                    certified_at=1.0,
+                )
+            )
+        assert verify_batch_certificates(registry, certificates, CLOUD) == [
+            True,
+            True,
+        ]
+        # Memo seeded: individual verification is now a cache hit.
+        assert all(c.verify(registry) for c in certificates)
+        assert verify_batch_certificates(registry, certificates, EDGE) == [
+            False,
+            False,
+        ]
+
+
+# ----------------------------------------------------------------------
+# Parallel certify engine + wall-clock pipeline harness
+# ----------------------------------------------------------------------
+class TestCertifyEngineAndHarness:
+    def test_pipeline_harness_depths_certify_everything(self):
+        env = local_environment(seed=23)
+        cloud = CloudNode(env=env, region=Region.CALIFORNIA)
+        edge = edge_id("edge-h")
+        env.registry.register(edge)
+        pairs = [(i, f"{i:064x}") for i in range(24)]
+        for depth, expected_rounds in ((1, 6), (4, 2)):
+            pipeline = EdgeCertifyPipeline(
+                registry=env.registry,
+                edge=edge,
+                cloud=cloud.node_id,
+                depth=depth,
+                batch_size=4,
+            )
+            offset = depth * 1000
+            shifted = [(offset + i, d) for i, d in pairs]
+            rounds = run_certify_pipeline(pipeline, cloud, shifted)
+            assert pipeline.absorbed == 24
+            assert pipeline.drained
+            assert rounds == expected_rounds
+
+    def test_engine_worker_pool_matches_inline(self):
+        env = local_environment(seed=29)
+        cloud = CloudNode(env=env, region=Region.CALIFORNIA)
+        engine = ParallelCertifyEngine(
+            registry=env.registry, cloud=cloud.node_id, workers=2
+        )
+        try:
+            jobs = [
+                (EDGE, tuple((start + i, f"{start + i:064x}") for i in range(3)), 1.0)
+                for start in (0, 10, 20)
+            ]
+            env.registry.register(EDGE)
+            pooled = engine.issue_certificates(jobs)
+            assert len(pooled) == 3
+            for certificate, (edge, blocks, _now) in zip(pooled, jobs):
+                assert certificate.edge == edge
+                assert certificate.num_blocks == 3
+                assert certificate.verify(env.registry)
+                assert certificate.batch_root == build_certify_batch_tree(blocks).root
+        finally:
+            engine.close()
+
+    def test_harness_handles_conflict_rejections_without_stalling(self):
+        """A definitively refused block must release its slot and count as
+        terminal — the driver completes instead of raising 'stalled'."""
+
+        env = local_environment(seed=37)
+        cloud = CloudNode(env=env, region=Region.CALIFORNIA)
+        edge = edge_id("edge-r")
+        env.registry.register(edge)
+        # The cloud already holds a conflicting digest for block 1.
+        cloud._certified.setdefault(edge, {})[1] = "f" * 64
+        pipeline = EdgeCertifyPipeline(
+            registry=env.registry, edge=edge, cloud=cloud.node_id, depth=4, batch_size=2
+        )
+        rounds = run_certify_pipeline(
+            pipeline, cloud, [(i, f"{i:064x}") for i in range(4)], max_rounds=8
+        )
+        assert rounds >= 1
+        assert pipeline.absorbed == 3
+        assert pipeline.rejected == 1
+        assert pipeline.abandoned == {1}
+        assert pipeline.drained
+        assert pipeline.certifier.in_flight_count == 0
+
+    def test_lazy_dispute_proofs_derived_on_demand(self):
+        env, cloud, edge = make_pipelined_edge(3, batch_size=3, depth=4)
+        edge._pump_certify_pipeline()
+        env.run()
+        assert edge.certifier.certified_count == 3
+        # The hot path stored no eager proofs; proof_for derives on demand.
+        proof = cloud.proof_for(edge.node_id, 1)
+        assert proof is not None and proof.verify(env.registry)
+        assert cloud.proof_for(edge.node_id, 1) is proof  # memoized
+
+
+# ----------------------------------------------------------------------
+# Sim parameters for overlapped RTTs
+# ----------------------------------------------------------------------
+class TestOverlapParameters:
+    def test_uplink_channels_overlap_serialization(self):
+        slow = SimulationParameters(
+            latency_jitter_fraction=0.0, wan_bandwidth_bytes_per_s=10_000
+        )
+        multi = slow.with_overrides(uplink_channels=4)
+
+        class _Probe:
+            def __init__(self, name, region):
+                from repro.common.identifiers import edge_id as eid
+
+                self.node_id = eid(name)
+                self.region = region
+                self.received = []
+
+            def deliver(self, sender, message):
+                self.received.append(message)
+
+        class _Payload:
+            wire_size = 50_000
+
+        def delivery_times(params):
+            from repro.sim.events import EventScheduler
+            from repro.sim.network import SimNetwork
+            from repro.sim.rng import DeterministicRng
+            from repro.sim.topology import Topology
+
+            scheduler = EventScheduler(0.0)
+            network = SimNetwork(
+                scheduler, Topology(), params, DeterministicRng(7)
+            )
+            src = _Probe("edge-src", Region.CALIFORNIA)
+            dst = _Probe("edge-dst", Region.VIRGINIA)
+            network.register(src)
+            network.register(dst)
+            return [
+                network.send(src.node_id, dst.node_id, _Payload())
+                for _ in range(4)
+            ]
+
+        serial = delivery_times(slow)
+        overlapped = delivery_times(multi)
+        # One lane: each transfer queues behind the previous (~5s each).
+        assert serial[3] - serial[0] == pytest.approx(3 * 5.025, rel=0.01)
+        # Four lanes: all four serialize concurrently.
+        assert max(overlapped) == pytest.approx(overlapped[0], rel=0.01)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(uplink_channels=0)
+
+    def test_cloud_certify_workers_divide_marginal_cost(self):
+        serial = SimulationParameters()
+        parallel = serial.with_overrides(cloud_certify_workers=4)
+        base = serial.batch_certification_cost(0)
+        assert parallel.batch_certification_cost(0) == base
+        marginal_serial = serial.batch_certification_cost(32) - base
+        marginal_parallel = parallel.batch_certification_cost(32) - base
+        assert marginal_parallel == pytest.approx(marginal_serial / 4)
+        # Explicit worker argument wins over the configured default.
+        assert serial.batch_certification_cost(
+            32, workers=4
+        ) == parallel.batch_certification_cost(32)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(cloud_certify_workers=0)
+
+    def test_window_cost_charges_one_signature_per_inner_batch(self):
+        params = SimulationParameters()
+        one_batch = params.window_certification_cost(1, 32)
+        assert one_batch == pytest.approx(params.batch_certification_cost(32))
+        eight = params.window_certification_cost(8, 8 * 32)
+        # 7 extra signatures + 7 batches' extra per-block lookups.
+        assert eight == pytest.approx(
+            one_batch
+            + 7 * params.sign_seconds
+            + 7 * 32 * params.lookup_seconds_per_op
+        )
+        # Worker lanes divide the per-batch signing and per-block work but
+        # never the serial request overhead + envelope verification.
+        pooled = params.window_certification_cost(8, 8 * 32, workers=8)
+        serial_part = params.request_overhead_seconds + params.verify_seconds
+        assert pooled == pytest.approx(serial_part + (eight - serial_part) / 8)
