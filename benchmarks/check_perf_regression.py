@@ -15,7 +15,15 @@ regression (one hot path got slower) barely moves the median of the other
 metrics and is caught; a uniformly slower runner shifts every ratio equally
 and passes.  ``--raw`` disables the calibration for same-machine
 comparisons.  Metrics that only exist in the current run (newly added
-benchmarks) are reported but never gate.  Usage::
+benchmarks) are reported but never gate.
+
+New-row convention, made explicit: a baseline may carry a top-level
+``non_gating`` list naming rows that are *recorded but not yet enforced* —
+a row enters the baseline and that list in the PR that adds it (its first
+number is measured on one machine, with no history to ratchet against) and
+leaves the list in the next PR, becoming gated.  Non-gating rows are
+reported, excluded from the machine-speed median, and never fail the gate.
+Usage::
 
     PYTHONPATH=src python benchmarks/perf_baseline.py --mode quick --output /tmp/BENCH_current.json
     python benchmarks/check_perf_regression.py --baseline BENCH_hotpath.json --current /tmp/BENCH_current.json
@@ -29,13 +37,33 @@ import statistics
 import sys
 
 
-def load_results(path: str) -> dict[str, dict]:
+def _read_summary(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
-        summary = json.load(handle)
+        return json.load(handle)
+
+
+def _results_of(summary: dict, path: str) -> dict[str, dict]:
     results = summary.get("results")
     if not isinstance(results, dict) or not results:
         raise SystemExit(f"{path}: no results section — not a perf summary")
     return results
+
+
+def _non_gating_of(summary: dict, path: str) -> frozenset[str]:
+    names = summary.get("non_gating", ())
+    if not isinstance(names, (list, tuple)):
+        raise SystemExit(f"{path}: non_gating must be a list of metric names")
+    return frozenset(names)
+
+
+def load_results(path: str) -> dict[str, dict]:
+    return _results_of(_read_summary(path), path)
+
+
+def load_non_gating(path: str) -> frozenset[str]:
+    """Rows the baseline marks as recorded-but-not-yet-enforced."""
+
+    return _non_gating_of(_read_summary(path), path)
 
 
 def compare(
@@ -43,31 +71,49 @@ def compare(
     current: dict[str, dict],
     threshold: float,
     normalize: bool = True,
+    non_gating: frozenset[str] = frozenset(),
 ) -> tuple[list[str], list[str]]:
     """Return (report lines, regression lines) for the two result sets."""
 
     ratios: dict[str, float] = {}
+    observed: dict[str, float] = {}
     missing: list[str] = []
+    lines: list[str] = []
     for name, reference in baseline.items():
         reference_ops = reference.get("ops_per_s")
         if not reference_ops:
             continue
         fresh = current.get(name)
         if fresh is None or not fresh.get("ops_per_s"):
-            missing.append(f"{name}: missing from the current run")
+            if name in non_gating:
+                # Still *reported*: a new row that silently stopped
+                # producing numbers must be visible even though it
+                # cannot fail the gate yet.
+                lines.append(
+                    f"{name:<20}{reference_ops:>16,.0f}{'(missing)':>16}"
+                    f"{'':>19}  non-gating"
+                )
+            else:
+                missing.append(f"{name}: missing from the current run")
             continue
-        ratios[name] = fresh["ops_per_s"] / reference_ops
+        observed[name] = fresh["ops_per_s"] / reference_ops
+        if name not in non_gating:
+            # Non-gating rows have exactly one recorded point; keeping them
+            # out of the calibration means a noisy first measurement cannot
+            # shift the machine-speed median the gated rows are judged by.
+            ratios[name] = observed[name]
 
     speed_factor = 1.0
     if normalize and ratios:
         speed_factor = statistics.median(ratios.values())
 
-    lines: list[str] = []
     regressions: list[str] = list(missing)
-    for name, ratio in ratios.items():
+    for name, ratio in observed.items():
         relative = ratio / speed_factor
         status = "ok"
-        if relative < 1.0 - threshold:
+        if name in non_gating:
+            status = "non-gating"
+        elif relative < 1.0 - threshold:
             status = "REGRESSION"
             regressions.append(
                 f"{name}: {current[name]['ops_per_s']:,.0f} ops/s is "
@@ -104,10 +150,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_results(args.baseline)
+    baseline_summary = _read_summary(args.baseline)
+    baseline = _results_of(baseline_summary, args.baseline)
+    non_gating = _non_gating_of(baseline_summary, args.baseline)
     current = load_results(args.current)
     lines, regressions = compare(
-        baseline, current, args.threshold, normalize=not args.raw
+        baseline,
+        current,
+        args.threshold,
+        normalize=not args.raw,
+        non_gating=non_gating,
     )
 
     print(
@@ -120,7 +172,9 @@ def main(argv: list[str] | None = None) -> int:
         shared = [
             current[name]["ops_per_s"] / reference["ops_per_s"]
             for name, reference in baseline.items()
-            if reference.get("ops_per_s") and current.get(name, {}).get("ops_per_s")
+            if name not in non_gating
+            and reference.get("ops_per_s")
+            and current.get(name, {}).get("ops_per_s")
         ]
         if shared and statistics.median(shared) < 1.0 - args.threshold:
             # Known blind spot of the calibration: a regression hitting the

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from check_perf_regression import compare, load_results, main
+from check_perf_regression import compare, load_non_gating, load_results, main
 
 
 def result(ops_per_s: float) -> dict:
@@ -64,6 +64,67 @@ class TestCompare:
         current = metrics(a=75.0, b=100.0, c=100.0)
         _, regressions = compare(baseline, current, threshold=0.25)
         assert regressions == []
+
+    def test_non_gating_row_never_fails(self):
+        """A row on the baseline's non_gating list is reported but cannot
+        regress the build — even when it cratered or went missing."""
+
+        baseline = metrics(a=100.0, b=100.0, fresh=50.0)
+        cratered = metrics(a=100.0, b=100.0, fresh=5.0)
+        lines, regressions = compare(
+            baseline, cratered, threshold=0.25, non_gating=frozenset({"fresh"})
+        )
+        assert regressions == []
+        assert any("fresh" in line and "non-gating" in line for line in lines)
+        lines, regressions = compare(
+            baseline,
+            metrics(a=100.0, b=100.0),
+            threshold=0.25,
+            non_gating=frozenset({"fresh"}),
+        )
+        assert regressions == []
+        # ... but its absence is still visible in the report.
+        assert any(
+            "fresh" in line and "(missing)" in line and "non-gating" in line
+            for line in lines
+        )
+
+    def test_non_gating_row_excluded_from_calibration(self):
+        """A wild first measurement of a new row must not shift the median
+        the gated rows are judged against."""
+
+        baseline = metrics(a=100.0, b=100.0, c=100.0, fresh=10.0)
+        current = metrics(a=100.0, b=100.0, c=70.0, fresh=1000.0)
+        _, regressions = compare(
+            baseline, current, threshold=0.25, non_gating=frozenset({"fresh"})
+        )
+        assert len(regressions) == 1
+        assert regressions[0].startswith("c:")
+
+    def test_rows_off_the_list_gate_normally(self):
+        """The flip: a row that left non_gating regresses the build again —
+        the cert_pipeline_* rows are enforced this way from this PR on."""
+
+        baseline = metrics(a=100.0, b=100.0, cert_pipeline_d8=100.0)
+        current = metrics(a=100.0, b=100.0, cert_pipeline_d8=40.0)
+        _, regressions = compare(
+            baseline, current, threshold=0.25, non_gating=frozenset()
+        )
+        assert len(regressions) == 1
+        assert regressions[0].startswith("cert_pipeline_d8:")
+
+    def test_committed_baseline_gates_cert_pipeline_rows(self):
+        """The committed BENCH_hotpath.json must list only the new
+        txn_cross_shard row as non-gating: cert_pipeline_d1/d8 are gated."""
+
+        import pathlib
+
+        baseline = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+        non_gating = load_non_gating(str(baseline))
+        results = load_results(str(baseline))
+        assert non_gating == {"txn_cross_shard"}
+        assert "txn_cross_shard" in results
+        assert "cert_pipeline_d1" in results and "cert_pipeline_d8" in results
 
 
 class TestCli:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Cross-shard atomic transactions: client-coordinated 2PC on the fleet.
+
+Builds a two-edge sharded fleet, runs an atomic multi-key put whose keys
+span shards on *both* edges (prepare receipts → signed commit → certified
+decision records), reads every key back verified, and then demonstrates the
+failure side of the protocol: a transaction whose decision never arrives is
+presumed aborted by the participants at the receipts' signed expiry horizon,
+and none of its writes ever become visible.
+
+Run with::
+
+    PYTHONPATH=src python examples/cross_shard_txn.py
+
+Knobs (see ``repro.common.config``):
+
+* ``ShardingConfig.txn_receipt_timeout_s`` — how long the coordinator
+  collects prepare receipts before deciding abort;
+* ``ShardingConfig.txn_prepare_timeout_s`` — the participants' presumed-
+  abort horizon (the ``expires_at`` each prepare receipt signs).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import (
+    LoggingConfig,
+    LSMerkleConfig,
+    ShardingConfig,
+    SystemConfig,
+)
+from repro.log.proofs import CommitPhase
+from repro.messages.txn_messages import TxnDecisionMessage, TxnPrepareReceipt
+from repro.sharding import ShardedWedgeSystem, decode_txn_decision, is_txn_decision_payload
+
+
+def decision_records(edge):
+    for shard in edge.owned_shards():
+        for record in edge.shard_state(shard).log:
+            for entry in record.block.entries:
+                if is_txn_decision_payload(entry.payload):
+                    yield shard, record, decode_txn_decision(entry.payload)
+
+
+def main() -> None:
+    config = SystemConfig.paper_default().with_overrides(
+        num_edge_nodes=2,
+        sharding=ShardingConfig(
+            num_shards=4,
+            txn_receipt_timeout_s=0.5,
+            txn_prepare_timeout_s=2.0,
+        ),
+        logging=LoggingConfig(block_size=8, block_timeout_s=0.01),
+        lsmerkle=LSMerkleConfig(level_thresholds=(4, 8, 64, 512)),
+    )
+    system = ShardedWedgeSystem.build(config=config, num_clients=1, seed=11)
+    client = system.clients[0]
+
+    # Pick one key per shard: four shards, two owning edges.
+    keys: dict[int, str] = {}
+    index = 0
+    while len(keys) < 4:
+        key = f"key{index:012d}"
+        keys.setdefault(client.partitioner.shard_of(key), key)
+        index += 1
+    items = [(key, f"balance-{shard}".encode()) for shard, key in sorted(keys.items())]
+    owners = sorted({str(client.router.route(key).owner) for key, _ in items})
+    print(f"atomic put of {len(items)} keys across shards {sorted(keys)} "
+          f"owned by {owners}")
+
+    txn_id = client.txn_put(items)
+    system.run_for(3.0)
+    record = client.txns.record(txn_id)
+    print(f"transaction {txn_id}: {record.state} ({record.reason})")
+    for shard, participant in sorted(record.participants.items()):
+        print(f"  shard {shard} @ {participant.owner}: receipt log position "
+              f"{participant.receipt.statement.log_position}, "
+              f"ack {participant.ack.status} in block {participant.ack.block_id}")
+
+    gets = [(key, value, client.get(key)) for key, value in items]
+    system.run_for(2.0)
+    verified = sum(
+        1
+        for key, value, operation in gets
+        if client.value_of(operation) == value
+        and client.phase_of(operation) is CommitPhase.PHASE_TWO
+    )
+    print(f"verified reads after commit: {verified}/{len(gets)} (Phase II)")
+    for edge in system.edges:
+        for shard, log_record, decoded in decision_records(edge):
+            certified = "certified" if log_record.proof is not None else "pending"
+            print(f"  decision record on {edge.node_id} shard {shard}: "
+                  f"{decoded[0]} in block {log_record.block.block_id} ({certified})")
+
+    # ------------------------------------------------------------------
+    # Coordinator abandonment: the decision never arrives.
+    # ------------------------------------------------------------------
+    print("\nabandoned transaction (receipts and decisions lost in transit):")
+    system.env.network.send_interceptor = lambda src, dst, message: not isinstance(
+        message, (TxnPrepareReceipt, TxnDecisionMessage)
+    )
+    orphan_items = [(key, b"never-visible") for key, _value in items[:2]]
+    orphan = client.txn_put(orphan_items)
+    system.run_for(3.0)  # past the participants' signed expires_at horizon
+    system.env.network.send_interceptor = None
+    system.run_for(0.5)
+    expired = sum(edge.stats.get("txn_prepares_expired", 0) for edge in system.edges)
+    print(f"  coordinator state: {client.txns.state_of(orphan)}; "
+          f"participant stages expired: {expired}")
+    committed = dict(items)
+    gets = [(key, client.get(key)) for key, _ in orphan_items]
+    system.run_for(2.0)
+    stale = [
+        key for key, operation in gets if client.value_of(operation) == b"never-visible"
+    ]
+    originals = sum(
+        1 for key, operation in gets if client.value_of(operation) == committed[key]
+    )
+    print(f"  orphaned writes visible: {len(stale)} (originals still served: "
+          f"{originals}/{len(orphan_items)})")
+    print(f"\npunishments recorded: {len(system.cloud.ledger)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -711,6 +711,119 @@ def bench_shard_handoff(rng: random.Random, quick: bool) -> BenchResult:
     return _time_repeats("shard_handoff", run, 1, repeats)
 
 
+def bench_txn_cross_shard(rng: random.Random, quick: bool) -> BenchResult:
+    """The cross-shard 2PC crypto pipeline, end to end (HMAC substrate).
+
+    Per transaction spanning 2 participant shards: the coordinator signs
+    the client entries and one prepare statement per shard, each
+    participant verifies the statement and signs a prepare receipt bound to
+    the staged write set, the coordinator verifies both receipts and signs
+    the commit decision, and each participant verifies the decision.  That
+    is every signature the protocol adds on top of the ordinary put path
+    (the commit block's Phase I receipt and certification are charged to
+    the existing rows).  Reported as transactions/s.
+    """
+
+    from ..crypto.hashing import digest_value
+    from ..log.entry import make_entry
+    from ..lsmerkle.codec import encode_put
+    from ..messages.txn_messages import (
+        TXN_COMMIT,
+        TxnDecisionMessage,
+        TxnDecisionStatement,
+        TxnId,
+        TxnPrepareReceipt,
+        TxnPrepareReceiptStatement,
+        TxnPrepareStatement,
+        TxnWrite,
+    )
+
+    num_shards = 2
+    writes_per_shard = 4
+    repeats = 40 if quick else 150
+    txns_per_repeat = 5
+    registry, cloud, edge_a = _certification_registry()
+    edge_b = edge_id("bench-edge-b")
+    coordinator = client_id("bench-coordinator")
+    registry.register(edge_b)
+    registry.register(coordinator)
+    edges = (edge_a, edge_b)
+    items = [
+        [
+            (f"key{rng.randrange(10**8):012d}", bytes(rng.getrandbits(8) for _ in range(64)))
+            for _ in range(writes_per_shard)
+        ]
+        for _ in range(num_shards)
+    ]
+    counter = {"txn": 0, "entry": 0}
+
+    def run() -> None:
+        for _ in range(txns_per_repeat):
+            counter["txn"] += 1
+            txn_id = TxnId(coordinator=coordinator, sequence=counter["txn"])
+            now = float(counter["txn"])
+            receipts: list[TxnPrepareReceipt] = []
+            for shard_id, edge in enumerate(edges):
+                entries = []
+                writes = []
+                for key, value in items[shard_id]:
+                    counter["entry"] += 1
+                    entries.append(
+                        make_entry(
+                            registry, coordinator, counter["entry"],
+                            encode_put(key, value), now,
+                        )
+                    )
+                    writes.append(TxnWrite(key=key, value_digest=digest_value(value)))
+                statement = TxnPrepareStatement(
+                    coordinator=coordinator,
+                    txn_id=txn_id,
+                    shard_id=shard_id,
+                    writes=tuple(writes),
+                    participant_shards=(0, 1),
+                    staged_floor=counter["txn"],
+                    issued_at=now,
+                )
+                signature = registry.sign(coordinator, statement)
+                # Participant side: verify the prepare, sign the receipt.
+                assert registry.verify(signature, statement)
+                receipt_statement = TxnPrepareReceiptStatement(
+                    edge=edge,
+                    txn_id=txn_id,
+                    shard_id=shard_id,
+                    log_position=counter["txn"],
+                    writes=statement.writes,
+                    prepare_digest=digest_value(statement),
+                    prepared_at=now,
+                    expires_at=now + 5.0,
+                )
+                receipts.append(
+                    TxnPrepareReceipt(
+                        statement=receipt_statement,
+                        signature=registry.sign(edge, receipt_statement),
+                    )
+                )
+            # Coordinator side: verify every receipt, sign the decision.
+            for receipt in receipts:
+                assert receipt.verify(registry)
+            decision_statement = TxnDecisionStatement(
+                coordinator=coordinator,
+                txn_id=txn_id,
+                decision=TXN_COMMIT,
+                participant_shards=(0, 1),
+                decided_at=now,
+            )
+            decision = TxnDecisionMessage(
+                statement=decision_statement,
+                signature=registry.sign(coordinator, decision_statement),
+            )
+            # Each participant verifies the decision before applying.
+            for _edge in edges:
+                assert decision.verify(registry)
+
+    return _time_repeats("txn_cross_shard", run, txns_per_repeat, repeats)
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -728,6 +841,7 @@ BENCHMARKS = (
     bench_gossip_batch,
     bench_shard_route,
     bench_shard_handoff,
+    bench_txn_cross_shard,
 )
 
 

@@ -186,6 +186,15 @@ class ShardingConfig:
     #: depth), letting a fleet run deep per-shard windows while a
     #: single-partition deployment stays paper-exact.
     certify_pipeline_depth: "int | None" = None
+    #: How long (simulated seconds) a transaction coordinator waits for the
+    #: participants' prepare receipts before deciding abort.
+    txn_receipt_timeout_s: float = 1.0
+    #: How long (simulated seconds) a participant edge keeps a staged
+    #: prepare before presuming abort (the receipt's signed ``expires_at``
+    #: horizon).  Must comfortably exceed the receipt timeout: the
+    #: coordinator only commits while every receipt is unexpired, so the
+    #: gap between the two is the decision's safe delivery window.
+    txn_prepare_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -203,6 +212,13 @@ class ShardingConfig:
             raise ConfigurationError("max_redirects must be non-negative")
         if self.certify_pipeline_depth is not None and self.certify_pipeline_depth <= 0:
             raise ConfigurationError("certify_pipeline_depth must be positive")
+        if self.txn_receipt_timeout_s <= 0:
+            raise ConfigurationError("txn_receipt_timeout_s must be positive")
+        if self.txn_prepare_timeout_s <= self.txn_receipt_timeout_s:
+            raise ConfigurationError(
+                "txn_prepare_timeout_s must exceed txn_receipt_timeout_s "
+                "(the gap is the decision's safe delivery window)"
+            )
 
 
 @dataclass(frozen=True)
@@ -281,6 +297,16 @@ class SystemConfig:
         """Return a copy of the config with the given fields replaced."""
 
         return replace(self, **changes)
+
+    def sharding_or_default(self) -> ShardingConfig:
+        """The attached sharding config, or the ShardingConfig field defaults.
+
+        The single source of truth for knobs (redirect cap, transaction
+        timers) that must behave identically whether or not the deployment
+        is sharded — callers never re-spell a field default as a literal.
+        """
+
+        return self.sharding if self.sharding is not None else ShardingConfig()
 
     @classmethod
     def paper_default(cls) -> "SystemConfig":

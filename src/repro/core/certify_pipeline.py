@@ -22,7 +22,8 @@ degenerates to exactly the serial per-batch round measured by the
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence
 
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
@@ -55,6 +56,7 @@ class EdgeCertifyPipeline:
         cloud: NodeId,
         depth: int = 1,
         batch_size: int = 32,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
@@ -65,6 +67,14 @@ class EdgeCertifyPipeline:
         self.cloud = cloud
         self.depth = depth
         self.batch_size = batch_size
+        #: Elapsed-time source for overdue-retry bookkeeping.  The default
+        #: is :func:`time.monotonic`, **never** ``time.time()``: retry
+        #: deadlines compare elapsed-time deltas, and a system clock step
+        #: (NTP correction, manual adjustment) would otherwise mass-trigger
+        #: — or indefinitely suppress — every pending retry at once.
+        #: Simulated and test callers inject their own time by passing
+        #: explicit ``now`` values (or a custom *clock*) exactly as before.
+        self.clock: Callable[[], float] = clock if clock is not None else time.monotonic
         self.certifier = LazyCertifier()
         self.absorbed = 0
         self.rejected = 0
@@ -75,14 +85,22 @@ class EdgeCertifyPipeline:
     # ------------------------------------------------------------------
     # Producing work
     # ------------------------------------------------------------------
-    def submit(self, block_id: BlockId, block_digest: str, now: float) -> None:
-        """Queue one freshly formed block's digest for certification."""
+    def submit(
+        self, block_id: BlockId, block_digest: str, now: Optional[float] = None
+    ) -> None:
+        """Queue one freshly formed block's digest for certification.
 
+        ``now`` defaults to the pipeline's monotonic clock; sim-time callers
+        keep injecting their own timestamps.
+        """
+
+        if now is None:
+            now = self.clock()
         self.certifier.track(block_id, block_digest, requested_at=now)
         self.certifier.enqueue_for_dispatch(block_id)
 
     def dispatch_ready(
-        self, now: float, allow_partial: bool = True
+        self, now: Optional[float] = None, allow_partial: bool = True
     ) -> "list[CertifyBatchRequest | CertifyWindowRequest]":
         """Sign and return dispatchable requests while the window has room.
 
@@ -95,6 +113,8 @@ class EdgeCertifyPipeline:
         whole window; a single batch keeps the plain wire format.
         """
 
+        if now is None:
+            now = self.clock()
         groups = self.certifier.drain_window_groups(
             depth=self.depth,
             batch_size=self.batch_size,
@@ -103,21 +123,7 @@ class EdgeCertifyPipeline:
         )
         if not groups:
             return []
-        statements = [
-            CertifyBatchStatement(
-                edge=self.edge,
-                items=tuple(
-                    CertifyStatement(
-                        edge=self.edge,
-                        block_id=task.block_id,
-                        block_digest=task.block_digest,
-                        num_entries=0,
-                    )
-                    for task in tasks
-                ),
-            )
-            for tasks in groups
-        ]
+        statements = [self._batch_statement(tasks) for tasks in groups]
         if len(statements) == 1:
             statement = statements[0]
             return [
@@ -132,6 +138,56 @@ class EdgeCertifyPipeline:
                 statement=window, signature=self.registry.sign(self.edge, window)
             )
         ]
+
+    def _batch_statement(self, tasks) -> CertifyBatchStatement:
+        """One batch statement for *tasks* — shared by dispatch and retry,
+        so a retried batch stays wire-identical to its original (the
+        idempotent duplicate-certificate absorption depends on it)."""
+
+        return CertifyBatchStatement(
+            edge=self.edge,
+            items=tuple(
+                CertifyStatement(
+                    edge=self.edge,
+                    block_id=task.block_id,
+                    block_digest=task.block_digest,
+                    num_entries=0,
+                )
+                for task in tasks
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Overdue retry (wall-clock deployments)
+    # ------------------------------------------------------------------
+    def retry_overdue(
+        self, timeout_s: float, now: Optional[float] = None
+    ) -> list[CertifyBatchRequest]:
+        """Selectively re-sign the in-flight batches overdue past *timeout_s*.
+
+        Elapsed time is measured on the pipeline's monotonic clock (or the
+        injected ``now``), so a wall-clock step can neither mass-trigger
+        nor suppress retries.  Mirrors the simulated edge's per-lost-batch
+        granularity: each overdue batch re-ships as exactly that batch
+        under a fresh signature, and its duplicate late certificate is
+        absorbed idempotently.
+        """
+
+        if now is None:
+            now = self.clock()
+        requests: list[CertifyBatchRequest] = []
+        for batch in self.certifier.overdue_batches(now, timeout_s):
+            tasks = self.certifier.record_batch_retry(batch.batch_id, now)
+            if not tasks:
+                continue
+            statement = self._batch_statement(tasks)
+            requests.append(
+                CertifyBatchRequest(
+                    statement=statement,
+                    signature=self.registry.sign(self.edge, statement),
+                )
+            )
+        return requests
 
     # ------------------------------------------------------------------
     # Absorbing certificates

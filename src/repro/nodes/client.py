@@ -598,6 +598,12 @@ class Client:
 
         record.details["value"] = derived_value
         record.details["found"] = verified.found
+        # Global sequence of the proven record (block id × stride + index):
+        # lets shard-aware subclasses place a served value relative to a
+        # transaction receipt's staged log position.
+        record.details["record_sequence"] = (
+            verified.record.sequence if verified.record is not None else None
+        )
         record.details["root_timestamp"] = verified.root_timestamp
         record.details["root_version"] = verified.root_version
         self.tracker.mark_phase_one(record.operation_id, now)

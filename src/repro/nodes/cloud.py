@@ -51,9 +51,15 @@ from ..messages.shard_messages import (
     ShardInstallAck,
     ShardMapMessage,
 )
+from ..messages.txn_messages import TxnDispute, TxnDisputeVerdict
 from ..common.errors import ConfigurationError, MergeProtocolError
 from ..core.certify_engine import ParallelCertifyEngine
-from ..core.dispute import PunishmentLedger, judge_dispute, judge_shard_dispute
+from ..core.dispute import (
+    PunishmentLedger,
+    judge_dispute,
+    judge_shard_dispute,
+    judge_txn_dispute,
+)
 from ..core.gossip import build_gossip, build_gossip_batch
 from ..log.proofs import (
     AnyBlockProof,
@@ -257,6 +263,8 @@ class CloudNode:
             self._handle_shard_install_ack(sender, message)
         elif isinstance(message, ShardDispute):
             self._handle_shard_dispute(sender, message)
+        elif isinstance(message, TxnDispute):
+            self._handle_txn_dispute(sender, message)
         # Unknown messages are ignored (the cloud is conservative).
 
     # -------------------------------------------------------- certification
@@ -839,6 +847,46 @@ class CloudNode:
                 reason=judgement.reason,
             ),
         )
+
+    def _handle_txn_dispute(self, sender: NodeId, dispute: TxnDispute) -> None:
+        """Judge a 2PC dispute from its signed artifacts (no server state).
+
+        The accused may be an *edge* (a lying or abort-ignoring
+        participant) or a *client* (an equivocating coordinator) — the
+        punishment ledger records both.
+        """
+
+        params = self.env.params
+        self.env.charge(params.request_overhead_seconds + 3 * params.verify_seconds)
+        self.stats.setdefault("txn_disputes", 0)
+        self.stats["txn_disputes"] += 1
+        if dispute.reporter != sender:
+            return
+        judgement = judge_txn_dispute(dispute, self.env.registry, cloud=self.node_id)
+        if judgement.punished:
+            self._punish(
+                dispute.accused,
+                reason=judgement.reason,
+                block_id=None,
+                reported_by=dispute.reporter,
+            )
+        verdict = TxnDisputeVerdict(
+            cloud=self.node_id,
+            reporter=dispute.reporter,
+            accused=dispute.accused,
+            txn_id=dispute.txn_id,
+            punished=judgement.punished,
+            reason=judgement.reason,
+            kind=dispute.kind,
+            decision=dispute.decision,
+        )
+        self.env.send(self.node_id, sender, verdict)
+        if judgement.punished and dispute.kind == "staged-abort-serve":
+            # Tell the convicted edge which signed abort convicted it: an
+            # edge that applied this transaction under a coordinator-signed
+            # *commit* now holds contradictory signed decisions and can
+            # counter-dispute the equivocating coordinator.
+            self.env.send(self.node_id, dispute.accused, verdict)
 
     # ------------------------------------------------------------------
     # Punishment

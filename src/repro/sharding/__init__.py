@@ -17,7 +17,14 @@ This subsystem turns the paper's single-edge deployment into a fleet:
 """
 
 from .client import ShardedClient
-from .edge import ShardedEdgeNode, StaleShardOwnerEdgeNode, TamperingHandoffEdgeNode
+from .edge import (
+    AbortIgnoringEdgeNode,
+    ShardedEdgeNode,
+    StaleShardOwnerEdgeNode,
+    TamperingHandoffEdgeNode,
+    TamperingPrepareEdgeNode,
+    UnresponsivePrepareEdgeNode,
+)
 from .handoff import level_roots_from_pages, shard_state_digest
 from .partitioner import (
     HashRingPartitioner,
@@ -38,8 +45,17 @@ from .system import (
     ShardedClosedLoopDriver,
     ShardedWedgeSystem,
 )
+from .transactions import (
+    StagedTxn,
+    TxnCoordinator,
+    TxnRecord,
+    decode_txn_decision,
+    encode_txn_decision,
+    is_txn_decision_payload,
+)
 
 __all__ = [
+    "AbortIgnoringEdgeNode",
     "FleetGossipView",
     "HashRingPartitioner",
     "KeyPartitioner",
@@ -53,9 +69,17 @@ __all__ = [
     "ShardedClosedLoopDriver",
     "ShardedEdgeNode",
     "ShardedWedgeSystem",
+    "StagedTxn",
     "StaleShardOwnerEdgeNode",
     "TamperingHandoffEdgeNode",
+    "TamperingPrepareEdgeNode",
+    "TxnCoordinator",
+    "TxnRecord",
+    "UnresponsivePrepareEdgeNode",
     "build_shard_map_message",
+    "decode_txn_decision",
+    "encode_txn_decision",
+    "is_txn_decision_payload",
     "level_roots_from_pages",
     "make_partitioner",
     "shard_state_digest",

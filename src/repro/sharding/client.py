@@ -42,11 +42,19 @@ from ..messages.shard_messages import (
     ShardDisputeVerdict,
     ShardMapMessage,
 )
+from ..messages.txn_messages import (
+    TxnDecisionAck,
+    TxnDisputeVerdict,
+    TxnId,
+    TxnPrepareReceipt,
+    TxnPrepareRejection,
+)
 from ..nodes.client import Client
 from ..sim.environment import Environment
 from .partitioner import KeyPartitioner
 from .router import ShardRouter
 from .shard_map import FleetGossipView
+from .transactions import TxnCoordinator
 
 
 class ShardedClient(Client):
@@ -85,12 +93,34 @@ class ShardedClient(Client):
         )
         #: Shard-dispute verdicts the cloud sent back to this client.
         self.shard_verdicts: list[ShardDisputeVerdict] = []
+        #: Transaction-dispute verdicts the cloud sent back to this client.
+        self.txn_verdicts: list[TxnDisputeVerdict] = []
+        #: Redirect-hop cap: exactly this many redirect hops are followed
+        #: per operation before it fails.  Unsharded configs resolve to the
+        #: ShardingConfig field default — never a re-spelled literal.
+        self._max_redirects = self.config.sharding_or_default().max_redirects
+        #: Highest block id observed per edge in signed acknowledgements:
+        #: the coordinator-side staging watermark for transactions
+        #: (``TxnPrepareStatement.staged_floor``).
+        self._observed_block_ids: dict[NodeId, int] = {}
+        #: Client-coordinated cross-shard 2PC (atomic multi-key puts).
+        self.txns = TxnCoordinator(self)
         self.stats.update(
             {
                 "redirects_followed": 0,
                 "redirect_failures": 0,
                 "shard_disputes_sent": 0,
                 "stale_owner_detections": 0,
+                "txns_started": 0,
+                "txns_committed": 0,
+                "txns_aborted": 0,
+                "txn_prepare_reroutes": 0,
+                "txn_prepare_rejections": 0,
+                "txn_receipt_mismatches": 0,
+                "txn_decision_acks": 0,
+                "txn_decision_retries": 0,
+                "txn_disputes_sent": 0,
+                "staged_serve_detections": 0,
             }
         )
 
@@ -98,6 +128,7 @@ class ShardedClient(Client):
     # Routed operation API
     # ------------------------------------------------------------------
     def put(self, key: str, value: bytes) -> OperationId:
+        self.txns.note_rewrite(key, value)
         route = self.router.route(key)
         return self._append(
             [encode_put(key, value)],
@@ -114,6 +145,9 @@ class ShardedClient(Client):
         independent append requests, one per owner.
         """
 
+        items = list(items)
+        for key, value in items:
+            self.txns.note_rewrite(key, value)
         groups = self.router.split_batch(items)
         operations = []
         for (shard_id, owner), group in groups.items():
@@ -133,6 +167,19 @@ class ShardedClient(Client):
         record.details["shard_id"] = route.shard_id
         return operation_id
 
+    def txn_put(self, items: Iterable[tuple[str, bytes]]) -> TxnId:
+        """Atomically put a batch of keys that may span several shards.
+
+        Runs the client-coordinated two-phase commit of
+        :mod:`repro.sharding.transactions`: every participant shard either
+        applies the whole per-shard write set or none of it.  Returns the
+        transaction id; progress is visible through ``self.txns`` (state,
+        receipts, decision) and the per-participant operations in the
+        ordinary commit tracker.
+        """
+
+        return self.txns.begin(items)
+
     # ------------------------------------------------------------------
     # Multi-edge hook overrides
     # ------------------------------------------------------------------
@@ -148,12 +195,37 @@ class ShardedClient(Client):
         if response.operation_id not in self.tracker:
             return
         record = self.tracker.get(response.operation_id)
+        # The staging watermark moves only on acknowledgements whose
+        # *specific block id* carries a verified receipt — the base handler
+        # bound record.block_id / a per-block receipt iff the signature
+        # checked out and the sender is the operation's edge.  A duplicate
+        # or unsolicited response with an absurd block id must not poison
+        # the floor (it would neutralize staged-abort-serve conviction for
+        # the forging edge and wedge transactions against honest ones).
+        acknowledged = (
+            record.receipt is not None and record.block_id == response.block_id
+        ) or response.block_id in (record.details.get("block_receipts") or ())
+        if (
+            acknowledged
+            and self._expected_edge(record) == sender
+            and response.block_id > self._observed_block_ids.get(sender, -1)
+        ):
+            self._observed_block_ids[sender] = response.block_id
         if record.phase is not CommitPhase.PENDING:
             # Fully acknowledged (or failed): the operation can no longer be
             # redirected, so release the pinned signed entries — otherwise
             # memory grows with every write ever issued, not with in-flight
             # writes.
-            record.details.pop("entries", None)
+            entries = record.details.pop("entries", None)
+            if (
+                entries
+                and record.phase is not CommitPhase.FAILED
+                and record.details.get("txn_id") is None
+            ):
+                # Acknowledged plain writes feed the coordinator's own-write
+                # memory: an abort deciding later must never register (and
+                # then dispute) a pair this client committed itself.
+                self.txns.note_entries(entries)
 
     def _accepts_proof(self, proof: Any) -> bool:
         # Any fleet edge may certify blocks for this client's operations;
@@ -181,6 +253,18 @@ class ShardedClient(Client):
             return
         if isinstance(message, ShardDisputeVerdict):
             self.shard_verdicts.append(message)
+            return
+        if isinstance(message, TxnPrepareReceipt):
+            self.txns.on_receipt(sender, message)
+            return
+        if isinstance(message, TxnPrepareRejection):
+            self.txns.on_rejection(sender, message)
+            return
+        if isinstance(message, TxnDecisionAck):
+            self.txns.on_ack(sender, message)
+            return
+        if isinstance(message, TxnDisputeVerdict):
+            self.txn_verdicts.append(message)
             return
         super().on_message(sender, message)
 
@@ -213,11 +297,8 @@ class ShardedClient(Client):
             # owner acknowledged it, a (stale or stray) redirect is noise.
             return
         now = self.env.now()
-        max_redirects = (
-            self.config.sharding.max_redirects if self.config.sharding else 3
-        )
         redirects = record.details.get("redirects", 0)
-        if redirects >= max_redirects:
+        if redirects >= self._max_redirects:
             self.stats["redirect_failures"] += 1
             self.tracker.mark_failed(
                 record.operation_id, now, "redirect limit exceeded"
@@ -246,6 +327,12 @@ class ShardedClient(Client):
     ) -> None:
         """Re-send an operation (same id, same signed entries) to *owner*."""
 
+        txn_id = record.details.get("txn_id")
+        if txn_id is not None and record.details.get("txn_prepare"):
+            # Redirect-aware participant resolution: the same signed prepare
+            # goes to the owner the redirect (and the refreshed map) named.
+            self.txns.reroute_prepare(txn_id, shard_id, owner)
+            return
         if record.is_write:
             entries = record.details.get("entries")
             if entries is None:
@@ -318,6 +405,26 @@ class ShardedClient(Client):
                 # whose genuine response is still on the wire.
                 return
         super()._handle_get_response(sender, response)
+        # Post-verification staged-abort-serve detection: only a value whose
+        # *proven* record sequence places it at or after the prepare
+        # receipt's staged log position can be the aborted staged write — a
+        # pre-transaction write of the same bytes never trips the dispute.
+        # Lazy-trust remedy, not a read veto: the response did verify
+        # against certified state, so the value stands and the edge's own
+        # signed artifacts convict it at the cloud.
+        if statement.operation_id in self.tracker:
+            record = self.tracker.get(statement.operation_id)
+            if (
+                statement.edge == sender
+                and record.details.get("found")
+                and self.txns.maybe_dispute_staged_serve(
+                    statement,
+                    response.signature,
+                    record.details.get("record_sequence"),
+                    proof=response.proof,
+                )
+            ):
+                self.stats["staged_serve_detections"] += 1
 
     def _is_stale_owner_response(
         self, record: OperationRecord, statement, shard_id: ShardId

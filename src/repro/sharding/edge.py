@@ -46,6 +46,15 @@ from ..messages.log_messages import (
     CertifyRejection,
     ReadRequest,
 )
+from ..messages.txn_messages import (
+    TXN_ABORT,
+    TXN_COMMIT,
+    TxnDecisionMessage,
+    TxnDispute,
+    TxnDisputeVerdict,
+    TxnPrepareRequest,
+    TxnWrite,
+)
 from ..messages.shard_messages import (
     NotOwnerRedirect,
     NotOwnerStatement,
@@ -110,6 +119,8 @@ class ShardedEdgeNode(EdgeNode):
         self.shard_entry_counts: dict[ShardId, int] = {}
         #: Shard-dispute verdicts delivered to this edge.
         self.shard_verdicts: list[ShardDisputeVerdict] = []
+        #: Transaction-dispute verdicts delivered to this edge (as accused).
+        self.txn_verdicts: list[TxnDisputeVerdict] = []
 
         self.stats.update(
             {
@@ -156,6 +167,15 @@ class ShardedEdgeNode(EdgeNode):
     # Message dispatch / partition resolution
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, TxnDecisionMessage):
+            # One decision may cover several shards this edge owns: apply it
+            # to every owned participant partition (each keeps its own
+            # staged/decided state).  Decisions bypass the serving
+            # resolution on purpose — a shard mid-handoff must still be
+            # able to resolve its staged prepares, that is exactly what the
+            # drain is waiting for.
+            self._handle_txn_decision_fleet(sender, message)
+            return
         if isinstance(message, ShardMapMessage):
             self._handle_shard_map(sender, message)
         elif isinstance(message, ShardHandoffOrder):
@@ -168,6 +188,8 @@ class ShardedEdgeNode(EdgeNode):
             self._handle_shard_transfer(sender, message)
         elif isinstance(message, ShardDisputeVerdict):
             self.shard_verdicts.append(message)
+        elif isinstance(message, TxnDisputeVerdict):
+            self._handle_txn_verdict(sender, message)
         else:
             super().on_message(sender, message)
 
@@ -195,6 +217,13 @@ class ShardedEdgeNode(EdgeNode):
         if isinstance(message, GetRequest):
             shard_id = self.partitioner.shard_of(message.key)
             return self._resolve_serving(sender, message, shard_id, message.operation_id)
+        if isinstance(message, TxnPrepareRequest):
+            # Prepares resolve like client writes: redirect when this edge
+            # is not the owner, park mid-migration (after the grant the
+            # replay becomes a truthful redirect under the new map).
+            return self._resolve_serving(
+                sender, message, message.shard_id, message.operation_id
+            )
         if isinstance(message, ReadRequest):
             shard_id = self._block_shards.get(message.block_id)
             state = self._shard_states.get(shard_id) if shard_id is not None else None
@@ -289,6 +318,98 @@ class ShardedEdgeNode(EdgeNode):
         )
 
     # ------------------------------------------------------------------
+    # Cross-shard transactions (participant side, fleet-specific plumbing)
+    # ------------------------------------------------------------------
+    def _handle_txn_decision_fleet(
+        self, sender: NodeId, message: TxnDecisionMessage
+    ) -> None:
+        statement = message.statement
+        owned = [
+            state
+            for shard_id in statement.participant_shards
+            if (state := self._shard_states.get(shard_id)) is not None
+        ]
+        if not owned:
+            # No owned participant shard (e.g. the shard was handed off
+            # after its stage resolved): nothing to decide here.
+            self.stats.setdefault("txn_decisions_unowned", 0)
+            self.stats["txn_decisions_unowned"] += 1
+            return
+        # One delivered message costs one request overhead and one signature
+        # verification however many co-located participant shards apply it;
+        # only the staging work scales with the shards' staged writes.
+        staged_writes = sum(
+            len(state.staged_txns[statement.txn_id].entries)
+            for state in owned
+            if statement.txn_id in state.staged_txns
+        )
+        self.env.charge(self.env.params.txn_decision_cost(staged_writes))
+        if statement.decision not in (TXN_COMMIT, TXN_ABORT):
+            return
+        if not message.verify(self.env.registry):
+            return
+        for state in owned:
+            with self._as_active(state):
+                self._apply_txn_decision(message)
+
+    def _handle_txn_verdict(
+        self, sender: NodeId, verdict: TxnDisputeVerdict
+    ) -> None:
+        """A conviction naming this edge may prove the coordinator forked.
+
+        The cloud forwards a punishing ``staged-abort-serve`` verdict to
+        the accused with the coordinator-signed abort that convicted it.
+        If this edge applied the same transaction under a coordinator-
+        signed *commit* (kept in the decided-transaction tombstone), it now
+        holds two contradictory signed decisions — self-contained evidence
+        that convicts the equivocating coordinator.
+        """
+
+        if sender != self.cloud:
+            return
+        self.txn_verdicts.append(verdict)
+        if (
+            not verdict.punished
+            or verdict.accused != self.node_id
+            or verdict.decision is None
+        ):
+            return
+        for state in self._shard_states.values():
+            decided = state.decided_txns.get(verdict.txn_id)
+            if decided is None:
+                continue
+            _decision, _block_id, _shard_id, acted_on = decided
+            if (
+                acted_on is not None
+                and acted_on.decision != verdict.decision.decision
+            ):
+                self.stats.setdefault("txn_equivocation_disputes", 0)
+                self.stats["txn_equivocation_disputes"] += 1
+                self.env.send(
+                    self.node_id,
+                    self.cloud,
+                    TxnDispute(
+                        reporter=self.node_id,
+                        accused=verdict.txn_id.coordinator,
+                        txn_id=verdict.txn_id,
+                        kind="coordinator-equivocation",
+                        decision=acted_on,
+                        second_decision=verdict.decision,
+                    ),
+                )
+                return
+
+    def _txn_shard_ok(self, shard_id: ShardId, key: str) -> bool:
+        return self.partitioner.shard_of(key) == shard_id
+
+    def _peek_next_block_id(self) -> BlockId:
+        return self._next_block_id
+
+    def _after_txn_resolved(self, shard_id) -> None:
+        if shard_id is not None and shard_id in self._migrating:
+            self._advance_handoff(shard_id)
+
+    # ------------------------------------------------------------------
     # Block bookkeeping
     # ------------------------------------------------------------------
     def _allocate_block_id(self) -> BlockId:
@@ -328,6 +449,13 @@ class ShardedEdgeNode(EdgeNode):
             return
         self._migrating[shard_id] = order.dest
         with self._as_active(state):
+            if state.staged_txns:
+                # Staged cross-shard prepares must resolve (decision or
+                # expiry) before the shard can be offered away: their
+                # decision records belong in *this* partition's certified
+                # log, and the coordinators hold receipts naming this edge.
+                self.stats.setdefault("handoff_txn_waits", 0)
+                self.stats["handoff_txn_waits"] += 1
             if self.certifier.in_flight_count:
                 # A pipelined shard may have a whole window of certify
                 # batches outstanding when the order arrives; the drain
@@ -359,6 +487,8 @@ class ShardedEdgeNode(EdgeNode):
         if state is None or dest is None:
             return
         with self._as_active(state):
+            if state.staged_txns:
+                return  # staged prepares resolve before the shard transfers
             if self.certifier.pending_dispatch_count:
                 self._flush_certify_batch()
             if self.certifier.outstanding():
@@ -670,6 +800,69 @@ class TamperingHandoffEdgeNode(ShardedEdgeNode):
             created_at=first.created_at,
         )
         return (tampered,) + tuple(blocks[1:])
+
+
+class TamperingPrepareEdgeNode(ShardedEdgeNode):
+    """Signs prepare receipts that misquote the staged write set.
+
+    The coordinator compares the receipt's write list against the statement
+    it signed itself: the mismatch is two contradictory signed artifacts —
+    the client-signed prepare and the edge-signed receipt — which is
+    exactly the evidence pair the ``prepare-receipt-mismatch`` dispute
+    needs.  The coordinator aborts the transaction and the cloud convicts
+    the edge.
+    """
+
+    def _receipt_writes(
+        self, writes: tuple[TxnWrite, ...]
+    ) -> tuple[TxnWrite, ...]:
+        if not writes:
+            return writes
+        first = writes[0]
+        return (TxnWrite(key=first.key, value_digest="0" * 64),) + tuple(writes[1:])
+
+
+class UnresponsivePrepareEdgeNode(ShardedEdgeNode):
+    """Swallows transaction prepares: a crashed or partitioned participant.
+
+    Everything else (puts, gets, certification) keeps working, so the
+    coordinator's receipt timer — not some global failure detector — is
+    what aborts the transaction on every responsive participant.
+    """
+
+    def _handle_txn_prepare(self, sender, request) -> None:
+        self.stats.setdefault("txn_prepares_dropped", 0)
+        self.stats["txn_prepares_dropped"] += 1
+
+
+class AbortIgnoringEdgeNode(ShardedEdgeNode):
+    """Applies staged writes despite a signed abort, then serves them.
+
+    The node acknowledges the abort (to look honest) but installs the
+    staged writes as if the transaction had committed.  Any client that
+    later reads one of those keys holds the conviction triple: the edge's
+    signed prepare receipt, the coordinator's signed abort, and the edge's
+    own signed get response serving the staged value — the
+    ``staged-abort-serve`` dispute.
+    """
+
+    def _apply_txn_decision(self, message) -> None:
+        statement = message.statement
+        if statement.decision == TXN_ABORT:
+            state = self._active
+            staged = state.staged_txns.pop(statement.txn_id, None)
+            if staged is not None:
+                block_id = self._apply_staged_txn(staged)  # commits anyway
+                self._record_txn_decision(
+                    state, statement.txn_id, TXN_ABORT, block_id,
+                    staged.shard_id, message,
+                )
+                self._send_txn_ack(
+                    statement.txn_id, staged.shard_id, TXN_ABORT, block_id
+                )
+                self._after_txn_resolved(state.shard_id)
+                return
+        super()._apply_txn_decision(message)
 
 
 class StaleShardOwnerEdgeNode(ShardedEdgeNode):

@@ -70,6 +70,12 @@ class SimulationParameters:
     #: byte-identical.
     cloud_certify_workers: int = 1
 
+    # --------------------------------------------- cross-shard transactions
+    #: Per-write CPU cost of staging (or applying) one transactional write
+    #: at a participant edge, on top of the signature charges the 2PC
+    #: messages themselves pay.
+    txn_stage_seconds_per_write: float = 2e-6
+
     # -------------------------------------------------------- shard handoff
     #: Per-block CPU cost of packaging/ingesting shard state during a
     #: certified shard handoff (serialization, proof bundling) on top of the
@@ -102,6 +108,7 @@ class SimulationParameters:
             "merge_seconds_per_entry",
             "request_overhead_seconds",
             "merkle_rebuild_seconds_per_entry",
+            "txn_stage_seconds_per_write",
             "shard_transfer_seconds_per_block",
             "shard_verify_seconds_per_page",
             "client_think_time_s",
@@ -192,6 +199,30 @@ class SimulationParameters:
         O(num_blocks) hashing)."""
 
         return self.verify_seconds + self.lookup_seconds_per_op * max(num_blocks, 0)
+
+    def txn_prepare_cost(self, num_writes: int) -> float:
+        """CPU time for a participant edge to handle one txn-prepare: verify
+        the coordinator's signature, validate and stage the writes, and sign
+        the prepare receipt."""
+
+        return (
+            self.request_overhead_seconds
+            + self.verify_seconds
+            + self.txn_stage_seconds_per_write * max(num_writes, 0)
+            + self.sign_seconds
+        )
+
+    def txn_decision_cost(self, num_writes: int) -> float:
+        """CPU time for a participant edge to handle one txn-decision: verify
+        the coordinator's signature and apply (or discard) the staged
+        writes.  The decision record's own signing and the block build on
+        the commit path are charged by the ordinary block machinery."""
+
+        return (
+            self.request_overhead_seconds
+            + self.verify_seconds
+            + self.txn_stage_seconds_per_write * max(num_writes, 0)
+        )
 
     def handoff_offer_cost(self, num_blocks: int) -> float:
         """CPU time for the source edge to assemble and sign a handoff offer."""

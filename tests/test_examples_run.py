@@ -18,6 +18,14 @@ CASES = [
     ("iot_fleet_logging.py", ["LSMerkle level page counts", "merges completed"]),
     ("malicious_edge_audit.py", ["punishments recorded", "Omission attack"]),
     ("baseline_comparison.py", ["WedgeChain", "Edge-baseline", "wan_megabytes"]),
+    (
+        "cross_shard_txn.py",
+        [
+            "committed (all participants prepared)",
+            "verified reads after commit: 4/4",
+            "orphaned writes visible: 0",
+        ],
+    ),
 ]
 
 

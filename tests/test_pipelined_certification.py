@@ -493,6 +493,86 @@ class TestMidHandoffWindow:
         snapshot = source.certify_pipeline_snapshot()
         assert shard not in snapshot
 
+    def test_rejection_mid_drain_frees_the_slot_and_drain_completes(self):
+        """A ``CertifyRejection`` arriving mid-handoff-drain must release its
+        window slot (letting the queued batches ship) and the drain must
+        still complete once the block's real certificate is recovered."""
+
+        from repro.log.proofs import CommitPhase
+        from repro.messages.log_messages import CertifyRejection
+        from repro.workloads.generator import format_key
+
+        system = self.build_fleet(seed=41)
+        client = system.clients[0]
+
+        def drop_certificates(src, dst, message):
+            return not isinstance(message, BatchCertificateMessage)
+
+        system.env.network.send_interceptor = drop_certificates
+        operations = [
+            (client, client.put(format_key(index), b"v%d" % index))
+            for index in range(40)
+        ]
+        assert system.wait_for_all(operations, CommitPhase.PHASE_ONE, 120)
+        system.run_for(0.5)
+
+        source = next(
+            edge
+            for edge in system.edges
+            if any(
+                edge.shard_state(s) is not None
+                and edge.shard_state(s).certifier.in_flight_count
+                for s in edge.owned_shards()
+            )
+        )
+        shard = next(
+            s
+            for s in source.owned_shards()
+            if source.shard_state(s).certifier.in_flight_count
+        )
+        dest = next(e for e in system.edges if e is not source)
+        system.rebalance_shard(shard, dest.node_id)
+        system.run_for(0.5)
+        assert shard in source._migrating
+        state = source.shard_state(shard)
+        in_flight = state.certifier.in_flight_batches()
+        assert in_flight
+
+        # Let answers flow again, then refuse the whole stuck batch: each
+        # rejection must free its share of the slot so the window un-wedges.
+        system.env.network.send_interceptor = None
+        stuck = in_flight[0]
+        slots_before = state.certifier.in_flight_count
+        for block_id in stuck.block_ids:
+            source.on_message(
+                system.cloud.node_id,
+                CertifyRejection(
+                    cloud=system.cloud.node_id,
+                    edge=source.node_id,
+                    block_id=block_id,
+                    existing_digest="f" * 64,
+                    offending_digest="e" * 64,
+                    reason="simulated stray refusal",
+                ),
+            )
+        system.run_for(0.5)
+        assert state.certifier.in_flight_count < slots_before or (
+            not state.certifier.in_flight(stuck.block_ids[0])
+        )
+        assert source.stats.get("certify_rejections", 0) == len(stuck.block_ids)
+
+        # The refused blocks were certified cloud-side before the rejection
+        # was injected (only the certificates were dropped): the overdue
+        # retry recovers them idempotently and the drain then completes.
+        system.run_for(1.0)
+        assert source.retry_overdue_certifications(timeout_s=0.1) > 0
+        system.run_for(5.0)
+        assert system.cloud.stats["shard_handoffs_granted"] == 1
+        assert system.cloud.stats["shard_installs"] == 1
+        assert system.shard_owner(shard) == dest.node_id
+        assert source.shard_state(shard) is None
+        assert dest.shard_state(shard) is not None
+
 
 # ----------------------------------------------------------------------
 # Per-shard depth override
@@ -745,3 +825,66 @@ class TestOverlapParameters:
         pooled = params.window_certification_cost(8, 8 * 32, workers=8)
         serial_part = params.request_overhead_seconds + params.verify_seconds
         assert pooled == pytest.approx(serial_part + (eight - serial_part) / 8)
+
+
+# ----------------------------------------------------------------------
+# Monotonic elapsed-time bookkeeping (wall-clock deployments)
+# ----------------------------------------------------------------------
+class TestMonotonicRetryClock:
+    """The overdue-retry clock must be *elapsed* time, never wall-clock: a
+    system clock step (NTP correction, manual adjustment) would otherwise
+    mass-trigger — or indefinitely suppress — every pending retry at once."""
+
+    def make_pipeline(self, clock=None):
+        registry = KeyRegistry("hmac")
+        registry.register(EDGE)
+        registry.register(CLOUD)
+        return EdgeCertifyPipeline(
+            registry=registry, edge=EDGE, cloud=CLOUD, depth=2, batch_size=2,
+            clock=clock,
+        )
+
+    def test_default_clock_is_time_monotonic(self):
+        import time
+
+        pipeline = self.make_pipeline()
+        assert pipeline.clock is time.monotonic
+        # And the no-argument API actually uses it.
+        pipeline.submit(0, "0" * 64)
+        pipeline.submit(1, "1" * 64)
+        assert len(pipeline.dispatch_ready(allow_partial=False)) == 1
+
+    def test_wall_clock_step_cannot_mass_trigger_retries(self, monkeypatch):
+        import time as time_module
+
+        mono = {"now": 100.0}
+        pipeline = self.make_pipeline(clock=lambda: mono["now"])
+        for block_id in range(4):
+            pipeline.submit(block_id, f"{block_id:064x}")
+        assert pipeline.dispatch_ready(allow_partial=False)
+        assert pipeline.certifier.in_flight_count == 2
+
+        # The system clock leaps an hour forward and then a day back — the
+        # monotonic elapsed time has barely moved, so nothing is overdue.
+        for step in (3600.0, -86400.0):
+            monkeypatch.setattr(
+                time_module, "time", lambda step=step: 1_700_000_000.0 + step
+            )
+            assert pipeline.retry_overdue(timeout_s=10.0) == []
+
+        # Genuine elapsed time past the deadline: both lost batches retry,
+        # each as exactly that batch under a fresh signature.
+        mono["now"] += 11.0
+        retries = pipeline.retry_overdue(timeout_s=10.0)
+        assert len(retries) == 2
+        assert [len(request.items) for request in retries] == [2, 2]
+        # The retry reset the overdue clock: nothing re-triggers at once.
+        assert pipeline.retry_overdue(timeout_s=10.0) == []
+
+    def test_sim_time_injection_still_works(self):
+        pipeline = self.make_pipeline()
+        pipeline.submit(0, "0" * 64, now=5.0)
+        pipeline.submit(1, "1" * 64, now=5.0)
+        assert pipeline.dispatch_ready(now=5.0, allow_partial=False)
+        assert pipeline.retry_overdue(timeout_s=2.0, now=6.0) == []
+        assert len(pipeline.retry_overdue(timeout_s=2.0, now=8.0)) == 1
