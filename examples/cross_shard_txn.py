@@ -95,13 +95,16 @@ def main() -> None:
     # Coordinator abandonment: the decision never arrives.
     # ------------------------------------------------------------------
     print("\nabandoned transaction (receipts and decisions lost in transit):")
-    system.env.network.send_interceptor = lambda src, dst, message: not isinstance(
-        message, (TxnPrepareReceipt, TxnDecisionMessage)
+    system.env.network.add_send_hook(
+        "example:abandon-coordinator",
+        lambda src, dst, message: not isinstance(
+            message, (TxnPrepareReceipt, TxnDecisionMessage)
+        ),
     )
     orphan_items = [(key, b"never-visible") for key, _value in items[:2]]
     orphan = client.txn_put(orphan_items)
     system.run_for(3.0)  # past the participants' signed expires_at horizon
-    system.env.network.send_interceptor = None
+    system.env.network.remove_send_hook("example:abandon-coordinator")
     system.run_for(0.5)
     expired = sum(edge.stats.get("txn_prepares_expired", 0) for edge in system.edges)
     print(f"  coordinator state: {client.txns.state_of(orphan)}; "

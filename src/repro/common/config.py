@@ -89,6 +89,16 @@ class LoggingConfig:
     #: blocks anything client-visible, so the pipeline can be arbitrarily
     #: deep.
     certify_pipeline_depth: int = 1
+    #: Degraded-mode threshold: when more than this many Phase-I-committed
+    #: blocks await certification on one partition (a cloud outage, a
+    #: partitioned WAN), the edge keeps serving commits but flags itself
+    #: degraded, sending a
+    #: :class:`~repro.messages.log_messages.DegradedModeNotice` to every
+    #: client it answers so they can throttle or widen dispute timers.
+    #: Recovery (backlog back at or below half the threshold) is announced
+    #: to the same clients.  ``None`` (the default) disables the signal
+    #: entirely — the committed figures never see it.
+    max_uncertified_backlog: int | None = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -101,6 +111,8 @@ class LoggingConfig:
             raise ConfigurationError("certify_flush_timeout_s must be non-negative")
         if self.certify_pipeline_depth <= 0:
             raise ConfigurationError("certify_pipeline_depth must be positive")
+        if self.max_uncertified_backlog is not None and self.max_uncertified_backlog <= 0:
+            raise ConfigurationError("max_uncertified_backlog must be positive when set")
 
 
 @dataclass(frozen=True)

@@ -28,11 +28,21 @@ the lost batch is re-sent, never the whole overdue set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from ..common.errors import ProtocolError
 from ..common.identifiers import BlockId, NodeId, OperationId
 from ..log.proofs import AnyBlockProof
+
+#: Overdue horizon: either a flat timeout in seconds or a schedule mapping
+#: the retries already sent to the timeout guarding the next one (the shape
+#: :meth:`repro.faults.retry.RetryPolicy.timeout_for` provides, giving
+#: per-batch exponential backoff without the certifier knowing the policy).
+TimeoutSpec = Union[float, Callable[[int], float]]
+
+
+def _timeout_value(timeout_s: TimeoutSpec, retries: int) -> float:
+    return timeout_s(retries) if callable(timeout_s) else timeout_s
 
 
 @dataclass
@@ -266,15 +276,21 @@ class LazyCertifier:
         return block_id in self._block_batch
 
     def overdue_batches(
-        self, now: float, timeout_s: float
+        self, now: float, timeout_s: TimeoutSpec
     ) -> tuple[InFlightBatch, ...]:
         """In-flight batches unanswered longer than *timeout_s* (oldest id
-        first) — the selective-retry unit under pipelining."""
+        first) — the selective-retry unit under pipelining.
+
+        *timeout_s* may be a retry-count-indexed schedule (see
+        :data:`TimeoutSpec`), in which case an already-retried batch waits
+        out its backoff step before going overdue again.
+        """
 
         return tuple(
             self._in_flight[batch_id]
             for batch_id in sorted(self._in_flight)
-            if now - self._in_flight[batch_id].dispatched_at > timeout_s
+            if now - self._in_flight[batch_id].dispatched_at
+            > _timeout_value(timeout_s, self._in_flight[batch_id].retries)
         )
 
     def record_batch_retry(
@@ -323,6 +339,23 @@ class LazyCertifier:
                 requeued.append(block_id)
         self._dispatch_queue[:0] = requeued
         return tuple(requeued)
+
+    def reset_window(self) -> tuple[BlockId, ...]:
+        """Forget every dispatch-queue entry and in-flight batch.
+
+        This is the crash model: the pipeline window and the pending batch
+        queue are volatile memory, wiped when the edge goes down, while the
+        tasks (mirroring the durable log's uncertified blocks, proofs
+        included) survive.  On restart the overdue scan sees the survivors
+        as never-dispatched and re-sends them.  Returns the block ids whose
+        in-flight requests were forgotten.
+        """
+
+        dropped = tuple(sorted(self._block_batch))
+        self._in_flight.clear()
+        self._block_batch.clear()
+        self._dispatch_queue.clear()
+        return dropped
 
     def abandon_in_flight(self, block_id: BlockId) -> None:
         """Drop a block from its in-flight batch without certifying it.
@@ -415,11 +448,15 @@ class LazyCertifier:
             task for task in self._tasks.values() if not task.is_certified
         )
 
-    def overdue(self, now: float, timeout_s: float) -> tuple[CertificationTask, ...]:
-        """Tasks whose certification has been pending longer than *timeout_s*."""
+    def overdue(
+        self, now: float, timeout_s: TimeoutSpec
+    ) -> tuple[CertificationTask, ...]:
+        """Tasks whose certification has been pending longer than *timeout_s*
+        (flat, or a retry-count-indexed backoff schedule)."""
 
         return tuple(
             task
             for task in self._tasks.values()
-            if not task.is_certified and now - task.requested_at > timeout_s
+            if not task.is_certified
+            and now - task.requested_at > _timeout_value(timeout_s, task.retries)
         )

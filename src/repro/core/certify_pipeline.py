@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 
 from ..common.identifiers import BlockId, NodeId
 from ..crypto.signatures import KeyRegistry
+from ..faults.retry import RetryPolicy
 from ..log.proofs import derive_batched_proofs, verify_batch_certificates
 from ..messages.log_messages import (
     BatchCertificateMessage,
@@ -57,6 +58,7 @@ class EdgeCertifyPipeline:
         depth: int = 1,
         batch_size: int = 32,
         clock: Optional[Callable[[], float]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
@@ -75,6 +77,10 @@ class EdgeCertifyPipeline:
         #: Simulated and test callers inject their own time by passing
         #: explicit ``now`` values (or a custom *clock*) exactly as before.
         self.clock: Callable[[], float] = clock if clock is not None else time.monotonic
+        #: Backoff schedule for :meth:`retry_overdue` when the caller does
+        #: not pass an explicit timeout.  ``None`` keeps the legacy
+        #: flat-timeout contract (the caller must then pass ``timeout_s``).
+        self.retry_policy = retry_policy
         self.certifier = LazyCertifier()
         self.absorbed = 0
         self.rejected = 0
@@ -161,7 +167,7 @@ class EdgeCertifyPipeline:
     # Overdue retry (wall-clock deployments)
     # ------------------------------------------------------------------
     def retry_overdue(
-        self, timeout_s: float, now: Optional[float] = None
+        self, timeout_s: Optional[float] = None, now: Optional[float] = None
     ) -> list[CertifyBatchRequest]:
         """Selectively re-sign the in-flight batches overdue past *timeout_s*.
 
@@ -171,12 +177,31 @@ class EdgeCertifyPipeline:
         granularity: each overdue batch re-ships as exactly that batch
         under a fresh signature, and its duplicate late certificate is
         absorbed idempotently.
+
+        When *timeout_s* is omitted, the pipeline's :class:`RetryPolicy`
+        supplies a per-batch backoff horizon instead — a batch already
+        re-sent *n* times waits out the policy's ``n+1``-th step before
+        going overdue again, and a batch whose attempt budget is exhausted
+        stops retrying entirely (it stays in flight for a late certificate
+        or an explicit :meth:`absorb_rejection`).
         """
 
         if now is None:
             now = self.clock()
+        policy = self.retry_policy
+        if timeout_s is None:
+            if policy is None:
+                raise ValueError(
+                    "retry_overdue needs timeout_s or a configured retry_policy"
+                )
+            horizon: "float | Callable[[int], float]" = policy.timeout_for
+        else:
+            horizon = timeout_s
+            policy = None  # explicit timeout bypasses the policy's budget
         requests: list[CertifyBatchRequest] = []
-        for batch in self.certifier.overdue_batches(now, timeout_s):
+        for batch in self.certifier.overdue_batches(now, horizon):
+            if policy is not None and policy.exhausted(batch.retries):
+                continue
             tasks = self.certifier.record_batch_retry(batch.batch_id, now)
             if not tasks:
                 continue

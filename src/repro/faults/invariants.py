@@ -1,0 +1,128 @@
+"""Convictable-invariant checks the chaos suite asserts after every scenario.
+
+Each check inspects only artifacts the paper's trust model treats as
+evidence — certified logs, signed decision records, the cloud's punishment
+ledger — never transient in-memory protocol state, so a passing check means
+the property holds in the auditable record, not merely in this process.
+
+The three pass criteria from ROADMAP direction 5:
+
+* **No lost atomicity** (:func:`assert_no_lost_atomicity`): scanning every
+  edge's logs (live partitions *and* records archived by shard handoffs)
+  for 2PC decision records, no transaction has both a COMMIT and an ABORT
+  applied anywhere in the fleet.
+* **Eventual full certification** (:func:`assert_full_certification`):
+  once faults heal and retries drain, every block in every log carries a
+  cloud proof — lazy certification catches up completely.
+* **Every planted fault convicted** (:func:`assert_convicted`): each edge
+  the scenario made misbehave is punished in the cloud's ledger, and
+  (:func:`assert_no_false_convictions`) no honest edge is.
+
+:func:`assert_monotone` is the recovery-shape helper: sampled progress
+series (certified counts, committed transactions) must never move
+backwards through crash, partition, and heal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..common.identifiers import NodeId
+from ..sharding.transactions import decode_txn_decision, is_txn_decision_payload
+
+
+class InvariantViolation(AssertionError):
+    """A chaos-scenario invariant failed; the message names the evidence."""
+
+
+def _iter_partition_records(edge) -> Iterable:
+    for state in edge._partition_states():
+        yield from state.log
+    # Shard handoffs archive the source's records; decisions recorded there
+    # still count toward fleet-wide atomicity.
+    archived = getattr(edge, "_archived_records", None)
+    if archived:
+        for block_id in sorted(archived):
+            yield archived[block_id]
+
+
+def txn_decisions(edges: Sequence) -> Dict[Tuple[str, int], List[Tuple[str, str]]]:
+    """All 2PC decision records across the fleet's certified logs.
+
+    Returns ``{(coordinator, sequence): [(edge, decision), ...]}``.
+    """
+
+    decisions: Dict[Tuple[str, int], List[Tuple[str, str]]] = {}
+    for edge in edges:
+        for record in _iter_partition_records(edge):
+            for entry in record.block.entries:
+                if not is_txn_decision_payload(entry.payload):
+                    continue
+                decision, coordinator, sequence, _reason = decode_txn_decision(
+                    entry.payload
+                )
+                decisions.setdefault((coordinator, sequence), []).append(
+                    (str(edge.node_id), decision)
+                )
+    return decisions
+
+
+def assert_no_lost_atomicity(edges: Sequence) -> Dict[Tuple[str, int], List[Tuple[str, str]]]:
+    """No transaction committed on one shard and aborted on another."""
+
+    decisions = txn_decisions(edges)
+    for txn_key, applied in decisions.items():
+        outcomes = {decision for _edge, decision in applied}
+        if len(outcomes) > 1:
+            raise InvariantViolation(
+                f"transaction {txn_key} lost atomicity: decisions {applied}"
+            )
+    return decisions
+
+
+def assert_full_certification(edges: Sequence) -> int:
+    """Every block of every (live) partition log is certified; returns the
+    total number of certified blocks as a sanity count."""
+
+    total = 0
+    for edge in edges:
+        for state in edge._partition_states():
+            missing = state.log.uncertified_block_ids()
+            if missing:
+                raise InvariantViolation(
+                    f"{edge.node_id} partition shard={state.shard_id} has "
+                    f"uncertified blocks {missing} after faults healed"
+                )
+            total += len(state.log)
+    return total
+
+
+def assert_convicted(cloud, guilty: Iterable[NodeId]) -> None:
+    """Each planted misbehaving edge appears in the punishment ledger."""
+
+    for edge_id in guilty:
+        if not cloud.ledger.is_punished(edge_id):
+            raise InvariantViolation(
+                f"planted misbehavior by {edge_id} was never convicted"
+            )
+
+
+def assert_no_false_convictions(cloud, honest: Iterable[NodeId]) -> None:
+    """Faults alone (drops, crashes, partitions) must never convict an
+    honest edge — convictions require signed contradictory artifacts."""
+
+    for edge_id in honest:
+        if cloud.ledger.is_punished(edge_id):
+            raise InvariantViolation(
+                f"honest edge {edge_id} was convicted during a fault-only run"
+            )
+
+
+def assert_monotone(series: Sequence[float], label: str = "progress") -> None:
+    """A sampled progress series never decreases (monotone recovery)."""
+
+    for earlier, later in zip(series, series[1:]):
+        if later < earlier:
+            raise InvariantViolation(
+                f"{label} regressed from {earlier} to {later}: series={list(series)}"
+            )

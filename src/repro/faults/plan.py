@@ -1,0 +1,177 @@
+"""Declarative fault plans: *what* goes wrong, *when*, and to *whom*.
+
+A :class:`FaultPlan` is a pure description — it touches no network and
+schedules nothing.  Handing it to a :class:`~repro.faults.injector.
+FaultInjector` turns it into behavior.  Keeping description and execution
+apart makes scenarios reproducible (a plan plus a seed fully determines the
+fault trace) and lets the chaos suite print or diff plans as data.
+
+The taxonomy mirrors the failure modes the paper's trust model must
+survive:
+
+* **Message faults** (:class:`FaultRule`): drop, duplicate, delay, or
+  reorder individual messages, selected by endpoint, role, message type,
+  and a seeded probability, inside an activity window.
+* **Partitions** (:class:`RegionPartitionRule`): region-scoped WAN splits —
+  traffic between the two sides is dropped for the window's duration, in
+  both directions.  This is how "the edge loses the cloud" is spelled.
+* **Crashes** (:class:`CrashEvent`): a node goes offline at a set time and
+  optionally restarts later.  Per the trust model an edge restart keeps
+  the certified log (durable) but loses buffers, in-flight certification
+  windows, and staged 2PC prepares (volatile).
+
+Selectors accept ``None`` (match anything), a concrete
+:class:`~repro.common.identifiers.NodeId`, a
+:class:`~repro.common.identifiers.NodeRole`, or an arbitrary predicate on
+the node id — predicates must be deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Tuple, Union
+
+from ..common.errors import ConfigurationError
+from ..common.identifiers import NodeId, NodeRole
+from ..common.regions import Region
+
+#: Endpoint selector: ``None`` matches every node, a ``NodeId`` matches that
+#: node, a ``NodeRole`` matches every node of the role, and a callable is a
+#: deterministic predicate over the node id.
+NodeSelector = Union[None, NodeId, NodeRole, Callable[[NodeId], bool]]
+
+
+def _matches(selector: NodeSelector, node_id: NodeId) -> bool:
+    if selector is None:
+        return True
+    if isinstance(selector, NodeId):
+        return node_id == selector
+    if isinstance(selector, NodeRole):
+        return node_id.role == selector
+    return bool(selector(node_id))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One message-fault clause: which messages, what happens, how often.
+
+    ``action`` is one of ``"drop"``, ``"duplicate"``, ``"delay"``,
+    ``"reorder"``.  ``delay_s`` is the added latency for *delay*;
+    ``spread_s`` is the window within which *reorder* scatters deliveries
+    (and the lag after the original at which a *duplicate* lands).
+    ``probability`` is evaluated against the plan's seeded stream per
+    matching message; ``max_count`` caps how many times the rule fires.
+    """
+
+    action: str
+    src: NodeSelector = None
+    dst: NodeSelector = None
+    message_type: Optional[str] = None
+    probability: float = 1.0
+    start_s: float = 0.0
+    until_s: Optional[float] = None
+    max_count: Optional[int] = None
+    delay_s: float = 0.0
+    spread_s: float = 0.0
+
+    _ACTIONS = ("drop", "duplicate", "delay", "reorder")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of {self._ACTIONS}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError("fault probability must be in (0, 1]")
+        if self.until_s is not None and self.until_s < self.start_s:
+            raise ConfigurationError("fault window must not end before it starts")
+        if self.delay_s < 0 or self.spread_s < 0:
+            raise ConfigurationError("fault delays must be non-negative")
+        if self.max_count is not None and self.max_count < 1:
+            raise ConfigurationError("max_count must be positive when set")
+
+    def active_at(self, now: float) -> bool:
+        return now >= self.start_s and (self.until_s is None or now < self.until_s)
+
+    def matches(self, src: NodeId, dst: NodeId, message: object) -> bool:
+        if self.message_type is not None and type(message).__name__ != self.message_type:
+            return False
+        return _matches(self.src, src) and _matches(self.dst, dst)
+
+
+@dataclass(frozen=True)
+class RegionPartitionRule:
+    """A WAN split: all traffic between ``side_a`` and ``side_b`` regions is
+    dropped (both directions) while the window is open."""
+
+    side_a: frozenset
+    side_b: frozenset
+    start_s: float
+    until_s: float
+
+    def __post_init__(self) -> None:
+        if not self.side_a or not self.side_b:
+            raise ConfigurationError("both partition sides need at least one region")
+        if self.side_a & self.side_b:
+            raise ConfigurationError("partition sides must be disjoint")
+        if self.until_s <= self.start_s:
+            raise ConfigurationError("partition window must have positive duration")
+
+    def severs(self, src_region: Region, dst_region: Region, now: float) -> bool:
+        if not self.start_s <= now < self.until_s:
+            return False
+        return (src_region in self.side_a and dst_region in self.side_b) or (
+            src_region in self.side_b and dst_region in self.side_a
+        )
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash *node* at ``at_s``; restart at ``restart_at_s`` (or never)."""
+
+    node: NodeId
+    at_s: float
+    restart_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ConfigurationError("crash time must be non-negative")
+        if self.restart_at_s is not None and self.restart_at_s <= self.at_s:
+            raise ConfigurationError("restart must come after the crash")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable bundle of fault clauses plus the seed that drives them.
+
+    The chainable ``with_*`` builders return new plans, so scenarios read
+    as a single declarative expression::
+
+        plan = (
+            FaultPlan(seed=7)
+            .with_rule(FaultRule("drop", dst=NodeRole.CLOUD,
+                                 probability=0.5, until_s=2.0))
+            .with_partition(RegionPartitionRule(
+                frozenset({Region.US_EAST}), frozenset({Region.EU_WEST}),
+                start_s=1.0, until_s=3.0))
+            .with_crash(CrashEvent(edge_id, at_s=0.5, restart_at_s=1.5))
+        )
+    """
+
+    seed: int = 0
+    name: str = "faults"
+    rules: Tuple[FaultRule, ...] = ()
+    partitions: Tuple[RegionPartitionRule, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = field(default_factory=tuple)
+
+    def with_rule(self, rule: FaultRule) -> "FaultPlan":
+        return replace(self, rules=self.rules + (rule,))
+
+    def with_partition(self, partition: RegionPartitionRule) -> "FaultPlan":
+        return replace(self, partitions=self.partitions + (partition,))
+
+    def with_crash(self, crash: CrashEvent) -> "FaultPlan":
+        return replace(self, crashes=self.crashes + (crash,))
+
+    def is_empty(self) -> bool:
+        return not (self.rules or self.partitions or self.crashes)

@@ -54,6 +54,7 @@ class BlockBuffer:
             raise ConfigurationError("block_size must be positive")
         self._block_size = block_size
         self._pending: list[BufferedEntry] = []
+        self._pending_keys: set[tuple[NodeId, int]] = set()
         self._total_buffered = 0
 
     @property
@@ -90,10 +91,22 @@ class BlockBuffer:
                 buffered_at=now,
             )
         )
+        self._pending_keys.add((entry.producer, entry.sequence))
         self._total_buffered += 1
         if len(self._pending) >= self._block_size:
             return self.flush()
         return None
+
+    def contains(self, producer: NodeId, sequence: int) -> bool:
+        """Whether an entry with this (producer, sequence) is buffered.
+
+        Replay protection for entries that have not formed a block yet:
+        ``entry_locations`` only covers formed blocks, so a duplicated
+        append arriving before the block timeout would otherwise be
+        buffered — and applied — twice.
+        """
+
+        return (producer, sequence) in self._pending_keys
 
     def flush(self) -> Optional[PendingBatch]:
         """Force the current contents out as a batch (None if empty)."""
@@ -102,6 +115,7 @@ class BlockBuffer:
             return None
         batch = PendingBatch(entries=self._pending)
         self._pending = []
+        self._pending_keys = set()
         return batch
 
     def oldest_age(self, now: float) -> Optional[float]:

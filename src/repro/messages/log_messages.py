@@ -236,6 +236,28 @@ class CertifyRejection:
         return 208
 
 
+@dataclass(frozen=True)
+class DegradedModeNotice:
+    """The edge's backpressure signal during a certification backlog.
+
+    Sent when the uncertified Phase-I backlog crosses
+    ``LoggingConfig.max_uncertified_backlog`` (``degraded=True``) and again
+    when it drains back under half the threshold (``degraded=False``).
+    Phase I service continues either way — the notice is advisory, telling
+    clients their proofs will be late so they can throttle writes or widen
+    dispute timers instead of flooding a cloud-partitioned edge.
+    """
+
+    edge: NodeId
+    degraded: bool
+    backlog: int
+    limit: int
+
+    @property
+    def wire_size(self) -> int:
+        return 64
+
+
 # ----------------------------------------------------------------------
 # Reading from the log
 # ----------------------------------------------------------------------

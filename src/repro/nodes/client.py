@@ -35,6 +35,7 @@ from ..messages.log_messages import (
     AppendBatchRequest,
     AppendBatchResponse,
     BlockProofMessage,
+    DegradedModeNotice,
     DisputeRequest,
     DisputeVerdict,
     GossipBatchMessage,
@@ -93,6 +94,11 @@ class Client:
         #: for shard-aware subclasses).  Responses verified against an older
         #: root of the same sequence are rejected as stale.
         self._last_root_versions: dict[Any, int] = {}
+        #: Edges currently advertising degraded mode (certification backlog
+        #: over their configured bound), with their latest notice.  Purely
+        #: advisory backpressure — a caller can consult this to throttle
+        #: writes or widen dispute timers during a cloud outage.
+        self.degraded_edges: dict[NodeId, DegradedModeNotice] = {}
 
         self.stats = {
             "writes_issued": 0,
@@ -297,6 +303,22 @@ class Client:
             self._handle_gossip(sender, message)
         elif isinstance(message, DisputeVerdict):
             self.verdicts.append(message)
+        elif isinstance(message, DegradedModeNotice):
+            self._handle_degraded_notice(sender, message)
+
+    def _handle_degraded_notice(
+        self, sender: NodeId, notice: DegradedModeNotice
+    ) -> None:
+        """Track the edge's backpressure signal (advisory, idempotent)."""
+
+        if sender != notice.edge:
+            return
+        self.stats.setdefault("degraded_notices", 0)
+        self.stats["degraded_notices"] += 1
+        if notice.degraded:
+            self.degraded_edges[notice.edge] = notice
+        else:
+            self.degraded_edges.pop(notice.edge, None)
 
     # -------------------------------------------------------------- appends
     def _handle_append_response(

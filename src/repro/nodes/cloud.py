@@ -128,6 +128,23 @@ class CloudNode:
         #: order — an owning edge cannot unilaterally dump its shard onto an
         #: arbitrary (or nonexistent) destination.
         self._ordered_handoffs: dict[ShardId, NodeId] = {}
+        #: Grants already issued, keyed by the exact offer they answered
+        #: ``(shard id, source, dest, state digest)``.  A retransmitted
+        #: offer (its grant was lost on the WAN) is answered with the stored
+        #: grant instead of tripping the ownership check — ownership already
+        #: moved when the first grant was cut.
+        self._granted_offers: dict[
+            tuple[ShardId, NodeId, NodeId, str], ShardHandoffGrant
+        ] = {}
+        #: Install acks already counted: (dest, shard id, state digest).
+        #: Duplicate deliveries must not inflate ``shard_installs``.
+        self._install_acks_seen: set[tuple[NodeId, ShardId, str]] = set()
+        #: Executed merge outcomes keyed by the proposal's content
+        #: fingerprint.  A duplicated (at-least-once delivered) proposal is
+        #: answered with the stored response: re-executing it against the
+        #: already-advanced mirror would look like an invalid proposal and
+        #: punish an honest edge for a network artifact.
+        self._merge_responses: dict[tuple, MergeResponse] = {}
 
         self.stats = {
             "certifications": 0,
@@ -490,6 +507,20 @@ class CloudNode:
                     ),
                 )
                 return
+        fingerprint = (
+            proposal.edge,
+            proposal.shard_id,
+            proposal.level_index,
+            tuple((block.block_id, block.digest()) for block in proposal.source_blocks),
+            tuple(page.digest() for page in proposal.source_pages),
+            tuple(page.digest() for page in proposal.target_pages),
+        )
+        answered = self._merge_responses.get(fingerprint)
+        if answered is not None:
+            self.stats.setdefault("merge_duplicate_requests", 0)
+            self.stats["merge_duplicate_requests"] += 1
+            self.env.send(self.node_id, sender, answered)
+            return
         mirror = self.mirror_for(proposal.edge, proposal.shard_id)
         certified = self._certified.get(proposal.edge, {})
         try:
@@ -520,9 +551,9 @@ class CloudNode:
             )
             return
         self.stats["merges"] += 1
-        self.env.send(
-            self.node_id, sender, MergeResponse(cloud=self.node_id, outcome=outcome)
-        )
+        response = MergeResponse(cloud=self.node_id, outcome=outcome)
+        self._merge_responses[fingerprint] = response
+        self.env.send(self.node_id, sender, response)
 
     def _handle_root_refresh(self, sender: NodeId, request: RootRefreshRequest) -> None:
         if request.edge != sender:
@@ -688,6 +719,19 @@ class CloudNode:
         ):
             return
         shard_id = statement.shard_id
+        granted = self._granted_offers.get(
+            (shard_id, statement.edge, statement.dest, statement.state_digest)
+        )
+        if granted is not None:
+            # The offer was already countersigned and the grant (or its
+            # delivery) was lost: ownership has moved, so falling through
+            # to the ownership check would misread this retransmission as a
+            # stale owner's offer.  Re-send the stored grant verbatim — the
+            # source absorbs duplicate grants idempotently.
+            self.stats.setdefault("shard_handoff_regrants", 0)
+            self.stats["shard_handoff_regrants"] += 1
+            self.env.send(self.node_id, sender, granted)
+            return
         if self.shard_registry.owner_of(shard_id) != statement.edge:
             self._reject_handoff(sender, request, "offering edge does not own the shard")
             return
@@ -781,15 +825,15 @@ class CloudNode:
         map_message = self.shard_registry.sign(self.env.registry, self.node_id, now)
         self.stats["shard_handoffs_granted"] += 1
         self.stats["shard_maps_published"] += 1
-        self.env.send(
-            self.node_id,
-            sender,
-            ShardHandoffGrant(
-                certificate=certificate,
-                shard_map=map_message,
-                signed_root=signed_root,
-            ),
+        grant = ShardHandoffGrant(
+            certificate=certificate,
+            shard_map=map_message,
+            signed_root=signed_root,
         )
+        self._granted_offers[
+            (shard_id, statement.edge, dest, statement.state_digest)
+        ] = grant
+        self.env.send(self.node_id, sender, grant)
         # Mid-interval membership change: push the new map immediately to
         # the destination and to every gossip target instead of waiting for
         # the next gossip tick.
@@ -806,6 +850,14 @@ class CloudNode:
     def _handle_shard_install_ack(self, sender: NodeId, ack: ShardInstallAck) -> None:
         if ack.dest != sender:
             return
+        key = (sender, ack.shard_id, ack.state_digest)
+        if key in self._install_acks_seen:
+            # Duplicate delivery (the destination re-acks retransmitted
+            # transfers): counting it again would inflate the install stat.
+            self.stats.setdefault("shard_install_ack_duplicates", 0)
+            self.stats["shard_install_ack_duplicates"] += 1
+            return
+        self._install_acks_seen.add(key)
         self.stats["shard_installs"] += 1
 
     def _handle_shard_dispute(self, sender: NodeId, dispute: ShardDispute) -> None:

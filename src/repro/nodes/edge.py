@@ -39,6 +39,7 @@ from ..common.identifiers import (
 from ..common.regions import Region
 from ..core.certification import LazyCertifier
 from ..crypto.hashing import digest_value
+from ..faults.retry import RetryPolicy
 from ..log.block import Block, build_block
 from ..log.buffer import BlockBuffer, PendingBatch
 from ..log.proofs import issue_phase_one_receipt
@@ -71,6 +72,7 @@ from ..messages.log_messages import (
     CertifyStatement,
     CertifyWindowRequest,
     CertifyWindowStatement,
+    DegradedModeNotice,
     ReadRequest,
     ReadResponse,
     ReadResponseStatement,
@@ -115,6 +117,10 @@ class PartitionState:
     receipts: dict[BlockId, object] = field(default_factory=dict)
     merge_in_flight: bool = False
     merge_source_bids: tuple[BlockId, ...] = ()
+    #: Root version of the last *merge outcome* installed (root refreshes
+    #: advance ``signed_root`` too, so duplicate-merge detection must not
+    #: compare against it).  ``-1`` before the first merge.
+    merge_installed_version: int = -1
     flush_timer_active: bool = False
     certify_flush_timer: Optional[Any] = None
     #: Prepared-but-undecided cross-shard transactions
@@ -131,6 +137,12 @@ class PartitionState:
     #: is long past (see ``EdgeNode._record_txn_decision``), so the table
     #: stays bounded by in-window transactions, not lifetime count.
     decided_txns: dict = field(default_factory=dict)
+    #: Degraded-mode signal (cloud outage backpressure): whether this
+    #: partition's uncertified backlog currently exceeds
+    #: ``LoggingConfig.max_uncertified_backlog``, and which clients were
+    #: told so (they get the all-clear when the backlog drains).
+    degraded: bool = False
+    degraded_notified: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.log = WedgeLog(self.owner)
@@ -319,6 +331,12 @@ class EdgeNode:
                 # appended before — applying it again would duplicate data.
                 replayed_blocks.add(location)
                 continue
+            if self.buffer.contains(entry.producer, entry.sequence):
+                # The original copy is still buffered (block not yet formed);
+                # it will answer the operation when the block forms.
+                self.stats.setdefault("buffered_duplicate_entries", 0)
+                self.stats["buffered_duplicate_entries"] += 1
+                continue
             fresh_entries.append(entry)
         if replayed_blocks:
             self.stats.setdefault("replayed_entries", 0)
@@ -414,6 +432,7 @@ class EdgeNode:
         for requester, operation_id in requesters:
             self.certifier.subscribe(block.block_id, requester, operation_id)
         self._dispatch_phase_one_responses(requesters, block, receipt)
+        self._signal_degraded_mode([requester for requester, _op in requesters])
 
         # Index the block's put operations into LSMerkle level 0.
         page = page_from_block(block)
@@ -654,6 +673,108 @@ class EdgeNode:
             self._arm_certify_flush_timer()
 
     # ------------------------------------------------------------------
+    # Degraded mode (graceful cloud-outage backpressure)
+    # ------------------------------------------------------------------
+    def _uncertified_backlog(self) -> int:
+        """Phase-I-committed blocks of the active partition still awaiting
+        their cloud certificate."""
+
+        certifier = self.certifier
+        return certifier.tracked_count - certifier.certified_count
+
+    def _signal_degraded_mode(self, requesters: Iterable[NodeId]) -> None:
+        """Maintain the partition's degraded flag and tell clients about it.
+
+        Phase I service never stops — the paper's lazy-certification model
+        explicitly tolerates an unreachable cloud — but past the configured
+        backlog the edge owes its clients an honest signal that proofs will
+        be late.  Entering degraded mode notifies each client as it next
+        appends (*requesters*); leaving it (backlog drained to half the
+        threshold, hysteresis against flapping) notifies everyone previously
+        warned.  A ``None`` threshold disables all of this.
+        """
+
+        limit = self.config.logging.max_uncertified_backlog
+        if limit is None:
+            return
+        state = self._active
+        backlog = self._uncertified_backlog()
+        if not state.degraded and backlog > limit:
+            state.degraded = True
+            self.stats.setdefault("degraded_entries", 0)
+            self.stats["degraded_entries"] += 1
+        elif state.degraded and backlog <= limit // 2:
+            state.degraded = False
+            self.stats.setdefault("degraded_recoveries", 0)
+            self.stats["degraded_recoveries"] += 1
+            notice = DegradedModeNotice(
+                edge=self.node_id, degraded=False, backlog=backlog, limit=limit
+            )
+            for client in sorted(state.degraded_notified, key=str):
+                self.env.send(self.node_id, client, notice)
+            state.degraded_notified.clear()
+            return
+        if not state.degraded:
+            return
+        notice = DegradedModeNotice(
+            edge=self.node_id, degraded=True, backlog=backlog, limit=limit
+        )
+        for requester in requesters:
+            if requester in state.degraded_notified:
+                continue
+            state.degraded_notified.add(requester)
+            self.env.send(self.node_id, requester, notice)
+
+    # ------------------------------------------------------------------
+    # Crash / restart (the fault injector's node lifecycle)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Lose all volatile state, keep everything the trust model calls
+        durable.
+
+        Survives (the edge's persisted artifacts): the certified log with
+        its proofs, the LSMerkle index and signed root, Phase I receipts,
+        and the replay-protection entry locations — all reconstructible
+        from (or equal to) what a real edge fsyncs.  Lost: the append
+        buffer, the certifier's dispatch queue and in-flight window, staged
+        and decided 2PC transaction state, and merge bookkeeping.  The wipe
+        happens at *crash* time so timers that were armed before the crash
+        fire against fresh, empty state and no-op harmlessly.
+        """
+
+        self.stats.setdefault("crashes", 0)
+        self.stats["crashes"] += 1
+        for state in self._partition_states():
+            with self._as_active(state):
+                state.buffer = BlockBuffer(self.config.logging.block_size)
+                state.certifier.reset_window()
+                state.staged_txns.clear()
+                state.decided_txns.clear()
+                state.merge_in_flight = False
+                state.merge_source_bids = ()
+                state.flush_timer_active = False
+                if state.certify_flush_timer is not None:
+                    state.certify_flush_timer.cancel()
+                    state.certify_flush_timer = None
+                state.degraded = False
+                state.degraded_notified.clear()
+
+    def on_restart(self) -> None:
+        """Resume after a crash: re-request certification of every
+        uncertified block in the durable log.
+
+        The crash wiped the in-flight window, so every uncertified block is
+        simply overdue at timeout zero — restart recovery *is* the ordinary
+        overdue scan, no special path.
+        """
+
+        self.stats.setdefault("restarts", 0)
+        self.stats["restarts"] += 1
+        for state in self._partition_states():
+            with self._as_active(state):
+                self._retry_overdue_for_active(0.0)
+
+    # ------------------------------------------------------------------
     # Block proofs from the cloud
     # ------------------------------------------------------------------
     def _handle_block_proof(self, sender: NodeId, message: BlockProofMessage) -> None:
@@ -687,6 +808,7 @@ class EdgeNode:
         for client, _operation in subscribers:
             self.env.send(self.node_id, client, BlockProofMessage(proof=proof))
             self.stats["proofs_forwarded"] += 1
+        self._signal_degraded_mode(())
 
     def _handle_batch_certificate(
         self, sender: NodeId, message: BatchCertificateMessage
@@ -737,7 +859,7 @@ class EdgeNode:
         self._maybe_start_merge()
         self._pump_certify_pipeline()
 
-    def retry_overdue_certifications(self, timeout_s: float) -> int:
+    def retry_overdue_certifications(self, timeout_s: "float | RetryPolicy") -> int:
         """Re-send certification requests pending longer than *timeout_s*.
 
         Retry granularity is *per lost batch*: an overdue in-flight batch is
@@ -754,6 +876,12 @@ class EdgeNode:
         block retries were sent.  Blocks still sitting in the dispatch queue
         are skipped — their first request has not left the edge yet, so
         there is nothing to retry (the pending batch flush covers them).
+
+        *timeout_s* may also be a :class:`~repro.faults.retry.RetryPolicy`:
+        each batch/task then waits out the policy's backoff step for its own
+        retry count before going overdue again (sustained cloud outages see
+        exponentially thinning retransmissions instead of a flat hammer),
+        and anything past the policy's attempt budget stops retrying.
         """
 
         total = 0
@@ -762,11 +890,15 @@ class EdgeNode:
                 total += self._retry_overdue_for_active(timeout_s)
         return total
 
-    def _retry_overdue_for_active(self, timeout_s: float) -> int:
+    def _retry_overdue_for_active(self, timeout_s: "float | RetryPolicy") -> int:
+        policy = timeout_s if isinstance(timeout_s, RetryPolicy) else None
+        horizon = policy.timeout_for if policy is not None else timeout_s
         now = self.env.now()
         sent = 0
         # Selective per-batch retries first: only the lost batches re-ship.
-        for batch in self.certifier.overdue_batches(now, timeout_s):
+        for batch in self.certifier.overdue_batches(now, horizon):
+            if policy is not None and policy.exhausted(batch.retries):
+                continue
             tasks = self.certifier.record_batch_retry(batch.batch_id, now)
             if not tasks:
                 continue
@@ -777,9 +909,10 @@ class EdgeNode:
             sent += len(tasks)
         overdue = [
             task
-            for task in self.certifier.overdue(now, timeout_s)
+            for task in self.certifier.overdue(now, horizon)
             if not self.certifier.queued_for_dispatch(task.block_id)
             and not self.certifier.in_flight(task.block_id)
+            and not (policy is not None and policy.exhausted(task.retries))
         ]
         if not overdue:
             return sent
@@ -1364,6 +1497,22 @@ class EdgeNode:
         if not outcome.signed_root.verify(self.env.registry, self.cloud):
             self._active.merge_in_flight = False
             return
+        if not self._active.merge_in_flight:
+            # No merge outstanding: a duplicate delivery of an outcome that
+            # already cleared the flag.  ``merge_source_bids`` was consumed
+            # by the first apply, so re-running the level-0 filter would
+            # re-install the merged pages on top of themselves.
+            self.stats.setdefault("merge_duplicates", 0)
+            self.stats["merge_duplicates"] += 1
+            return
+        if outcome.signed_root.statement.version <= self._active.merge_installed_version:
+            # A stale outcome (duplicate of an older merge racing a newer
+            # request): already installed.  Root versions increase with
+            # every merge, so the comparison is exact; the flag stays set —
+            # the *current* merge's answer is still owed.
+            self.stats.setdefault("merge_duplicates", 0)
+            self.stats["merge_duplicates"] += 1
+            return
 
         if outcome.level_index == 0:
             merged_bids = set(self._active.merge_source_bids)
@@ -1383,6 +1532,7 @@ class EdgeNode:
             self.index.install_merge(outcome.level_index, outcome.merged_pages, ())
 
         self.signed_root = outcome.signed_root
+        self._active.merge_installed_version = outcome.signed_root.statement.version
         self.stats["merges_completed"] += 1
         self._active.merge_in_flight = False
         self._maybe_start_merge()

@@ -70,6 +70,7 @@ from ..messages.shard_messages import (
     ShardTransferMessage,
     ShardTransferStatement,
 )
+from ..faults.retry import RetryPolicy
 from ..nodes.edge import EdgeNode, PartitionState
 from ..sim.environment import Environment
 from .handoff import level_roots_from_pages, shard_state_digest
@@ -79,6 +80,12 @@ from .shard_map import ShardMapView
 
 class ShardedEdgeNode(EdgeNode):
     """An honest edge node serving one ``PartitionState`` per owned shard."""
+
+    #: Retransmission schedule for lost handoff offers and state transfers.
+    #: Both messages carry (or lead to) idempotently-handled state — the
+    #: cloud re-issues a stored grant for a duplicate offer and the dest
+    #: re-acks a duplicate transfer — so blind retries are safe.
+    HANDOFF_RETRY_POLICY = RetryPolicy(base_s=1.0, factor=2.0, cap_s=8.0, max_attempts=4)
 
     def __init__(
         self,
@@ -121,6 +128,21 @@ class ShardedEdgeNode(EdgeNode):
         self.shard_verdicts: list[ShardDisputeVerdict] = []
         #: Transaction-dispute verdicts delivered to this edge (as accused).
         self.txn_verdicts: list[TxnDisputeVerdict] = []
+        #: Armed handoff retransmission timers, keyed (kind, shard id) with
+        #: ``kind`` in {"offer", "transfer"}.  Volatile: a crash drops them
+        #: (the peer's own retry or the cloud's re-order recovers).
+        self._handoff_retries: dict[tuple[str, ShardId], Any] = {}
+        #: Handoffs this edge already refused, keyed by the countersigned
+        #: certificate ``(source, shard id, state digest)``: one certificate
+        #: gets one trial, so a retransmitted or re-signed transfer under a
+        #: refused certificate is dropped without re-judging it — and
+        #: crucially without filing a duplicate dispute per redelivery.
+        self._refused_transfers: set[tuple[NodeId, ShardId, str]] = set()
+        #: Outgoing state transfers awaiting the destination's install ack,
+        #: kept verbatim for retransmission: the source deletes its live
+        #: partition when it ships the transfer, so a lost transfer would
+        #: otherwise wedge the shard (neither side could serve it).
+        self._outgoing_transfers: dict[ShardId, tuple[ShardTransferMessage, NodeId]] = {}
 
         self.stats.update(
             {
@@ -132,6 +154,9 @@ class ShardedEdgeNode(EdgeNode):
                 "shard_transfer_invalid": 0,
                 "shard_disputes_sent": 0,
                 "shard_map_updates": 0,
+                "shard_offer_retries": 0,
+                "shard_transfer_retries": 0,
+                "shard_transfer_acks": 0,
             }
         )
 
@@ -186,6 +211,8 @@ class ShardedEdgeNode(EdgeNode):
             self._handle_handoff_rejection(sender, message)
         elif isinstance(message, ShardTransferMessage):
             self._handle_shard_transfer(sender, message)
+        elif isinstance(message, ShardInstallAck):
+            self._handle_install_ack_from_dest(sender, message)
         elif isinstance(message, ShardDisputeVerdict):
             self.shard_verdicts.append(message)
         elif isinstance(message, TxnDisputeVerdict):
@@ -436,6 +463,43 @@ class ShardedEdgeNode(EdgeNode):
         return record
 
     # ------------------------------------------------------------------
+    # Handoff retransmission timers
+    # ------------------------------------------------------------------
+    def _arm_handoff_retry(self, kind: str, shard_id: ShardId, attempt: int, resend) -> None:
+        """Arm one retransmission timer for a lossy handoff step.
+
+        ``resend`` re-ships the message and returns ``True`` to keep the
+        retry chain alive; returning ``False`` (the step completed or was
+        superseded while the timer was pending) ends it.  Exhausting the
+        policy leaves the shard for operator/cloud-driven recovery rather
+        than retrying forever against a dead peer.
+        """
+
+        policy = self.HANDOFF_RETRY_POLICY
+        if not policy.allows(attempt):
+            return
+        key = (kind, shard_id)
+
+        def fire() -> None:
+            # A cancelled or superseded timer: ``_cancel_handoff_retry``
+            # popped the key, or a newer arm replaced the handle.
+            if self._handoff_retries.get(key) is not handle:
+                return
+            del self._handoff_retries[key]
+            if resend():
+                self._arm_handoff_retry(kind, shard_id, attempt + 1, resend)
+
+        handle = self.env.schedule(
+            policy.delay(attempt), fire, label=f"{self.node_id}:handoff-{kind}-retry"
+        )
+        self._handoff_retries[key] = handle
+
+    def _cancel_handoff_retry(self, kind: str, shard_id: ShardId) -> None:
+        handle = self._handoff_retries.pop((kind, shard_id), None)
+        if handle is not None:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
     # Handoff: source side
     # ------------------------------------------------------------------
     def _handle_handoff_order(self, sender: NodeId, order: ShardHandoffOrder) -> None:
@@ -520,7 +584,6 @@ class ShardedEdgeNode(EdgeNode):
         state_digest = shard_state_digest(
             shard_id, state.index.level_roots(), blocks
         )
-        self.env.charge(self.env.params.handoff_offer_cost(len(blocks)))
         statement = ShardHandoffStatement(
             edge=self.node_id,
             dest=dest,
@@ -529,15 +592,32 @@ class ShardedEdgeNode(EdgeNode):
             state_digest=state_digest,
             issued_at=self.env.now(),
         )
-        self.stats["shard_handoffs_offered"] += 1
-        self.env.send(
-            self.node_id,
-            self.cloud,
-            ShardHandoffRequest(
-                statement=statement,
-                signature=self.env.registry.sign(self.node_id, statement),
-            ),
+        request = ShardHandoffRequest(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
         )
+        self.stats["shard_handoffs_offered"] += 1
+        self._ship_handoff_offer(request)
+
+        def resend() -> bool:
+            # Superseded: the grant (or a crash) retired the drained state,
+            # or the cloud re-ordered the shard toward a different dest.
+            if (
+                self._shard_states.get(shard_id) is not state
+                or self._migrating.get(shard_id) != dest
+            ):
+                return False
+            self.stats["shard_offer_retries"] += 1
+            self._ship_handoff_offer(request)
+            return True
+
+        self._arm_handoff_retry("offer", shard_id, 1, resend)
+
+    def _ship_handoff_offer(self, request: ShardHandoffRequest) -> None:
+        self.env.charge(
+            self.env.params.handoff_offer_cost(len(request.statement.blocks))
+        )
+        self.env.send(self.node_id, self.cloud, request)
 
     def _accept_certified_proof(self, proof) -> None:
         super()._accept_certified_proof(proof)
@@ -557,6 +637,7 @@ class ShardedEdgeNode(EdgeNode):
         if sender != self.cloud or message.edge != self.node_id:
             return
         self.stats["shard_handoff_rejections"] += 1
+        self._cancel_handoff_retry("offer", message.shard_id)
         # The shard stays migrating (requests keep redirecting) — an honest
         # edge whose offer is rejected needs operator intervention; a clean
         # automatic fallback would mask real divergence.
@@ -575,6 +656,7 @@ class ShardedEdgeNode(EdgeNode):
         state = self._shard_states.get(shard_id)
         if state is None:
             return
+        self._cancel_handoff_retry("offer", shard_id)
         self._handle_shard_map(sender, grant.shard_map)
 
         # Archive the shard's blocks: they remain certified under this
@@ -602,25 +684,38 @@ class ShardedEdgeNode(EdgeNode):
             blocks=digest_list,
             state_digest=shard_state_digest(shard_id, roots, digest_list),
         )
+        transfer = ShardTransferMessage(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
+            certificate=certificate,
+            blocks=ship_blocks,
+            proofs=proofs,
+            level_pages=level_pages,
+            signed_root=grant.signed_root,
+        )
         self.env.charge(
             self.env.params.handoff_offer_cost(len(ship_blocks))
         )
-        self.env.send(
-            self.node_id,
-            certificate.dest,
-            ShardTransferMessage(
-                statement=statement,
-                signature=self.env.registry.sign(self.node_id, statement),
-                certificate=certificate,
-                blocks=ship_blocks,
-                proofs=proofs,
-                level_pages=level_pages,
-                signed_root=grant.signed_root,
-            ),
-        )
+        self.env.send(self.node_id, certificate.dest, transfer)
         del self._shard_states[shard_id]
         self._migrating.pop(shard_id, None)
         self.stats["shard_handoffs_out"] += 1
+        # Keep the transfer for retransmission until the destination's
+        # install ack: the live partition is gone as of the line above, so
+        # a lost transfer would leave the shard with no owner able to serve.
+        self._outgoing_transfers[shard_id] = (transfer, certificate.dest)
+
+        def resend() -> bool:
+            if self._outgoing_transfers.get(shard_id) != (transfer, certificate.dest):
+                return False
+            self.stats["shard_transfer_retries"] += 1
+            self.env.charge(
+                self.env.params.handoff_offer_cost(len(transfer.blocks))
+            )
+            self.env.send(self.node_id, certificate.dest, transfer)
+            return True
+
+        self._arm_handoff_retry("transfer", shard_id, 1, resend)
         # Requests parked during the drain now resolve to truthful signed
         # redirects under the republished map.
         for parked_sender, parked_message in self._parked_requests.pop(shard_id, []):
@@ -651,6 +746,16 @@ class ShardedEdgeNode(EdgeNode):
         if certificate.shard_id in self._shard_states:
             # Already installed (a replayed or duplicated transfer): the
             # live partition has accumulated state since — never overwrite.
+            # Re-ack so a source whose first ack was lost stops
+            # retransmitting (the cloud deduplicates install acks).
+            self.stats.setdefault("shard_transfer_duplicates", 0)
+            self.stats["shard_transfer_duplicates"] += 1
+            self._send_install_ack(
+                certificate.shard_id, certificate.state_digest, sender
+            )
+            return
+        refusal_key = (sender, certificate.shard_id, certificate.state_digest)
+        if refusal_key in self._refused_transfers:
             self.stats.setdefault("shard_transfer_duplicates", 0)
             self.stats["shard_transfer_duplicates"] += 1
             return
@@ -662,17 +767,20 @@ class ShardedEdgeNode(EdgeNode):
             or statement.shard_id != shard_id
             or not self.env.registry.verify(message.signature, statement)
         ):
+            self._refused_transfers.add(refusal_key)
             return
         if statement.map_version != certificate.statement.map_version:
             # The statement must bind to the exact countersigned handoff:
             # a lied-about version would otherwise point the dispute path
             # at a certificate the cloud never issued, acquitting the liar.
             self.stats["shard_transfer_invalid"] += 1
+            self._refused_transfers.add(refusal_key)
             return
         if len(message.proofs) != len(message.blocks):
             # One proof per block, strictly: a short proofs tuple would let
             # the zipped verification loop below silently skip blocks.
             self.stats["shard_transfer_invalid"] += 1
+            self._refused_transfers.add(refusal_key)
             return
 
         # Recompute the state digest from the bytes actually received.
@@ -688,10 +796,13 @@ class ShardedEdgeNode(EdgeNode):
             # provable either way — refuse the install and wait for a
             # retransmit (the shard stays pending, requests stay parked).
             self.stats["shard_transfer_invalid"] += 1
+            self._refused_transfers.add(refusal_key)
             return
         if statement.state_digest != certificate.state_digest:
             # The source signed state that differs from what the cloud
-            # countersigned: provable tampering — dispute it.
+            # countersigned: provable tampering — dispute it (once: a
+            # retransmitted copy of the same signed transfer is deduped).
+            self._refused_transfers.add(refusal_key)
             self.stats["shard_disputes_sent"] += 1
             self.env.send(
                 self.node_id,
@@ -708,6 +819,7 @@ class ShardedEdgeNode(EdgeNode):
             return
         if not message.signed_root.verify(self.env.registry, self.cloud):
             self.stats["shard_transfer_invalid"] += 1
+            self._refused_transfers.add(refusal_key)
             return
         root_statement = message.signed_root.statement
         if (
@@ -715,6 +827,7 @@ class ShardedEdgeNode(EdgeNode):
             or tuple(root_statement.level_roots) != roots
         ):
             self.stats["shard_transfer_invalid"] += 1
+            self._refused_transfers.add(refusal_key)
             return
         for block, proof in zip(message.blocks, message.proofs):
             if (
@@ -724,6 +837,7 @@ class ShardedEdgeNode(EdgeNode):
                 or not proof.verify(self.env.registry)
             ):
                 self.stats["shard_transfer_invalid"] += 1
+                self._refused_transfers.add(refusal_key)
                 return
 
         # Verified end to end: install and start serving.
@@ -735,17 +849,67 @@ class ShardedEdgeNode(EdgeNode):
         for block, proof in zip(message.blocks, message.proofs):
             self._imported_blocks[(statement.source, block.block_id)] = (block, proof)
         self.stats["shard_handoffs_in"] += 1
-        self.env.send(
-            self.node_id,
-            self.cloud,
-            ShardInstallAck(
-                dest=self.node_id,
-                shard_id=shard_id,
-                state_digest=statement.state_digest,
-            ),
-        )
+        self._send_install_ack(shard_id, statement.state_digest, statement.source)
         for queued_sender, queued_message in self._parked_requests.pop(shard_id, []):
             self.on_message(queued_sender, queued_message)
+
+    def _send_install_ack(
+        self, shard_id: ShardId, state_digest: str, source: NodeId
+    ) -> None:
+        """Ack an installed transfer to both the cloud and the source.
+
+        The cloud's copy finalizes its handoff bookkeeping; the source's
+        copy stops its transfer-retransmission timer.  Both receivers
+        deduplicate, so re-acking a replayed transfer is safe.
+        """
+
+        ack = ShardInstallAck(
+            dest=self.node_id, shard_id=shard_id, state_digest=state_digest
+        )
+        self.env.send(self.node_id, self.cloud, ack)
+        if source != self.cloud:
+            self.env.send(self.node_id, source, ack)
+
+    def _handle_install_ack_from_dest(
+        self, sender: NodeId, ack: ShardInstallAck
+    ) -> None:
+        """Source side: the destination confirmed the install — stop retrying."""
+
+        pending = self._outgoing_transfers.get(ack.shard_id)
+        if pending is None:
+            return
+        transfer, dest = pending
+        if (
+            sender != dest
+            or ack.dest != dest
+            or ack.state_digest != transfer.statement.state_digest
+        ):
+            return
+        del self._outgoing_transfers[ack.shard_id]
+        self._cancel_handoff_retry("transfer", ack.shard_id)
+        self.stats["shard_transfer_acks"] += 1
+
+    # ------------------------------------------------------------------
+    # Crash model (fault injection)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Drop the sharded node's volatile handoff bookkeeping too.
+
+        Parked requests, drain markers, pending outgoing transfers, and
+        retry timers are all volatile.  Losing an outgoing transfer is an
+        accepted gap: the archived records survive (reads keep working)
+        and the cloud can re-order the handoff; losing a drain marker
+        leaves the shard owned and serving, which is safe — the cloud's
+        ownership map never moved.
+        """
+
+        super().on_crash()
+        self._parked_requests.clear()
+        self._migrating.clear()
+        self._outgoing_transfers.clear()
+        for handle in self._handoff_retries.values():
+            handle.cancel()
+        self._handoff_retries.clear()
 
     # ------------------------------------------------------------------
     # Per-shard maintenance helpers

@@ -66,6 +66,7 @@ from ..common.identifiers import (
     ShardId,
 )
 from ..crypto.hashing import digest_value
+from ..faults.retry import RetryPolicy
 from ..log.entry import LogEntry, make_entry
 from ..lsmerkle.codec import SEQUENCE_STRIDE, decode_put, encode_put, is_put_payload
 from ..messages.txn_messages import (
@@ -577,7 +578,7 @@ class TxnCoordinator:
     #: expiry.
     DECISION_RETRY_LIMIT = 5
 
-    def _decision_retry_interval(self) -> float:
+    def _decision_retry_policy(self) -> "RetryPolicy":
         """Spacing that lands *every* retry inside the safe delivery window.
 
         A commit is only signed while each receipt is unexpired, so the
@@ -585,13 +586,19 @@ class TxnCoordinator:
         txn_receipt_timeout_s`` more seconds — retries past that horizon
         would hit already-discarded stages (the commit/abort split the
         retransmission exists to prevent).  The whole retry budget is
-        therefore spread across that gap.  Config guarantees the gap is
-        positive (``txn_prepare_timeout_s > txn_receipt_timeout_s``).
+        therefore spread evenly across that gap: a constant
+        :class:`~repro.faults.retry.RetryPolicy` with the budget as its
+        attempt cap (exponential backoff would push late attempts out of
+        the safe window).  Config guarantees the gap is positive
+        (``txn_prepare_timeout_s > txn_receipt_timeout_s``).
         """
 
         sharding = self._sharding()
         window = sharding.txn_prepare_timeout_s - sharding.txn_receipt_timeout_s
-        return window / (self.DECISION_RETRY_LIMIT + 1)
+        return RetryPolicy.constant(
+            window / (self.DECISION_RETRY_LIMIT + 1),
+            max_attempts=self.DECISION_RETRY_LIMIT,
+        )
 
     def _arm_decision_retry(self, txn: TxnRecord, attempt: int) -> None:
         """Re-send the signed decision until every participant acknowledged.
@@ -602,7 +609,8 @@ class TxnCoordinator:
         participants absorb them idempotently off the decided tombstone.
         """
 
-        if attempt > self.DECISION_RETRY_LIMIT or txn.all_acked:
+        policy = self._decision_retry_policy()
+        if not policy.allows(attempt) or txn.all_acked:
             return
         client = self.client
 
@@ -618,7 +626,7 @@ class TxnCoordinator:
             self._arm_decision_retry(txn, attempt + 1)
 
         client.env.schedule(
-            self._decision_retry_interval(),
+            policy.delay(attempt),
             retry,
             label=f"{client.node_id}:txn-decision-retry",
         )

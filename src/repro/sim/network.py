@@ -18,6 +18,27 @@ Messages between nodes experience:
 Message sizes come from the message's ``wire_size`` attribute when present
 (protocol messages compute a realistic payload size cheaply) and otherwise
 from the canonical encoding.
+
+Fault injection composes on the network through two public surfaces:
+
+* **Send hooks** (:meth:`SimNetwork.add_send_hook`): named, composable
+  predicates consulted for every send *before* any latency or bandwidth
+  accounting.  A hook returning ``False`` vetoes the delivery (the send
+  reports an infinite delivery time and the message is never scheduled);
+  the message travels normally only when every hook approves it.  Hooks
+  run in registration order and must be deterministic — the fault
+  subsystem (:mod:`repro.faults`) derives all its randomness from seeded
+  streams.  The legacy single-slot ``send_interceptor`` attribute is kept
+  as a property aliasing a reserved hook name.
+* **Offline nodes** (:meth:`SimNetwork.set_offline`): a crashed node
+  neither receives traffic already in flight (deliveries scheduled before
+  the crash are dropped at delivery time) nor emits new traffic (sends
+  from an offline node are vetoed at the source).  Restarting clears the
+  flag; nothing is replayed — lost messages stay lost, exactly like a
+  real crash.
+
+Both surfaces are strict no-ops while unused: the hot send path checks one
+empty dict and one empty set.
 """
 
 from __future__ import annotations
@@ -69,6 +90,9 @@ class NetworkStats:
     wan_bytes: int = 0
     lan_messages: int = 0
     lan_bytes: int = 0
+    #: Sends vetoed by a hook plus deliveries dropped at an offline node.
+    dropped_sends: int = 0
+    dropped_deliveries: int = 0
     per_link_bytes: Dict[Tuple[str, str], int] = field(default_factory=dict)
 
     def record(self, src: NodeId, dst: NodeId, size: int, wan: bool) -> None:
@@ -82,6 +106,14 @@ class NetworkStats:
             self.lan_bytes += size
         key = (str(src), str(dst))
         self.per_link_bytes[key] = self.per_link_bytes.get(key, 0) + size
+
+
+#: A send hook: ``(src, dst, message) -> deliver?``.  Returning ``False``
+#: vetoes the delivery; the send is reported as never arriving.
+SendHook = Callable[[NodeId, NodeId, Any], bool]
+
+#: Reserved hook name backing the legacy ``send_interceptor`` attribute.
+_LEGACY_INTERCEPTOR = "legacy-send-interceptor"
 
 
 class SimNetwork:
@@ -103,8 +135,68 @@ class SimNetwork:
         #: serializing data (one slot per ``params.uplink_channels``).
         self._uplink_busy: Dict[NodeId, list[float]] = {}
         self.stats = NetworkStats()
-        #: Optional hook invoked for every send; used by fault-injection tests.
-        self.send_interceptor: Callable[[NodeId, NodeId, Any], bool] | None = None
+        #: Named send hooks, consulted in registration order for every send.
+        self._send_hooks: Dict[str, SendHook] = {}
+        #: Nodes currently crashed: sends from them are vetoed and pending
+        #: deliveries to them are dropped at delivery time.
+        self._offline: set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # Send hooks (public fault-injection surface)
+    # ------------------------------------------------------------------
+    def add_send_hook(self, name: str, hook: SendHook) -> None:
+        """Register a named send hook; rejects duplicate names.
+
+        Hooks compose by conjunction: a message is delivered only when every
+        registered hook approves it.  They run in registration order, before
+        any bandwidth or latency accounting, so a vetoed message consumes no
+        simulated network resources.
+        """
+
+        if not name:
+            raise TransportError("send hook name must be non-empty")
+        if name in self._send_hooks:
+            raise TransportError(f"send hook {name!r} already registered")
+        self._send_hooks[name] = hook
+
+    def remove_send_hook(self, name: str) -> None:
+        """Unregister a hook by name (idempotent)."""
+
+        self._send_hooks.pop(name, None)
+
+    def send_hook_names(self) -> tuple[str, ...]:
+        return tuple(self._send_hooks)
+
+    @property
+    def send_interceptor(self) -> Callable[[NodeId, NodeId, Any], bool] | None:
+        """Legacy single-slot interceptor, aliased onto the named-hook API."""
+
+        return self._send_hooks.get(_LEGACY_INTERCEPTOR)
+
+    @send_interceptor.setter
+    def send_interceptor(
+        self, hook: Callable[[NodeId, NodeId, Any], bool] | None
+    ) -> None:
+        self._send_hooks.pop(_LEGACY_INTERCEPTOR, None)
+        if hook is not None:
+            self._send_hooks[_LEGACY_INTERCEPTOR] = hook
+
+    # ------------------------------------------------------------------
+    # Node liveness (crash / restart support)
+    # ------------------------------------------------------------------
+    def set_offline(self, node_id: NodeId, offline: bool = True) -> None:
+        """Mark a node crashed (or back up).  Offline nodes lose all traffic:
+        sends from them are vetoed and in-flight deliveries to them are
+        dropped when their delivery event fires."""
+
+        self.node(node_id)  # raising on unknown nodes keeps plans honest
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def is_offline(self, node_id: NodeId) -> bool:
+        return node_id in self._offline
 
     # ------------------------------------------------------------------
     # Registration
@@ -171,10 +263,16 @@ class SimNetwork:
 
         src = self.node(src_id)
         dst = self.node(dst_id)
-        if self.send_interceptor is not None:
-            if not self.send_interceptor(src_id, dst_id, message):
-                # Interceptor dropped the message (partition / fault injection).
-                return float("inf")
+        if self._offline and src_id in self._offline:
+            # A crashed node emits nothing (stray timers may still fire).
+            self.stats.dropped_sends += 1
+            return float("inf")
+        if self._send_hooks:
+            for hook in tuple(self._send_hooks.values()):
+                if not hook(src_id, dst_id, message):
+                    # Hook vetoed the message (partition / fault injection).
+                    self.stats.dropped_sends += 1
+                    return float("inf")
 
         now = self._scheduler.now()
         depart = max(now, depart_at if depart_at is not None else now)
@@ -192,9 +290,43 @@ class SimNetwork:
         lanes[lane] = serialization_done
 
         delivery_time = serialization_done + self._propagation_delay(src, dst)
-        self._scheduler.schedule_at(
-            delivery_time,
-            lambda: dst.deliver(src_id, message),
-            label=f"{src_id}->{dst_id}:{type(message).__name__}",
-        )
+        self._schedule_delivery(src_id, dst, message, delivery_time)
         return delivery_time
+
+    def _schedule_delivery(
+        self, src_id: NodeId, dst: NetworkEndpoint, message: Any, when: float
+    ) -> None:
+        def deliver() -> None:
+            if self._offline and dst.node_id in self._offline:
+                # The destination crashed while the message was in flight.
+                self.stats.dropped_deliveries += 1
+                return
+            dst.deliver(src_id, message)
+
+        self._scheduler.schedule_at(
+            when,
+            deliver,
+            label=f"{src_id}->{dst.node_id}:{type(message).__name__}",
+        )
+
+    def inject_delivery(
+        self, src_id: NodeId, dst_id: NodeId, message: Any, at: float
+    ) -> float:
+        """Schedule a delivery directly, bypassing send hooks and the
+        latency/bandwidth model.
+
+        This is the fault injector's re-entry point: a hook that vetoed a
+        send to *delay*, *duplicate*, or *reorder* it re-materializes the
+        delivery here at a time of its choosing (so it is not re-intercepted
+        by the very hook that took it over).  Traffic accounting still
+        happens — a duplicated message really does cross the wire twice —
+        and the offline gate still applies at delivery time.
+        """
+
+        src = self.node(src_id)
+        dst = self.node(dst_id)
+        size = message_wire_size(message)
+        self.stats.record(src_id, dst_id, size, self._is_wan(src, dst))
+        when = max(at, self._scheduler.now())
+        self._schedule_delivery(src_id, dst, message, when)
+        return when

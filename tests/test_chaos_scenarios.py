@@ -1,0 +1,533 @@
+"""Seeded chaos scenarios: the protocol under injected faults.
+
+Every scenario follows the same shape: build a deployment, install a
+:class:`~repro.faults.FaultPlan` (seeded, so the fault trace is
+reproducible), drive a workload through the fault window, heal, pump
+certification retries, and assert the convictable invariants from
+:mod:`repro.faults.invariants`:
+
+* **no lost atomicity** — no 2PC transaction both committed and aborted
+  anywhere in the fleet's certified logs;
+* **monotone recovery** — sampled certified-block counts never regress
+  through crashes, partitions, and heals;
+* **eventual full certification** — once faults quiet down and retries
+  drain, every block in every live log carries a cloud proof;
+* **conviction exactness** — planted misbehavior is punished, faults alone
+  never convict an honest edge.
+
+Outage scenarios widen ``dispute_timeout_s``: a client disputing a
+not-yet-certified block *would* convict an honest edge (the cloud cannot
+distinguish "slow because partitioned" from "never certified"), which is
+exactly the operational guidance the :class:`DegradedModeNotice` encodes —
+throttle and widen timers during a known outage window.
+
+Scenario seeds are fixed so the suite is deterministic in CI; the
+determinism scenario itself runs one plan twice and compares traces.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import (
+    LoggingConfig,
+    LSMerkleConfig,
+    SecurityConfig,
+    ShardingConfig,
+    SystemConfig,
+)
+from repro.common.regions import Region
+from repro.core.system import WedgeChainSystem
+from repro.faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RegionPartitionRule,
+    RetryPolicy,
+    assert_convicted,
+    assert_full_certification,
+    assert_monotone,
+    assert_no_false_convictions,
+    assert_no_lost_atomicity,
+)
+from repro.log.proofs import CommitPhase
+from repro.nodes.edge import EdgeNode
+from repro.nodes.malicious import EquivocatingCertifierEdgeNode
+from repro.sharding import ShardedWedgeSystem
+from repro.sim.environment import local_environment
+from repro.workloads.generator import format_key
+
+BLOCK_SIZE = 4
+
+#: The pump policy chaos scenarios drive certification retries with: capped
+#: exponential growth, no attempt budget (recovery must always complete).
+PUMP_POLICY = RetryPolicy(base_s=0.5, factor=2.0, cap_s=4.0)
+
+
+def chaos_config(**overrides) -> SystemConfig:
+    security = overrides.pop("security", None) or SecurityConfig(
+        dispute_timeout_s=60.0
+    )
+    logging_overrides = overrides.pop("logging", {})
+    logging = dict(block_size=BLOCK_SIZE, block_timeout_s=0.02)
+    logging.update(logging_overrides)
+    return SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(**logging),
+        lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
+        security=security,
+        **overrides,
+    )
+
+
+def build_single(seed=11, edge_factory=None, **config_overrides):
+    return WedgeChainSystem.build(
+        config=chaos_config(**config_overrides),
+        num_clients=1,
+        env=local_environment(seed=seed),
+        edge_factory=edge_factory,
+    )
+
+
+def build_sharded(seed=17, num_edges=2, num_shards=4, **config_overrides):
+    return ShardedWedgeSystem.build(
+        config=chaos_config(
+            num_edge_nodes=num_edges,
+            sharding=ShardingConfig(num_shards=num_shards),
+            **config_overrides,
+        ),
+        num_clients=1,
+        env=local_environment(seed=seed),
+    )
+
+
+def start_certify_pump(system, interval_s=0.5):
+    """Periodically re-drive overdue certifications on every edge.
+
+    Returns the stopper.  Scenarios must use ``run_for`` (never a bare
+    ``run()``): the periodic timer keeps the event queue non-empty.
+    """
+
+    def pump() -> None:
+        for edge in system.edges:
+            if not system.env.network.is_offline(edge.node_id):
+                edge.retry_overdue_certifications(PUMP_POLICY)
+
+    return system.env.schedule_periodic(
+        interval_s, pump, label="chaos:certify-pump"
+    )
+
+
+def edge_cloud_partition(start_s: float, until_s: float) -> RegionPartitionRule:
+    """The default placement puts edges+clients in California and the cloud
+    in Virginia, so this is "the edge fleet loses the cloud"."""
+
+    return RegionPartitionRule(
+        side_a=frozenset({Region.CALIFORNIA}),
+        side_b=frozenset({Region.VIRGINIA}),
+        start_s=start_s,
+        until_s=until_s,
+    )
+
+
+def certified_total(system) -> int:
+    return sum(
+        len(state.log) - len(state.log.uncertified_block_ids())
+        for edge in system.edges
+        for state in edge._partition_states()
+    )
+
+
+def put_blocks(client, count, prefix="k"):
+    """Issue ``count`` full blocks of puts; returns the operation ids."""
+
+    ops = []
+    for block in range(count):
+        items = [
+            (f"{prefix}-{block}-{i}", b"v%d" % i) for i in range(BLOCK_SIZE)
+        ]
+        ops.append(client.put_batch(items))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# 1. Cloud outage: Phase I keeps serving, certification catches up
+# ----------------------------------------------------------------------
+class TestCloudOutage:
+    def test_phase_one_survives_and_certification_catches_up(self):
+        system = build_single(seed=101)
+        client = system.client(0)
+        plan = FaultPlan(seed=101, name="cloud-outage").with_partition(
+            edge_cloud_partition(start_s=0.5, until_s=6.0)
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        progress = [certified_total(system)]
+        all_ops = []
+        for round_index in range(4):
+            all_ops.extend(put_blocks(client, 2, prefix=f"r{round_index}"))
+            system.run_for(2.0)
+            progress.append(certified_total(system))
+
+        # Mid-outage: Phase I commitment never stopped (receipts flowed).
+        assert all(
+            client.phase_of(op)
+            in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
+            for op in all_ops
+        )
+
+        system.run_for(max(0.0, injector.faults_quiet_after() - system.env.now()))
+        system.run_for(12.0)
+        progress.append(certified_total(system))
+        stop_pump()
+
+        assert_monotone(progress, "certified blocks through outage")
+        assert assert_full_certification(system.edges) >= 8
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges]
+        )
+        # Every write reached Phase II once the cloud came back.
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in all_ops
+        )
+        # The injector really did sever traffic.
+        assert any(action == "partition-drop" for _, action, *_ in injector.trace)
+
+    def test_degraded_mode_enters_and_recovers(self):
+        system = build_single(
+            seed=102, logging={"max_uncertified_backlog": 3}
+        )
+        client = system.client(0)
+        edge = system.edge(0)
+        # The partition opens at t=0 so the write burst's certify uplinks
+        # are all lost — the backlog builds from the first block.
+        plan = FaultPlan(seed=102, name="degraded").with_partition(
+            edge_cloud_partition(start_s=0.0, until_s=5.0)
+        )
+        FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        put_blocks(client, 8)
+        system.run_for(4.0)
+        # Backlog crossed the limit mid-outage: the edge signalled clients.
+        assert edge.stats.get("degraded_entries", 0) >= 1
+        assert client.stats.get("degraded_notices", 0) >= 1
+        assert edge.node_id in client.degraded_edges
+
+        system.run_for(15.0)
+        stop_pump()
+
+        # Recovery: backlog drained, the all-clear reached the client.
+        assert edge.stats.get("degraded_recoveries", 0) >= 1
+        assert edge.node_id not in client.degraded_edges
+        assert assert_full_certification(system.edges) >= 8
+        assert_no_false_convictions(system.cloud, [edge.node_id])
+
+
+# ----------------------------------------------------------------------
+# 2. Edge crash: volatile state lost, the certified log survives
+# ----------------------------------------------------------------------
+class TestEdgeCrash:
+    def test_crash_loses_window_but_log_recertifies(self):
+        system = build_single(seed=103)
+        client = system.client(0)
+        edge = system.edge(0)
+        plan = FaultPlan(seed=103, name="edge-crash").with_crash(
+            CrashEvent(edge.node_id, at_s=1.0, restart_at_s=2.5)
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        put_blocks(client, 3, prefix="before")
+        system.run_for(0.9)
+        certified_before = certified_total(system)
+        log_before = sum(
+            len(state.log) for state in edge._partition_states()
+        )
+
+        system.run_for(2.0)  # crash at 1.0, restart at 2.5
+        assert edge.stats.get("crashes", 0) == 1
+        assert edge.stats.get("restarts", 0) == 1
+
+        put_blocks(client, 3, prefix="after")
+        system.run_for(12.0)
+        stop_pump()
+
+        # Durable survives: nothing that was in the log pre-crash vanished.
+        log_after = sum(len(state.log) for state in edge._partition_states())
+        assert log_after >= log_before
+        assert certified_total(system) >= certified_before
+        assert assert_full_certification(system.edges) >= log_before
+        assert_no_false_convictions(system.cloud, [edge.node_id])
+        assert [a for _, a, *_ in injector.trace if a in ("crash", "restart")] == [
+            "crash",
+            "restart",
+        ]
+
+
+# ----------------------------------------------------------------------
+# 3. Flaky certification uplink: unified retries drain the backlog
+# ----------------------------------------------------------------------
+class TestFlakyUplink:
+    def test_probabilistic_uplink_loss_is_retried_dry(self):
+        system = build_single(seed=104)
+        client = system.client(0)
+        edge = system.edge(0)
+        plan = (
+            FaultPlan(seed=104, name="flaky-uplink")
+            .with_rule(
+                FaultRule(
+                    "drop",
+                    message_type="CertifyBatchRequest",
+                    probability=0.6,
+                    until_s=3.0,
+                )
+            )
+            .with_rule(
+                FaultRule(
+                    "drop",
+                    message_type="BlockCertifyRequest",
+                    probability=0.6,
+                    until_s=3.0,
+                )
+            )
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        put_blocks(client, 6)
+        system.run_for(18.0)
+        stop_pump()
+
+        assert assert_full_certification(system.edges) >= 6
+        # The drops really happened and the retry machinery really fired.
+        assert sum(injector.rule_fire_counts()) >= 1
+        assert edge.stats["certify_retries"] >= 1
+        assert_no_false_convictions(system.cloud, [edge.node_id])
+
+
+# ----------------------------------------------------------------------
+# 4. Dropped 2PC decisions: retransmission preserves atomicity
+# ----------------------------------------------------------------------
+class TestTxnDecisionLoss:
+    def test_dropped_decisions_retransmit_and_stay_atomic(self):
+        system = build_sharded(seed=105)
+        client = system.clients[0]
+        plan = FaultPlan(seed=105, name="decision-loss").with_rule(
+            FaultRule("drop", message_type="TxnDecisionMessage", max_count=2)
+        )
+        injector = FaultInjector(system.env, plan).install()
+
+        items = []
+        index = 0
+        shards_seen: set[int] = set()
+        while len(shards_seen) < 3:
+            key = format_key(index)
+            shard = client.partitioner.shard_of(key)
+            if shard not in shards_seen:
+                shards_seen.add(shard)
+                items.append((key, b"txn-%d" % shard))
+            index += 1
+
+        txn_id = client.txn_put(items)
+        system.run_for(30.0)
+
+        assert injector.rule_fire_counts() == (2,)
+        assert client.txns.state_of(txn_id) == "committed"
+        assert client.stats["txn_decision_retries"] >= 1
+        decisions = assert_no_lost_atomicity(system.edges)
+        # Every participant shard applied exactly the commit decision.
+        applied = [
+            outcome
+            for appliers in decisions.values()
+            for _edge, outcome in appliers
+        ]
+        assert applied and set(applied) == {"commit"}
+
+
+# ----------------------------------------------------------------------
+# 5. Destination crash mid-handoff: retransmission re-delivers the shard
+# ----------------------------------------------------------------------
+class TestHandoffCrash:
+    def test_dest_crash_between_grant_and_transfer_recovers(self):
+        system = build_sharded(seed=106)
+        client = system.clients[0]
+        operations = [
+            (client, client.put(format_key(i), b"v%d" % i)) for i in range(24)
+        ]
+        assert system.wait_for_all(operations, CommitPhase.PHASE_TWO)
+        system.run_for(1.0)
+
+        source = system.edges[0]
+        shard = max(
+            source.shard_entry_counts, key=source.shard_entry_counts.get
+        )
+        dest = system.edges[1]
+
+        now = system.env.now()
+        plan = FaultPlan(seed=106, name="handoff-crash").with_crash(
+            CrashEvent(dest.node_id, at_s=now + 0.01, restart_at_s=now + 2.0)
+        )
+        FaultInjector(system.env, plan).install()
+        system.rebalance_shard(shard, dest.node_id)
+        system.run_for(25.0)
+
+        # The transfer was lost against the crashed destination, retried on
+        # the capped-exponential schedule, and installed after the restart.
+        assert dest.shard_state(shard) is not None
+        assert source.shard_state(shard) is None
+        assert source.stats["shard_transfer_retries"] >= 1
+        assert source.stats["shard_transfer_acks"] == 1
+        assert not source._outgoing_transfers
+        assert system.cloud.stats["shard_installs"] == 1
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges]
+        )
+
+
+# ----------------------------------------------------------------------
+# 6. Duplicate storm: at-least-once delivery never double-applies
+# ----------------------------------------------------------------------
+class TestDuplicateStorm:
+    def test_duplicated_messages_apply_once(self):
+        system = build_single(seed=107)
+        client = system.client(0)
+        edge = system.edge(0)
+        plan = FaultPlan(seed=107, name="dup-storm").with_rule(
+            FaultRule("duplicate", probability=0.8, until_s=3.0, spread_s=0.05)
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        ops = put_blocks(client, 5)
+        system.run_for(20.0)
+        stop_pump()
+
+        assert sum(injector.rule_fire_counts()) >= 5
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in ops
+        )
+        # Exactly the written entries appear in the log — duplicated appends
+        # were absorbed by replay protection, not applied twice.
+        total_entries = sum(
+            len(record.block.entries)
+            for state in edge._partition_states()
+            for record in state.log
+        )
+        assert total_entries == 5 * BLOCK_SIZE
+        assert assert_full_certification(system.edges) >= 5
+        assert_no_false_convictions(system.cloud, [edge.node_id])
+
+
+# ----------------------------------------------------------------------
+# 7. WAN weather: reorder + delay, everything still settles
+# ----------------------------------------------------------------------
+class TestReorderDelay:
+    def test_reordered_and_delayed_wan_settles_clean(self):
+        system = build_single(seed=108)
+        client = system.client(0)
+        plan = (
+            FaultPlan(seed=108, name="wan-weather")
+            .with_rule(
+                FaultRule(
+                    "reorder", probability=0.5, until_s=2.5, spread_s=0.3
+                )
+            )
+            .with_rule(
+                FaultRule(
+                    "delay",
+                    message_type="BatchCertificateMessage",
+                    probability=0.5,
+                    until_s=2.5,
+                    delay_s=0.4,
+                )
+            )
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        ops = put_blocks(client, 6)
+        system.run_for(20.0)
+        stop_pump()
+
+        assert sum(injector.rule_fire_counts()) >= 1
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in ops
+        )
+        assert assert_full_certification(system.edges) >= 6
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges]
+        )
+
+
+# ----------------------------------------------------------------------
+# 8. Malice under cover of faults is still convicted — and only malice
+# ----------------------------------------------------------------------
+class TestMaliceUnderFaults:
+    def test_equivocator_convicted_despite_message_loss(self):
+        def factory(env, cloud, cfg, name, region):
+            cls = EquivocatingCertifierEdgeNode if name == "edge-0" else EdgeNode
+            return cls(env=env, cloud=cloud, config=cfg, name=name, region=region)
+
+        system = build_single(
+            seed=109, edge_factory=factory, num_edge_nodes=2
+        )
+        guilty = system.edges[0]
+        honest = system.edges[1]
+        plan = FaultPlan(seed=109, name="malice-under-faults").with_rule(
+            FaultRule("drop", probability=0.3, until_s=2.0)
+        )
+        FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        # Both clients write through their own edge (round-robin placement
+        # gave the system one client on the guilty edge).
+        client = system.client(0)
+        put_blocks(client, 4)
+        system.run_for(25.0)
+        stop_pump()
+
+        assert_convicted(system.cloud, [guilty.node_id])
+        assert_no_false_convictions(system.cloud, [honest.node_id])
+
+
+# ----------------------------------------------------------------------
+# 9. Determinism: same plan + same seed ⇒ same fault trace, same outcome
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @staticmethod
+    def _run_once():
+        system = build_single(seed=110)
+        client = system.client(0)
+        plan = (
+            FaultPlan(seed=110, name="determinism")
+            .with_rule(FaultRule("drop", probability=0.4, until_s=2.0))
+            .with_rule(
+                FaultRule(
+                    "duplicate", probability=0.3, until_s=2.0, spread_s=0.1
+                )
+            )
+            .with_partition(edge_cloud_partition(start_s=2.5, until_s=4.0))
+            .with_crash(
+                CrashEvent(
+                    system.edge(0).node_id, at_s=4.5, restart_at_s=5.5
+                )
+            )
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+        put_blocks(client, 5)
+        system.run_for(25.0)
+        stop_pump()
+        return (
+            tuple(injector.trace),
+            injector.rule_fire_counts(),
+            certified_total(system),
+            system.env.network.stats.dropped_sends,
+        )
+
+    def test_same_seed_twice_identical(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first == second
+        trace, fired, certified, dropped = first
+        assert trace and sum(fired) >= 1 and certified >= 1 and dropped >= 1

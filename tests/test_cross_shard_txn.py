@@ -215,7 +215,7 @@ class TestCoordinatorAbandonment:
         def drop_txn_control(src, dst, message):
             return not isinstance(message, (TxnPrepareReceipt, TxnDecisionMessage))
 
-        system.env.network.send_interceptor = drop_txn_control
+        system.env.network.add_send_hook("test:drop-txn-control", drop_txn_control)
         txn_id = client.txn_put(items)
         system.run_for(0.5)
         staged_counts = [
@@ -226,7 +226,7 @@ class TestCoordinatorAbandonment:
 
         # Past the signed expires_at horizon every stage presumes abort.
         system.run_for(6.0)
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-txn-control")
         expired = sum(
             edge.stats.get("txn_prepares_expired", 0) for edge in system.edges
         )
@@ -332,10 +332,10 @@ class TestStagedAbortServe:
                 isinstance(message, TxnPrepareReceipt) and src == honest.node_id
             )
 
-        system.env.network.send_interceptor = drop_honest_receipts
+        system.env.network.add_send_hook("test:drop-honest-receipts", drop_honest_receipts)
         txn_id = client.txn_put(items)
         system.run_for(3.0)
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-honest-receipts")
         assert client.txns.state_of(txn_id) == "aborted"
         assert rogue.stats.get("txn_commits_applied", 0) == 0  # it *claims* abort
 
@@ -450,7 +450,7 @@ class TestTxnVsHandoff:
         def drop_decisions(src, dst, message):
             return not isinstance(message, TxnDecisionMessage)
 
-        system.env.network.send_interceptor = drop_decisions
+        system.env.network.add_send_hook("test:drop-decisions", drop_decisions)
         txn_id = client.txn_put(items)
         system.run_for(0.5)
         record = client.txns.record(txn_id)
@@ -471,7 +471,7 @@ class TestTxnVsHandoff:
 
         # Deliver the held commit decision; the stage resolves, the commit
         # block certifies, and the handoff completes.
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-decisions")
         source.on_message(client.node_id, record.decision)
         system.run_for(3.0)
         assert source.stats.get("txn_commits_applied", 0) == 1
@@ -558,7 +558,7 @@ class TestPrepareReroute:
                 isinstance(message, ShardMapMessage) and dst == client.node_id
             )
 
-        system.env.network.send_interceptor = drop_maps_to_client
+        system.env.network.add_send_hook("test:drop-maps-to-client", drop_maps_to_client)
         system.rebalance_shard(shard, dest.node_id)
         system.run_for(2.0)
         assert system.shard_owner(shard) == dest.node_id
@@ -566,7 +566,7 @@ class TestPrepareReroute:
 
         txn_id = client.txn_put(items)  # prepare goes to the old owner
         system.run_for(2.0)
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-maps-to-client")
         record = client.txns.record(txn_id)
         assert client.stats["txn_prepare_reroutes"] >= 1
         assert record.state == "committed"
@@ -639,7 +639,7 @@ class TestDecisionRetry:
                 isinstance(message, TxnDecisionMessage) and dst == victim.node_id
             )
 
-        system.env.network.send_interceptor = drop_decisions_to_victim
+        system.env.network.add_send_hook("test:drop-decisions-to-victim", drop_decisions_to_victim)
         txn_id = client.txn_put(items)
         system.run_for(0.5)
         record = client.txns.record(txn_id)
@@ -648,7 +648,7 @@ class TestDecisionRetry:
         assert victim.stats.get("txn_commits_applied", 0) == 0
 
         # Let the wire heal; the coordinator's bounded retry re-delivers.
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-decisions-to-victim")
         system.run_for(3.0)
         assert client.stats["txn_decision_retries"] >= 1
         assert record.all_acked
@@ -694,8 +694,11 @@ class TestRedirectCap:
         system = self.build(max_redirects)
         client = system.clients[0]
         # Keep the operation pending forever: the appends never arrive.
-        system.env.network.send_interceptor = lambda src, dst, message: not isinstance(
-            message, (AppendBatchRequest, TxnPrepareRequest)
+        system.env.network.add_send_hook(
+            "test:drop-appends-and-prepares",
+            lambda src, dst, message: not isinstance(
+                message, (AppendBatchRequest, TxnPrepareRequest)
+            ),
         )
         key = "key000000000000"
         shard_id = client.partitioner.shard_of(key)
@@ -957,10 +960,10 @@ class TestCoordinatorEquivocation:
                 captured.append(message)
             return True
 
-        system.env.network.send_interceptor = capture
+        system.env.network.add_send_hook("test:capture", capture)
         client.get(key)
         system.run_for(1.0)
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:capture")
         response = captured[0]
 
         # The coordinator now signs a contradictory ABORT and frames the

@@ -29,6 +29,7 @@ from repro.core.certification import LazyCertifier
 from repro.core.certify_engine import ParallelCertifyEngine
 from repro.core.certify_pipeline import EdgeCertifyPipeline, run_certify_pipeline
 from repro.crypto.signatures import KeyRegistry
+from repro.faults import RetryPolicy
 from repro.log.block import build_block
 from repro.log.entry import make_entry
 from repro.log.proofs import (
@@ -364,13 +365,13 @@ class TestPipelineAdversarial:
                 return False
             return True
 
-        env.network.send_interceptor = drop_first_batch
+        env.network.add_send_hook("test:drop-first-batch", drop_first_batch)
         edge._pump_certify_pipeline()
         env.run()
         # The window (both batches) was lost in one envelope: nothing came back.
         assert dropped and edge.certifier.certified_count == 0
         assert edge.certifier.in_flight_count == 2
-        env.network.send_interceptor = None
+        env.network.remove_send_hook("test:drop-first-batch")
 
         env.scheduler.run_until(env.now() + 5.0)
         sent = edge.retry_overdue_certifications(timeout_s=1.0)
@@ -447,7 +448,7 @@ class TestMidHandoffWindow:
         def drop_certificates(src, dst, message):
             return not isinstance(message, BatchCertificateMessage)
 
-        system.env.network.send_interceptor = drop_certificates
+        system.env.network.add_send_hook("test:drop-certificates", drop_certificates)
         operations = [
             (client, client.put(format_key(index), b"v%d" % index))
             for index in range(40)
@@ -480,7 +481,7 @@ class TestMidHandoffWindow:
         assert shard in source._migrating
 
         # Release the network; the lost window is re-sent batch by batch.
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-certificates")
         system.run_for(1.0)
         assert source.retry_overdue_certifications(timeout_s=0.1) > 0
         system.run_for(5.0)
@@ -508,7 +509,7 @@ class TestMidHandoffWindow:
         def drop_certificates(src, dst, message):
             return not isinstance(message, BatchCertificateMessage)
 
-        system.env.network.send_interceptor = drop_certificates
+        system.env.network.add_send_hook("test:drop-certificates", drop_certificates)
         operations = [
             (client, client.put(format_key(index), b"v%d" % index))
             for index in range(40)
@@ -540,7 +541,7 @@ class TestMidHandoffWindow:
 
         # Let answers flow again, then refuse the whole stuck batch: each
         # rejection must free its share of the slot so the window un-wedges.
-        system.env.network.send_interceptor = None
+        system.env.network.remove_send_hook("test:drop-certificates")
         stuck = in_flight[0]
         slots_before = state.certifier.in_flight_count
         for block_id in stuck.block_ids:
@@ -888,3 +889,104 @@ class TestMonotonicRetryClock:
         assert pipeline.dispatch_ready(now=5.0, allow_partial=False)
         assert pipeline.retry_overdue(timeout_s=2.0, now=6.0) == []
         assert len(pipeline.retry_overdue(timeout_s=2.0, now=8.0)) == 1
+
+
+# ----------------------------------------------------------------------
+# Sustained cloud unavailability under a RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicyUnderOutage:
+    """A configured :class:`RetryPolicy` drives overdue retries through a
+    sustained cloud outage: the per-batch horizon grows along the backoff
+    schedule, batches whose attempt budget is spent stop re-dispatching,
+    the in-flight window stays bounded however long the outage lasts, and
+    the backlog drains completely once the cloud answers again."""
+
+    POLICY = RetryPolicy(base_s=1.0, factor=2.0, cap_s=8.0, max_attempts=3)
+
+    def make_pipeline(self, depth=2, batch_size=2, policy=POLICY):
+        env = local_environment(seed=41)
+        cloud = CloudNode(env=env, region=Region.CALIFORNIA)
+        edge = edge_id("edge-outage")
+        env.registry.register(edge)
+        pipeline = EdgeCertifyPipeline(
+            registry=env.registry,
+            edge=edge,
+            cloud=cloud.node_id,
+            depth=depth,
+            batch_size=batch_size,
+            retry_policy=policy,
+        )
+        return pipeline, cloud, edge
+
+    @staticmethod
+    def certify(cloud, edge, requests):
+        """Run *requests* through the cloud and return its certificates."""
+
+        pairs = tuple((edge, request) for request in requests)
+        return [message for _target, message in cloud.certify_batch_window(pairs)]
+
+    def test_no_policy_and_no_timeout_is_an_error(self):
+        pipeline, _cloud, _edge = self.make_pipeline(policy=None)
+        with pytest.raises(ValueError):
+            pipeline.retry_overdue(now=1.0)
+
+    def test_backoff_grows_then_budget_exhausts(self):
+        pipeline, _cloud, _edge = self.make_pipeline()
+        pipeline.submit(0, "0" * 64, now=0.0)
+        pipeline.submit(1, "1" * 64, now=0.0)
+        assert len(pipeline.dispatch_ready(now=0.0, allow_partial=False)) == 1
+
+        # First horizon is delay(1) = 1.0 s: not yet overdue at 0.5 s.
+        assert pipeline.retry_overdue(now=0.5) == []
+        assert len(pipeline.retry_overdue(now=1.5)) == 1  # retry #1
+
+        # After one retry the horizon is delay(2) = 2.0 s, measured from
+        # the retry itself — 1.0 s later is quiet, 2.1 s later fires.
+        assert pipeline.retry_overdue(now=2.5) == []
+        assert len(pipeline.retry_overdue(now=3.7)) == 1  # retry #2
+
+        # Horizon now delay(3) = 4.0 s.
+        assert pipeline.retry_overdue(now=7.0) == []
+        assert len(pipeline.retry_overdue(now=7.8)) == 1  # retry #3
+
+        # max_attempts=3 is spent: the batch never re-dispatches on the
+        # policy path, no matter how stale it gets.
+        assert pipeline.retry_overdue(now=1_000.0) == []
+        # An explicit timeout bypasses the budget (operator override).
+        assert len(pipeline.retry_overdue(timeout_s=1.0, now=2_000.0)) == 1
+
+    def test_window_stays_bounded_and_drains_after_recovery(self):
+        pipeline, cloud, edge = self.make_pipeline(depth=2, batch_size=2)
+        for block_id in range(8):
+            pipeline.submit(block_id, f"{block_id:064x}", now=0.0)
+
+        # Only depth=2 batches ship; the other four blocks stay queued.
+        first_wave = pipeline.dispatch_ready(now=0.0, allow_partial=False)
+        assert pipeline.certifier.in_flight_count == 2
+
+        # A long outage: every policy step fires, yet the window never
+        # grows — retries re-sign the same two lost batches.
+        retried = []
+        for now in (1.5, 4.0, 9.0, 30.0):
+            retried.extend(pipeline.retry_overdue(now=now))
+            assert pipeline.certifier.in_flight_count == 2
+            assert pipeline.dispatch_ready(now=now, allow_partial=False) == []
+        assert retried  # the outage did trigger re-sends
+        assert pipeline.absorbed == 0
+
+        # Recovery: the cloud finally answers the latest retransmissions,
+        # then the freed window slots pump the remaining backlog through.
+        pipeline.absorb(self.certify(cloud, edge, retried[-2:]))
+        now = 31.0
+        while not pipeline.drained:
+            requests = pipeline.dispatch_ready(now=now, allow_partial=True)
+            assert len(requests) <= 2
+            pipeline.absorb(self.certify(cloud, edge, requests))
+            now += 1.0
+        assert pipeline.absorbed == 8
+        assert pipeline.certifier.in_flight_count == 0
+
+        # Late duplicates from the first (lost) wave are absorbed
+        # idempotently — certified counts do not double.
+        pipeline.absorb(self.certify(cloud, edge, first_wave))
+        assert pipeline.absorbed == 8
