@@ -26,6 +26,7 @@ from repro.common.config import (
     LSMerkleConfig,
     SecurityConfig,
     ShardingConfig,
+    StorageConfig,
     SystemConfig,
 )
 from repro.common.regions import Region
@@ -41,6 +42,7 @@ from repro.faults import (
     assert_monotone,
     assert_no_false_convictions,
     assert_no_lost_atomicity,
+    assert_no_quarantines,
 )
 from repro.log.proofs import CommitPhase
 from repro.sharding import ShardedWedgeSystem
@@ -146,6 +148,72 @@ def test_mixed_fault_storm_settles_clean(seed):
     # Post-heal writes always land: the system recovered for real.
     late = client.put_batch(
         [(f"s{seed}-late-{i}", b"z") for i in range(BLOCK_SIZE)]
+    )
+    assert (
+        system.wait_for(client, late, CommitPhase.PHASE_TWO, max_time_s=60)
+        is CommitPhase.PHASE_TWO
+    )
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_durable_crash_storm_recovers_from_disk(seed, tmp_path):
+    """The mixed storm on the disk backend with *two* crashes: every restart
+    rebuilds the partition from its store (verified against the durable
+    signed root), nothing quarantines, and the log still fully certifies."""
+
+    system = WedgeChainSystem.build(
+        config=chaos_config(
+            storage=StorageConfig(
+                backend="disk", root_dir=str(tmp_path), fsync="always"
+            )
+        ),
+        num_clients=1,
+        env=local_environment(seed=seed),
+    )
+    client = system.client(0)
+    edge = system.edge(0)
+    plan = (
+        FaultPlan(seed=seed, name=f"sweep-durable-{seed}")
+        .with_rule(FaultRule("drop", probability=0.2, until_s=2.0))
+        .with_rule(
+            FaultRule("duplicate", probability=0.2, until_s=2.0, spread_s=0.1)
+        )
+        .with_crash(CrashEvent(edge.node_id, at_s=2.5, restart_at_s=3.5))
+        .with_crash(CrashEvent(edge.node_id, at_s=5.0, restart_at_s=6.0))
+    )
+    injector = FaultInjector(system.env, plan).install()
+    stop_pump = start_certify_pump(system)
+
+    progress = [certified_total(system)]
+    for round_index in range(3):
+        items = [
+            (f"d{seed}-r{round_index}-{i}", b"v%d" % i)
+            for i in range(BLOCK_SIZE * 2)
+        ]
+        client.put_batch(items)
+        system.run_for(2.5)
+        progress.append(certified_total(system))
+
+    system.run_for(max(0.0, injector.faults_quiet_after() - system.env.now()))
+    system.run_for(15.0)
+    progress.append(certified_total(system))
+    stop_pump()
+
+    # Both restarts went through real recovery-from-store, cleanly.
+    assert edge.stats.get("partitions_recovered", 0) >= 2
+    assert edge.last_recovery_reports and all(
+        report.ok for report in edge.last_recovery_reports
+    )
+    assert_no_quarantines(system.edges)
+    assert_monotone(progress, f"durable certified blocks (seed {seed})")
+    assert assert_full_certification(system.edges) >= 1
+    assert_no_false_convictions(system.cloud, [edge.node_id])
+    # The recovered index still matches the durable cloud-signed root.
+    state = edge._default_partition
+    if state.signed_root is not None:
+        assert state.index.roots_match(state.signed_root)
+    late = client.put_batch(
+        [(f"d{seed}-late-{i}", b"z") for i in range(BLOCK_SIZE)]
     )
     assert (
         system.wait_for(client, late, CommitPhase.PHASE_TWO, max_time_s=60)

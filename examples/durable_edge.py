@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Durable edge: crash, recover from disk, and read back with a verified proof.
+
+The default deployment is in-memory (paper-exact).  This example opts one
+edge into the disk backend (``StorageConfig(backend="disk")``): every formed
+block, Phase I receipt, and certification proof is appended to a checksummed
+segment log, and each LSMerkle merge snapshots the level pages plus the
+cloud-signed global root into an atomically-swapped manifest.  We then kill
+the edge, watch recovery rebuild the partition *purely from disk*, verify
+the rebuilt Merkle roots against the durable signed root, and read a value
+back through a verified proof — the crash never happened, as far as the
+client can tell.
+
+Run with::
+
+    python examples/durable_edge.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import CommitPhase, SystemConfig, WedgeChainSystem
+from repro.common import LoggingConfig
+from repro.common.config import LSMerkleConfig, StorageConfig
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="wedge-durable-") as root:
+        # Small blocks and eager merge thresholds so a short workload forms
+        # several blocks, merges them, and snapshots a signed root to disk.
+        config = SystemConfig.paper_default().with_overrides(
+            logging=LoggingConfig(block_size=5),
+            lsmerkle=LSMerkleConfig(level_thresholds=(2, 2, 4, 8)),
+            storage=StorageConfig(backend="disk", root_dir=root, fsync="always"),
+        )
+        system = WedgeChainSystem.build(config=config, num_clients=1)
+        client = system.client()
+        edge = system.edge()
+
+        print("=== Durable edge: crash -> recover -> verified get ===")
+        print(f"edge partition directory: <tmp>/{edge.node_id.name}/default")
+        print()
+
+        # --------------------------------------------------------------
+        # 1. Write sensor readings; wait until the cloud certified them.
+        # --------------------------------------------------------------
+        operations = []
+        for batch in range(4):
+            readings = [
+                (f"sensor-{batch * 5 + i:03d}", f"{20 + i * 0.5:.1f}C".encode())
+                for i in range(5)
+            ]
+            operations.append(client.put_batch(readings))
+        for operation in operations:
+            system.wait_for(client, operation, CommitPhase.PHASE_TWO)
+        # Let the asynchronous LSMerkle merge finish: it installs the
+        # cloud-signed global root and snapshots the manifest to disk.
+        system.run_for(5.0)
+        print(f"wrote {len(operations)} blocks, all Phase II certified")
+
+        store = edge._default_partition.store
+        directory = store.directory
+        segments = sorted(
+            name for name in os.listdir(directory) if name.startswith("seg-")
+        )
+        print(f"on disk: {len(segments)} segment file(s), "
+              f"{store.stats['blocks_appended']} blocks appended, "
+              f"{store.stats['manifests_written']} manifest snapshot(s)")
+        print()
+
+        # --------------------------------------------------------------
+        # 2. Kill the edge.  The crash model truncates unsynced segment
+        #    bytes; with fsync="always" nothing acknowledged is at risk.
+        # --------------------------------------------------------------
+        print("crashing the edge (volatile state wiped, disk keeps the truth)")
+        edge.on_crash()
+
+        # --------------------------------------------------------------
+        # 3. Restart: the partition is REPLACED by one rebuilt from the
+        #    store, and the rebuilt Merkle roots must match the durable
+        #    cloud-signed root before the edge serves a single request.
+        # --------------------------------------------------------------
+        edge.on_restart()
+        [report] = edge.last_recovery_reports
+        print("Recovery report:")
+        print(f"  blocks replayed : {report.blocks_replayed}")
+        print(f"  proofs replayed : {report.proofs_replayed}")
+        print(f"  torn records    : {report.torn_records_dropped}")
+        print(f"  manifest version: {report.manifest_version}")
+        print(f"  root verified: {report.root_verified}")
+        print(f"  quarantined     : {report.quarantined}")
+        print()
+
+        # --------------------------------------------------------------
+        # 4. Read back through the recovered index, proof-verified.
+        # --------------------------------------------------------------
+        get_op = client.get("sensor-003")
+        system.wait_for(client, get_op, CommitPhase.PHASE_TWO)
+        value = client.value_of(get_op)
+        print(f"get('sensor-003') -> {value!r}  [served from the recovered index]")
+        print()
+        print("The client never saw the crash: every certified write survived on "
+              "disk, recovery proved the rebuild against the cloud-signed root, "
+              "and reads verify exactly as before.  Had any sealed segment, page, "
+              "or the manifest been corrupted, the partition would have "
+              "quarantined itself instead of serving unprovable data.")
+
+
+if __name__ == "__main__":
+    main()

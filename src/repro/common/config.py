@@ -4,6 +4,16 @@ The defaults follow the paper's evaluation setup (Section VI): batches of
 100 put operations with 100-byte values, an LSMerkle tree with four levels
 whose thresholds are 10/10/100/1000 pages, the edge node in California and
 the cloud node in Virginia.
+
+**Default stance (settled in PR 7): paper-exact by default, fast by
+config.**  Every throughput feature added since the seed — batch
+certification (``certify_batch_size``), gossip batching (``gossip_batch``),
+pipelined Phase II (``certify_pipeline_depth``), durable storage
+(``StorageConfig``) — defaults OFF so that the figure-4/5 metrics stay
+byte-identical to the paper-calibrated protocol under ``PYTHONHASHSEED=0``.
+Deployments opt in per knob.  The stance is pinned by
+``tests/test_paper_default_stance.py``; changing any of these defaults is a
+figure recalibration, not a tweak.
 """
 
 from __future__ import annotations
@@ -234,6 +244,61 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True)
+class StorageConfig:
+    """Durable storage backend for edge partitions (``repro.storage``).
+
+    The default backend is ``"memory"``: every partition lives purely in
+    Python objects, exactly as the paper's simulation does, and nothing is
+    written anywhere — the committed figures depend on this (paper-exact by
+    default, fast/durable by config).  Switching to ``"disk"`` gives every
+    :class:`~repro.nodes.edge.PartitionState` a
+    :class:`~repro.storage.store.PartitionStore` under ``root_dir``: an
+    append-only checksummed segment log for blocks, receipts, and
+    certification proofs, plus page files and an atomically-swapped manifest
+    for the LSMerkle levels and the last cloud-signed root.  A restart then
+    rebuilds the partition from disk through
+    :func:`~repro.storage.recovery.recover_partition` instead of trusting
+    preserved objects.
+    """
+
+    #: ``"memory"`` (the default; nothing persisted) or ``"disk"``.
+    backend: str = "memory"
+    #: Directory the disk backend stores partitions under (one subdirectory
+    #: per edge node, one per partition).  Required when ``backend="disk"``.
+    root_dir: str | None = None
+    #: When the segment log calls ``fsync``: ``"never"`` (OS decides),
+    #: ``"on_seal"`` (once per sealed segment — the benchmarked default), or
+    #: ``"always"`` (every append; the only policy under which a crash loses
+    #: no acknowledged write).
+    fsync: str = "on_seal"
+    #: Size at which the active segment is sealed and a new one started.
+    segment_max_bytes: int = 1 << 20
+    #: Whether writing a manifest also deletes sealed segments made fully
+    #: redundant by it (every block below the snapshot floor is certified
+    #: and merged into manifest pages), keeping storage bounded.
+    truncate_on_snapshot: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("memory", "disk"):
+            raise ConfigurationError(
+                f"unknown storage backend {self.backend!r}; use 'memory' or 'disk'"
+            )
+        if self.backend == "disk" and not self.root_dir:
+            raise ConfigurationError("disk storage backend requires root_dir")
+        if self.fsync not in ("never", "on_seal", "always"):
+            raise ConfigurationError(
+                f"unknown fsync policy {self.fsync!r}; "
+                "use 'never', 'on_seal', or 'always'"
+            )
+        if self.segment_max_bytes <= 0:
+            raise ConfigurationError("segment_max_bytes must be positive")
+
+    @property
+    def is_durable(self) -> bool:
+        return self.backend == "disk"
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Workload shape used by the benchmark harness."""
 
@@ -300,6 +365,9 @@ class SystemConfig:
     #: Key-space sharding for multi-edge fleets (``None`` = the paper's
     #: single-partition deployment; see :class:`ShardingConfig`).
     sharding: "ShardingConfig | None" = None
+    #: Durable storage backend (default in-memory = nothing persisted; see
+    #: :class:`StorageConfig` and the module docstring's default stance).
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
     def __post_init__(self) -> None:
         if self.num_edge_nodes <= 0:

@@ -84,6 +84,33 @@ class DisputeRejectedError(ProtocolError):
     """A dispute was judged to be unfounded by the cloud node."""
 
 
+class StorageError(WedgeChainError):
+    """Base class for failures in the durable storage backend."""
+
+
+class StorageCorruptionError(StorageError):
+    """On-disk state failed a checksum, digest, or root verification.
+
+    Raised by segment replay (a sealed segment with a CRC mismatch), manifest
+    loading (manifest checksum or page-digest mismatch), and recovery (the
+    rebuilt Merkle roots disagree with the last durable signed root).  The
+    partition that raised it must be quarantined, never served: the store can
+    no longer prove its contents match what was signed.
+    """
+
+
+class StorageFullError(StorageError):
+    """The store refused an append because the device is out of space."""
+
+
+class PartitionQuarantinedError(StorageError):
+    """An operation targeted a partition whose store failed verification.
+
+    A quarantined partition refuses all service — serving unverifiable data
+    would turn an edge's own disk fault into a convictable protocol lie.
+    """
+
+
 class SimulationError(WedgeChainError):
     """Base class for errors raised by the discrete-event simulator."""
 

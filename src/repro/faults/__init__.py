@@ -4,7 +4,8 @@ The subsystem has four pieces:
 
 * :mod:`~repro.faults.plan` — declarative :class:`FaultPlan` describing
   message faults (drop / duplicate / delay / reorder), region-scoped WAN
-  partitions, and node crash/restart events;
+  partitions, node crash/restart events, and disk faults (torn writes,
+  bit flips, ENOSPC) against durable partition stores;
 * :mod:`~repro.faults.injector` — the :class:`FaultInjector` that executes
   a plan against an :class:`~repro.sim.environment.Environment` through
   the network's public send-hook and offline surfaces, producing a
@@ -27,13 +28,22 @@ from .invariants import (
     assert_monotone,
     assert_no_false_convictions,
     assert_no_lost_atomicity,
+    assert_no_quarantines,
     txn_decisions,
 )
-from .plan import CrashEvent, FaultPlan, FaultRule, NodeSelector, RegionPartitionRule
+from .plan import (
+    CrashEvent,
+    DiskFaultRule,
+    FaultPlan,
+    FaultRule,
+    NodeSelector,
+    RegionPartitionRule,
+)
 from .retry import RetryPolicy
 
 __all__ = [
     "CrashEvent",
+    "DiskFaultRule",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
@@ -47,5 +57,6 @@ __all__ = [
     "assert_monotone",
     "assert_no_false_convictions",
     "assert_no_lost_atomicity",
+    "assert_no_quarantines",
     "txn_decisions",
 ]

@@ -10,6 +10,12 @@ The injector composes on the two public fault surfaces of
   flipping the network's offline gate and calling the node's
   ``on_crash``/``on_restart`` lifecycle methods (when the node defines
   them) so volatile protocol state is lost while durable state survives.
+  For edges on the disk backend this routes through real storage: the
+  crash truncates unsynced segment bytes, and the restart rebuilds every
+  partition from its store via :mod:`repro.storage.recovery` — verified
+  against the durable signed root, quarantined on corruption.
+* it schedules the plan's **disk-fault** rules, arming torn-write /
+  bit-flip / ENOSPC faults on the matching nodes' partition stores.
 
 Delay, reorder, and duplicate are implemented by vetoing the original send
 and re-materializing the delivery through
@@ -74,6 +80,12 @@ class FaultInjector:
                     lambda c=crash: self._restart(c.node),
                     label=f"fault:restart:{crash.node}",
                 )
+        for disk in self._plan.disk_faults:
+            self._env.scheduler.schedule_at(
+                max(disk.at_s, now),
+                lambda d=disk: self._arm_disk_fault(d),
+                label=f"fault:disk:{disk.kind}",
+            )
         self._installed = True
         return self
 
@@ -101,6 +113,8 @@ class FaultInjector:
             horizon = max(horizon, part.until_s)
         for crash in self._plan.crashes:
             horizon = max(horizon, crash.restart_at_s or crash.at_s)
+        for disk in self._plan.disk_faults:
+            horizon = max(horizon, disk.at_s)
         return horizon
 
     # ------------------------------------------------------------------
@@ -121,6 +135,32 @@ class FaultInjector:
         if on_restart is not None:
             on_restart()
         self._record("restart", node_id, node_id, "")
+
+    def _arm_disk_fault(self, rule) -> None:
+        """Arm *rule* on every matching node's durable partition store(s).
+
+        Matching uses the same selector semantics as message rules.  Nodes
+        without partitions (clients, the cloud) and partitions without a
+        store (the in-memory default backend) are silently skipped — the
+        trace records exactly which stores were armed.
+        """
+
+        from .plan import _matches
+
+        for node_id in self._env.node_ids():
+            if not _matches(rule.node, node_id):
+                continue
+            node = self._env.node(node_id)
+            partition_states = getattr(node, "_partition_states", None)
+            if partition_states is None:
+                continue
+            for state in partition_states():
+                if state.store is None:
+                    continue
+                if rule.shard_id is not None and state.shard_id != rule.shard_id:
+                    continue
+                state.store.arm_fault(rule.kind, rule.count)
+                self._record(f"disk:{rule.kind}", node_id, node_id, "")
 
     # ------------------------------------------------------------------
     # The send hook

@@ -87,6 +87,14 @@ def assert_full_certification(edges: Sequence) -> int:
     total = 0
     for edge in edges:
         for state in edge._partition_states():
+            if getattr(state, "quarantined", None) is not None:
+                # A quarantined partition serves nothing — "fully
+                # certified" is unprovable there, and a scenario that did
+                # not expect the quarantine must fail loudly, not skip it.
+                raise InvariantViolation(
+                    f"{edge.node_id} partition shard={state.shard_id} is "
+                    f"quarantined: {state.quarantined}"
+                )
             missing = state.log.uncertified_block_ids()
             if missing:
                 raise InvariantViolation(
@@ -115,6 +123,26 @@ def assert_no_false_convictions(cloud, honest: Iterable[NodeId]) -> None:
         if cloud.ledger.is_punished(edge_id):
             raise InvariantViolation(
                 f"honest edge {edge_id} was convicted during a fault-only run"
+            )
+
+
+def assert_no_quarantines(edges: Sequence) -> None:
+    """No partition on any edge refused service after durable recovery.
+
+    Chaos scenarios that crash and restart disk-backed edges *without*
+    planting corruption assert this: clean segments and a verified signed
+    root must always recover, so a quarantine there is a storage-layer bug,
+    not an acceptable outcome.
+    """
+
+    for edge in edges:
+        reports = getattr(edge, "quarantine_reports", None)
+        if reports is None:
+            continue
+        found = reports()
+        if found:
+            raise InvariantViolation(
+                f"{edge.node_id} quarantined partitions after recovery: {found}"
             )
 
 

@@ -19,6 +19,10 @@ survive:
   optionally restarts later.  Per the trust model an edge restart keeps
   the certified log (durable) but loses buffers, in-flight certification
   windows, and staged 2PC prepares (volatile).
+* **Disk faults** (:class:`DiskFaultRule`): storage-level damage against a
+  node's durable partition stores — torn writes, bit flips, and a full
+  disk — exercising the checksum, torn-tail repair, and quarantine paths
+  of :mod:`repro.storage`.  A no-op against the in-memory default backend.
 
 Selectors accept ``None`` (match anything), a concrete
 :class:`~repro.common.identifiers.NodeId`, a
@@ -141,6 +145,45 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class DiskFaultRule:
+    """Arm a storage fault against a node's durable partition store(s).
+
+    At ``at_s`` the injector arms every matching store: the next ``count``
+    segment appends there suffer *kind* —
+
+    * ``"torn_write"``: only the first half of the record frame reaches
+      disk (recovery repairs it as a torn tail);
+    * ``"bit_flip"``: one payload byte is corrupted after the checksum was
+      computed (recovery detects it and quarantines the partition);
+    * ``"enospc"``: the append raises
+      :class:`~repro.common.errors.StorageFullError` (the edge degrades
+      durability but keeps serving).
+
+    ``shard_id`` narrows the target to one partition; ``None`` arms every
+    durable partition of every matching node.  Arming a node on the
+    in-memory default backend is a no-op.
+    """
+
+    node: NodeSelector = None
+    kind: str = "torn_write"
+    at_s: float = 0.0
+    count: int = 1
+    shard_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from ..storage.segments import FAULT_KINDS
+
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown disk fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError("disk fault time must be non-negative")
+        if self.count < 1:
+            raise ConfigurationError("disk fault count must be positive")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable bundle of fault clauses plus the seed that drives them.
 
@@ -163,6 +206,7 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...] = ()
     partitions: Tuple[RegionPartitionRule, ...] = ()
     crashes: Tuple[CrashEvent, ...] = field(default_factory=tuple)
+    disk_faults: Tuple[DiskFaultRule, ...] = ()
 
     def with_rule(self, rule: FaultRule) -> "FaultPlan":
         return replace(self, rules=self.rules + (rule,))
@@ -173,5 +217,10 @@ class FaultPlan:
     def with_crash(self, crash: CrashEvent) -> "FaultPlan":
         return replace(self, crashes=self.crashes + (crash,))
 
+    def with_disk_fault(self, rule: DiskFaultRule) -> "FaultPlan":
+        return replace(self, disk_faults=self.disk_faults + (rule,))
+
     def is_empty(self) -> bool:
-        return not (self.rules or self.partitions or self.crashes)
+        return not (
+            self.rules or self.partitions or self.crashes or self.disk_faults
+        )

@@ -4,7 +4,9 @@ The log maps monotonic block ids to blocks and remembers, per block, whether
 the cloud has certified it (and with which proof).  It is deliberately a
 plain in-memory structure: durability at the edge is outside the paper's
 threat model (a malicious edge can destroy data regardless; the cloud's
-digests plus gossip bound the damage).
+digests plus gossip bound the damage).  Deployments that want restarts to
+keep the log pair it with a :mod:`repro.storage` segment log and rebuild it
+through :mod:`repro.storage.recovery`.
 """
 
 from __future__ import annotations
@@ -38,6 +40,9 @@ class WedgeLog:
         self._owner = owner
         self._records: dict[BlockId, LogRecord] = {}
         self._next_block_id: BlockId = 0
+        #: Block ids below this were snapshot-truncated from durable storage
+        #: (their contents live on as merged, manifest-covered pages).
+        self.truncated_below: BlockId = 0
 
     @property
     def owner(self) -> NodeId:
@@ -66,6 +71,20 @@ class WedgeLog:
     @property
     def next_block_id(self) -> BlockId:
         return self._next_block_id
+
+    def mark_truncated(self, before_block_id: BlockId) -> None:
+        """Record that ids below *before_block_id* were durably truncated.
+
+        Advances the allocator past the truncation point: a recovered log
+        must never re-issue a block id the cloud may already hold a
+        certificate for, even when the blocks themselves no longer replay
+        (they were merged into manifest pages and their segments deleted).
+        """
+
+        if before_block_id > self.truncated_below:
+            self.truncated_below = before_block_id
+        if before_block_id > self._next_block_id:
+            self._next_block_id = before_block_id
 
     def append(self, block: Block) -> LogRecord:
         """Append a formed block to the log."""

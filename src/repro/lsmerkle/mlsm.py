@@ -170,6 +170,18 @@ class MerkleizedLSM:
     def global_root(self) -> str:
         return compute_global_root(self.level_roots())
 
+    def roots_match(self, signed_root: SignedGlobalRoot) -> bool:
+        """Whether this index's Merkle-tracked roots equal the signed ones.
+
+        Level 0 is deliberately outside the comparison: the signed root only
+        ever covers levels 1..n (level 0 is the uncertified WedgeChain
+        buffer), so blocks logged after the root was signed do not disturb
+        the match.  Used by crash recovery to check a rebuilt index against
+        the last durable :class:`SignedGlobalRoot`.
+        """
+
+        return self.level_roots() == signed_root.statement.level_roots
+
     # ------------------------------------------------------------------
     # Structure updates
     # ------------------------------------------------------------------

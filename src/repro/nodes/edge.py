@@ -22,12 +22,18 @@ so the honest logic stays readable.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from ..common.config import SystemConfig
-from ..common.errors import ProofVerificationError, ProtocolError
+from ..common.errors import (
+    PartitionQuarantinedError,
+    ProofVerificationError,
+    ProtocolError,
+    StorageError,
+)
 from ..common.identifiers import (
     BlockId,
     NodeId,
@@ -91,6 +97,8 @@ from ..messages.txn_messages import (
     TxnWrite,
 )
 from ..sim.environment import Environment
+from ..storage.recovery import RecoveryReport, recover_partition
+from ..storage.store import PartitionStore
 
 
 @dataclass
@@ -143,6 +151,15 @@ class PartitionState:
     #: told so (they get the all-clear when the backlog drains).
     degraded: bool = False
     degraded_notified: set = field(default_factory=set)
+    #: Durable backing (``None`` for the default in-memory deployment).
+    #: Attached by ``EdgeNode._new_partition`` when ``StorageConfig`` opts
+    #: this deployment into the disk backend.
+    store: Optional[PartitionStore] = None
+    #: Set when crash recovery found this partition's store unverifiable
+    #: (checksum or signed-root failure): the reason string.  A quarantined
+    #: partition refuses every request instead of serving data the edge can
+    #: no longer prove.
+    quarantined: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.log = WedgeLog(self.owner)
@@ -196,13 +213,36 @@ class EdgeNode:
         }
         #: Sequence numbers for edge-produced transaction decision records.
         self._txn_record_seq = SequenceGenerator()
+        #: Reports from the last durable restart recovery (diagnostics).
+        self.last_recovery_reports: list[RecoveryReport] = []
         env.attach(self)
 
     # ------------------------------------------------------------------
     # Partition state plumbing
     # ------------------------------------------------------------------
-    def _new_partition(self, shard_id: Optional[ShardId]) -> PartitionState:
-        return PartitionState(owner=self.node_id, config=self.config, shard_id=shard_id)
+    def _new_partition(
+        self,
+        shard_id: Optional[ShardId],
+        store: Optional[PartitionStore] = None,
+    ) -> PartitionState:
+        state = PartitionState(
+            owner=self.node_id, config=self.config, shard_id=shard_id
+        )
+        state.store = store if store is not None else self._open_partition_store(shard_id)
+        return state
+
+    def _open_partition_store(
+        self, shard_id: Optional[ShardId]
+    ) -> Optional[PartitionStore]:
+        """Open this partition's durable store (``None`` = in-memory backend,
+        the paper-exact default)."""
+
+        storage = self.config.storage
+        if not storage.is_durable:
+            return None
+        partition = "default" if shard_id is None else f"shard-{shard_id:04d}"
+        directory = os.path.join(storage.root_dir, self.node_id.name, partition)
+        return PartitionStore(directory, storage)
 
     def _partition_states(self) -> Iterable[PartitionState]:
         """Every partition this edge serves (one for the honest base node)."""
@@ -279,6 +319,13 @@ class EdgeNode:
     def on_message(self, sender: NodeId, message: Any) -> None:
         state = self._partition_for_message(sender, message)
         if state is None:
+            return
+        if state.quarantined is not None:
+            # The partition's store failed verification at recovery: refusing
+            # service is the only honest answer — anything served from it
+            # would be unprovable (and disputes over it unwinnable).
+            self.stats.setdefault("quarantined_refusals", 0)
+            self.stats["quarantined_refusals"] += 1
             return
         with self._as_active(state):
             self._dispatch(sender, message)
@@ -423,6 +470,7 @@ class EdgeNode:
         digest = self._digest_to_certify(block)
         self.certifier.track(block.block_id, digest, now)
         self._active.receipts[block.block_id] = receipt
+        self._persist_block(block, receipt)
         for entry in block.entries:
             self._active.entry_locations[(entry.producer, entry.sequence)] = block.block_id
 
@@ -726,6 +774,127 @@ class EdgeNode:
             self.env.send(self.node_id, requester, notice)
 
     # ------------------------------------------------------------------
+    # Durable storage (no-ops for the paper-exact in-memory backend)
+    # ------------------------------------------------------------------
+    def _storage_degraded(self) -> None:
+        """A durable write failed (full disk, injected fault): count it.
+
+        Availability wins over durability — the edge keeps serving Phase I
+        commits exactly as it does through a cloud outage; the operator
+        signal is the stat (and, on the next crash, a smaller recovered
+        state).
+        """
+
+        self.stats.setdefault("storage_write_errors", 0)
+        self.stats["storage_write_errors"] += 1
+
+    def _persist_block(self, block: Block, receipt) -> None:
+        store = self._active.store
+        if store is None:
+            return
+        try:
+            store.append_block(block, receipt)
+        except StorageError:
+            self._storage_degraded()
+
+    def _persist_proof(self, proof: AnyBlockProof) -> None:
+        store = self._active.store
+        if store is None:
+            return
+        try:
+            store.append_proof(proof)
+        except StorageError:
+            self._storage_degraded()
+
+    def _persist_manifest(self) -> None:
+        """Snapshot the active partition's index state into its store.
+
+        Called after every installed merge and root refresh.  The write also
+        computes the snapshot-truncation floor: the lowest block id that
+        must stay replayable is the minimum over uncertified blocks, blocks
+        still backing level-0 pages, and the allocator watermark — sealed
+        segments entirely below it carry only blocks whose data now lives in
+        the manifest's (just-fsynced) pages.
+        """
+
+        state = self._active
+        store = state.store
+        if store is None:
+            return
+        level_pages = {
+            index: list(state.index.tree.levels[index].pages)
+            for index in range(1, state.index.num_levels)
+        }
+        floor = state.log.next_block_id
+        uncertified = state.log.uncertified_block_ids()
+        if uncertified:
+            floor = min(floor, uncertified[0])
+        if state.level_zero_blocks:
+            floor = min(floor, min(state.level_zero_blocks))
+        try:
+            store.write_manifest(
+                next_block_id=state.log.next_block_id,
+                level_pages=level_pages,
+                level_zero_blocks=tuple(state.level_zero_blocks),
+                signed_root=state.signed_root,
+                truncate_floor=floor,
+            )
+        except StorageError:
+            self._storage_degraded()
+        else:
+            state.log.mark_truncated(floor)
+
+    def quarantine_reports(self) -> dict:
+        """Quarantined partitions of this edge: ``{shard_id: reason}``."""
+
+        return {
+            state.shard_id: state.quarantined
+            for state in self._partition_states()
+            if state.quarantined is not None
+        }
+
+    def assert_serving(self) -> None:
+        """Raise :class:`PartitionQuarantinedError` if any partition refuses
+        service (corruption detected at recovery)."""
+
+        reports = self.quarantine_reports()
+        if reports:
+            raise PartitionQuarantinedError(
+                f"{self.node_id} quarantined partitions: {reports}"
+            )
+
+    def _recover_durable_partitions(self) -> None:
+        """Replace every stored partition with one rebuilt from disk.
+
+        The pre-crash state objects are abandoned wholesale — recovery
+        trusts nothing but the store.  Timers armed against the old objects
+        fire against orphaned state and no-op harmlessly (same contract the
+        in-memory crash model has always had).
+        """
+
+        self.last_recovery_reports = []
+        fresh, report = self._recover_partition_state(self._default_partition)
+        self._default_partition = fresh
+        self._active = fresh
+        if report is not None:
+            self.last_recovery_reports.append(report)
+
+    def _recover_partition_state(
+        self, old_state: PartitionState
+    ) -> tuple[PartitionState, Optional[RecoveryReport]]:
+        store = old_state.store
+        if store is None:
+            return old_state, None
+        fresh = self._new_partition(old_state.shard_id, store=store)
+        report = recover_partition(fresh, store, self.env.registry, self.cloud)
+        self.stats.setdefault("partitions_recovered", 0)
+        self.stats["partitions_recovered"] += 1
+        if report.quarantined is not None:
+            self.stats.setdefault("partitions_quarantined", 0)
+            self.stats["partitions_quarantined"] += 1
+        return fresh, report
+
+    # ------------------------------------------------------------------
     # Crash / restart (the fault injector's node lifecycle)
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
@@ -758,19 +927,32 @@ class EdgeNode:
                     state.certify_flush_timer = None
                 state.degraded = False
                 state.degraded_notified.clear()
+                if state.store is not None:
+                    # Model the kill against the disk too: unsynced segment
+                    # bytes half-survive, producing the torn tails recovery
+                    # must repair.
+                    state.store.simulate_crash()
 
     def on_restart(self) -> None:
         """Resume after a crash: re-request certification of every
         uncertified block in the durable log.
 
-        The crash wiped the in-flight window, so every uncertified block is
-        simply overdue at timeout zero — restart recovery *is* the ordinary
-        overdue scan, no special path.
+        With the disk backend, restart first *replaces* every partition with
+        one rebuilt purely from its store (verified against the durable
+        signed root, quarantined on corruption) — the preserved in-memory
+        objects are not trusted.  Either way, the crash wiped the in-flight
+        window, so every uncertified block is simply overdue at timeout
+        zero — restart recovery *is* the ordinary overdue scan, no special
+        path.
         """
 
         self.stats.setdefault("restarts", 0)
         self.stats["restarts"] += 1
+        if self.config.storage.is_durable:
+            self._recover_durable_partitions()
         for state in self._partition_states():
+            if state.quarantined is not None:
+                continue
             with self._as_active(state):
                 self._retry_overdue_for_active(0.0)
 
@@ -800,6 +982,7 @@ class EdgeNode:
         record = self.log.try_get(proof.block_id)
         if record is not None and record.block.digest() == proof.block_digest:
             self.log.attach_proof(proof)
+            self._persist_proof(proof)
         self.stats["proofs_received"] += 1
         try:
             subscribers = self.certifier.complete(proof)
@@ -1535,6 +1718,7 @@ class EdgeNode:
         self._active.merge_installed_version = outcome.signed_root.statement.version
         self.stats["merges_completed"] += 1
         self._active.merge_in_flight = False
+        self._persist_manifest()
         self._maybe_start_merge()
 
     def _handle_merge_rejection(self, sender: NodeId, message: MergeRejection) -> None:
@@ -1561,3 +1745,4 @@ class EdgeNode:
         if message.signed_root.verify(self.env.registry, self.cloud):
             self.signed_root = message.signed_root
             self.stats["root_refreshes"] += 1
+            self._persist_manifest()

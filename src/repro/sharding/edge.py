@@ -70,10 +70,15 @@ from ..messages.shard_messages import (
     ShardTransferMessage,
     ShardTransferStatement,
 )
+from ..common.errors import StorageError
 from ..faults.retry import RetryPolicy
 from ..nodes.edge import EdgeNode, PartitionState
 from ..sim.environment import Environment
-from .handoff import level_roots_from_pages, shard_state_digest
+from .handoff import (
+    level_roots_from_pages,
+    seed_partition_store,
+    shard_state_digest,
+)
 from .partitioner import KeyPartitioner
 from .shard_map import ShardMapView
 
@@ -697,6 +702,11 @@ class ShardedEdgeNode(EdgeNode):
             self.env.params.handoff_offer_cost(len(ship_blocks))
         )
         self.env.send(self.node_id, certificate.dest, transfer)
+        if state.store is not None:
+            # The durable state travels with the shard: retire this
+            # incarnation's store so a later re-adoption of the shard starts
+            # from a fresh certified transfer, never from stale segments.
+            state.store.retire()
         del self._shard_states[shard_id]
         self._migrating.pop(shard_id, None)
         self.stats["shard_handoffs_out"] += 1
@@ -845,6 +855,19 @@ class ShardedEdgeNode(EdgeNode):
         for level_index, pages in message.level_pages:
             state.index.install_level_pages(level_index, pages)
         state.signed_root = message.signed_root
+        if state.store is not None:
+            # Seed the durable backend with what was just verified, so a
+            # crash after the install recovers the shard to this exact
+            # signed state instead of an empty partition.
+            try:
+                seed_partition_store(
+                    state.store,
+                    level_pages=message.level_pages,
+                    signed_root=message.signed_root,
+                    next_block_id=state.log.next_block_id,
+                )
+            except StorageError:
+                self._storage_degraded()
         self._shard_states[shard_id] = state
         for block, proof in zip(message.blocks, message.proofs):
             self._imported_blocks[(statement.source, block.block_id)] = (block, proof)
@@ -910,6 +933,36 @@ class ShardedEdgeNode(EdgeNode):
         for handle in self._handoff_retries.values():
             handle.cancel()
         self._handoff_retries.clear()
+
+    def _recover_durable_partitions(self) -> None:
+        """Recover the default partition and every owned shard from disk.
+
+        The edge-wide routing tables are then rebuilt from the recovered
+        logs — recovery trusts nothing pre-crash: ``_block_shards`` is
+        re-derived from what each shard's store actually replayed, and the
+        shared block-id allocator resumes past every recovered watermark.
+        The allocator only ever moves forward: with a relaxed fsync policy
+        an acknowledged-but-lost block id must still never be reissued, so
+        a recovered watermark below the in-memory one does not rewind it.
+        """
+
+        super()._recover_durable_partitions()
+        for shard_id in sorted(self._shard_states):
+            fresh, report = self._recover_partition_state(
+                self._shard_states[shard_id]
+            )
+            self._shard_states[shard_id] = fresh
+            if report is not None:
+                self.last_recovery_reports.append(report)
+        self._block_shards = {
+            record.block.block_id: shard_id
+            for shard_id, state in self._shard_states.items()
+            for record in state.log
+        }
+        watermark = self._default_partition.log.next_block_id
+        for state in self._shard_states.values():
+            watermark = max(watermark, state.log.next_block_id)
+        self._next_block_id = max(self._next_block_id, watermark)
 
     # ------------------------------------------------------------------
     # Per-shard maintenance helpers

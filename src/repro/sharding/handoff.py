@@ -91,6 +91,36 @@ def level_roots_from_pages(
     return tuple(roots)
 
 
+def seed_partition_store(
+    store,
+    level_pages: Iterable[tuple[int, tuple[Page, ...]]],
+    signed_root,
+    next_block_id: BlockId = 0,
+) -> None:
+    """Seed a freshly installed shard's durable store from a transfer.
+
+    The destination persists exactly what it verified: the transferred
+    level pages and the cloud's re-signed global root, written as the
+    store's first manifest.  The transferred *blocks* are deliberately not
+    appended to the segment log — they live in the source edge's block-id
+    space (the audit archive in ``_imported_blocks`` keeps them in memory);
+    every certified datum they carry is already inside the pages this
+    manifest makes durable.  A crash right after the install therefore
+    recovers to the same verified index the handoff produced.
+    """
+
+    store.write_manifest(
+        next_block_id=next_block_id,
+        level_pages={
+            level_index: list(pages)
+            for level_index, pages in level_pages
+            if pages
+        },
+        level_zero_blocks=(),
+        signed_root=signed_root,
+    )
+
+
 def transfer_fingerprint(blocks: Sequence[tuple[BlockId, str]]) -> str:
     """Order-sensitive fingerprint of a certified log prefix (debug aid)."""
 
@@ -103,6 +133,7 @@ def transfer_fingerprint(blocks: Sequence[tuple[BlockId, str]]) -> str:
 __all__ = [
     "shard_state_digest",
     "level_roots_from_pages",
+    "seed_partition_store",
     "transfer_fingerprint",
     "sha256_hex",
 ]

@@ -99,6 +99,11 @@ class Environment:
         except KeyError as exc:
             raise TransportError(f"unknown node {node_id}") from exc
 
+    def node_ids(self) -> tuple:
+        """Every attached node id, in attachment order."""
+
+        return tuple(self._adapters)
+
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------

@@ -1,0 +1,38 @@
+"""Durable edge storage: segment log, LSMerkle manifest, crash recovery.
+
+The paper's trust model names the state an edge must keep across restarts —
+the certified log, the installed pages, the last signed root — and until
+this package existed that survival was an in-memory fiction enforced by
+``on_crash`` carefully not deleting attributes.  Here it is real: a
+:class:`PartitionStore` persists exactly the non-volatile state to disk
+(checksummed append-only segments for blocks/receipts/proofs; page files
+plus an atomically-swapped manifest for the index), and
+:func:`recover_partition` rebuilds a partition from nothing but that store,
+verifying the result against the durable cloud-signed root — or
+quarantining the partition when verification fails.
+
+The backend is opt-in through
+:class:`~repro.common.config.StorageConfig` (``backend="disk"``); the
+default deployment stays purely in-memory and byte-identical to the paper
+figures.
+"""
+
+from .codec import decode_record, encode_record
+from .manifest import Manifest, load_manifest, write_manifest
+from .recovery import RecoveryReport, recover_partition
+from .segments import FAULT_KINDS, SegmentLog
+from .store import PartitionStore, StoreReplay
+
+__all__ = [
+    "FAULT_KINDS",
+    "Manifest",
+    "PartitionStore",
+    "RecoveryReport",
+    "SegmentLog",
+    "StoreReplay",
+    "decode_record",
+    "encode_record",
+    "load_manifest",
+    "recover_partition",
+    "write_manifest",
+]

@@ -1,0 +1,139 @@
+"""Round-trip codec for the protocol values the durable store persists.
+
+The canonical encoder (:mod:`repro.common.encoding`) is one-way by design —
+digests and signatures only need ``value -> bytes``.  Durable storage needs
+the way back: a segment record or manifest read from disk must become the
+same ``Block``/``PhaseOneReceipt``/``BlockProof``/``SignedGlobalRoot``
+object it was written from.  This module adds that inverse on top of
+``to_jsonable``'s tagged-tree format (``{"__type__": ...}`` for dataclasses,
+``{"__bytes__": hex}``, ``{"__enum__": ...}``), against an explicit registry
+of the storable classes.
+
+Decoding is strict: an unknown ``__type__``, a malformed tree, or a value
+that fails its class's own ``__post_init__`` validation raises
+:class:`~repro.common.errors.StorageCorruptionError` — storage never hands
+back an object the constructors would have refused to build.  All JSON
+arrays decode to tuples, matching how every frozen protocol dataclass
+declares its sequence fields.
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from typing import Any
+
+from ..common.encoding import to_jsonable
+from ..common.errors import StorageCorruptionError
+from ..common.identifiers import NodeId, NodeRole
+from ..crypto.signatures import BatchRootStatement, Signature
+from ..log.block import Block
+from ..log.entry import EntryBody, LogEntry
+from ..log.proofs import (
+    BatchCertificate,
+    BatchedBlockProof,
+    BlockProof,
+    BlockProofStatement,
+    PhaseOneReceipt,
+    PhaseOneStatement,
+)
+from ..lsm.page import Page
+from ..lsm.records import KeyFence, KVRecord
+from ..lsmerkle.mlsm import GlobalRootStatement, SignedGlobalRoot
+from ..merkle.tree import InclusionProof, ProofStep
+
+#: Dataclasses the store is allowed to reconstruct.  Every entry decodes
+#: through its ordinary (validating) constructor.
+_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        NodeId,
+        Signature,
+        EntryBody,
+        LogEntry,
+        Block,
+        PhaseOneStatement,
+        PhaseOneReceipt,
+        BlockProofStatement,
+        BlockProof,
+        BatchRootStatement,
+        BatchCertificate,
+        ProofStep,
+        InclusionProof,
+        BatchedBlockProof,
+        GlobalRootStatement,
+        SignedGlobalRoot,
+        KVRecord,
+        KeyFence,
+        Page,
+    )
+}
+
+_ENUMS: dict[str, type[Enum]] = {NodeRole.__name__: NodeRole}
+
+
+def encode_record(value: Any) -> bytes:
+    """Encode *value* (a storable object or a plain tree of them) to bytes."""
+
+    tree = to_jsonable(value)
+    return json.dumps(tree, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_tree(node: Any) -> Any:
+    if isinstance(node, dict):
+        if "__bytes__" in node:
+            return bytes.fromhex(node["__bytes__"])
+        if "__enum__" in node:
+            enum_cls = _ENUMS.get(node["__enum__"])
+            if enum_cls is None:
+                raise StorageCorruptionError(
+                    f"record references unknown enum {node['__enum__']!r}"
+                )
+            return enum_cls(node["value"])
+        type_name = node.get("__type__")
+        if type_name is not None:
+            cls = _TYPES.get(type_name)
+            if cls is None:
+                raise StorageCorruptionError(
+                    f"record references unknown type {type_name!r}"
+                )
+            fields = {
+                key: _decode_tree(value)
+                for key, value in node.items()
+                if key != "__type__"
+            }
+            if cls is Page:
+                # page_id is a process-local counter, never round-tripped;
+                # the validating constructor assigns a fresh one (and, by
+                # re-checking sort order and fences, refuses to rebuild a
+                # tampered page).
+                fields.pop("page_id", None)
+            elif cls is NodeId:
+                # NodeRole subclasses str, so the canonical encoding
+                # flattens it to its plain value — re-wrap it on the way
+                # back (an unknown role value raises, -> corruption).
+                fields["role"] = NodeRole(fields["role"])
+            return cls(**fields)
+        return {key: _decode_tree(value) for key, value in node.items()}
+    if isinstance(node, list):
+        return tuple(_decode_tree(item) for item in node)
+    return node
+
+
+def decode_record(data: bytes) -> Any:
+    """Decode bytes written by :func:`encode_record` back into objects.
+
+    Raises :class:`StorageCorruptionError` on any malformation — undecodable
+    JSON, unknown tags, or field values the target class rejects.
+    """
+
+    try:
+        tree = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageCorruptionError(f"undecodable stored record: {exc}") from exc
+    try:
+        return _decode_tree(tree)
+    except StorageCorruptionError:
+        raise
+    except Exception as exc:
+        raise StorageCorruptionError(f"stored record failed to rebuild: {exc}") from exc

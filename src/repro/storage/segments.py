@@ -1,0 +1,251 @@
+"""Append-only checksummed segment log.
+
+The wedge log's durable form: a directory of numbered segment files, each a
+sequence of length-prefixed, CRC-checked records::
+
+    [4-byte big-endian payload length][4-byte CRC32 of payload][payload]
+
+The highest-numbered segment is *active* (appends go there); every lower
+number is *sealed* and immutable.  The distinction drives replay semantics:
+
+* a sealed segment must replay perfectly — any CRC mismatch, bad length, or
+  truncated record is :class:`~repro.common.errors.StorageCorruptionError`
+  (the segment was fully written and synced once; damage means the disk or
+  an adversary altered it);
+* the active segment may legitimately end mid-record after a crash (a torn
+  tail).  Replay stops at the first invalid or incomplete record, truncates
+  the file back to the last valid boundary, and counts the event — torn
+  tails are expected crash debris, not corruption.
+
+Durability is governed by the fsync policy: ``"always"`` syncs after every
+append (no acknowledged record can be lost), ``"on_seal"`` syncs once per
+sealed segment, ``"never"`` leaves it to the OS.  The log tracks how many
+bytes of the active segment are known synced so that
+:meth:`SegmentLog.simulate_crash` can model a kill realistically: synced
+bytes survive, unsynced bytes survive only partially (deterministically half
+— which is exactly how torn tails arise).
+
+Disk faults for the chaos suite are armed with :meth:`SegmentLog.arm_fault`:
+``"torn_write"`` makes the next append write only a prefix of its frame,
+``"bit_flip"`` flips one payload bit after the CRC was computed, and
+``"enospc"`` refuses the append with
+:class:`~repro.common.errors.StorageFullError`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, Optional
+
+from ..common.errors import StorageCorruptionError, StorageFullError
+
+_HEADER = struct.Struct(">II")
+
+#: Disk-fault kinds :meth:`SegmentLog.arm_fault` understands.
+FAULT_KINDS = ("torn_write", "bit_flip", "enospc")
+
+
+def _segment_name(index: int) -> str:
+    return f"seg-{index:08d}.log"
+
+
+def frame_record(payload: bytes) -> bytes:
+    """The on-disk frame for one payload."""
+
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class SegmentLog:
+    """An append-only log over rotating, checksummed segment files."""
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "on_seal",
+        segment_max_bytes: int = 1 << 20,
+    ) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        self.segment_max_bytes = segment_max_bytes
+        self.torn_records_dropped = 0
+        self._armed: dict[str, int] = {}
+        os.makedirs(directory, exist_ok=True)
+        indices = self._scan_indices()
+        self._active_index = indices[-1] if indices else 0
+        self._repair_active_tail()
+        self._file = open(self._segment_path(self._active_index), "ab")
+        self._active_size = self._file.tell()
+        self._synced_offset = self._active_size
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, _segment_name(index))
+
+    def _scan_indices(self) -> list[int]:
+        indices = []
+        for name in os.listdir(self.directory):
+            if name.startswith("seg-") and name.endswith(".log"):
+                indices.append(int(name[4:-4]))
+        return sorted(indices)
+
+    @property
+    def active_index(self) -> int:
+        return self._active_index
+
+    def segment_indices(self) -> tuple[int, ...]:
+        return tuple(self._scan_indices())
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def arm_fault(self, kind: str, count: int = 1) -> None:
+        """Make the next *count* appends suffer the given disk fault."""
+
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown disk fault kind {kind!r}")
+        self._armed[kind] = self._armed.get(kind, 0) + count
+
+    def _take_fault(self, kind: str) -> bool:
+        remaining = self._armed.get(kind, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._armed[kind]
+        else:
+            self._armed[kind] = remaining - 1
+        return True
+
+    def append(self, payload: bytes) -> None:
+        """Append one record, honouring rotation, fsync policy, and faults."""
+
+        if self._take_fault("enospc"):
+            raise StorageFullError(
+                f"simulated ENOSPC appending to {self.directory}"
+            )
+        frame = frame_record(payload)
+        if self._take_fault("bit_flip"):
+            # Flip one payload bit *after* the CRC was computed: the frame
+            # lands with a checksum that can never match its contents.
+            body = bytearray(frame)
+            body[_HEADER.size] ^= 0x01
+            frame = bytes(body)
+        if self._active_size > 0 and self._active_size + len(frame) > self.segment_max_bytes:
+            self._seal_active()
+        if self._take_fault("torn_write"):
+            # Model a write that never finished: only a prefix of the frame
+            # reaches the file.  Replay stops here, so this record and any
+            # record appended after it are lost at the next recovery.
+            frame = frame[: max(1, len(frame) // 2)]
+        self._file.write(frame)
+        self._file.flush()
+        self._active_size += len(frame)
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+            self._synced_offset = self._active_size
+
+    def _seal_active(self) -> None:
+        self._file.flush()
+        if self.fsync in ("on_seal", "always"):
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._active_index += 1
+        self._file = open(self._segment_path(self._active_index), "ab")
+        self._active_size = 0
+        self._synced_offset = 0
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _read_segment(
+        self, index: int, sealed: bool
+    ) -> tuple[list[bytes], Optional[int]]:
+        """Return (payloads, valid_prefix_length or None if fully valid)."""
+
+        path = self._segment_path(index)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payloads: list[bytes] = []
+        offset = 0
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                break
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(data):
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break
+            payloads.append(payload)
+            offset = end
+        if offset == len(data):
+            return payloads, None
+        if sealed:
+            raise StorageCorruptionError(
+                f"sealed segment {_segment_name(index)} invalid at byte {offset}: "
+                "checksum or framing failure"
+            )
+        return payloads, offset
+
+    def _repair_active_tail(self) -> None:
+        """Truncate crash debris off the active segment (torn-tail repair)."""
+
+        path = self._segment_path(self._active_index)
+        if not os.path.exists(path):
+            return
+        _, valid_prefix = self._read_segment(self._active_index, sealed=False)
+        if valid_prefix is not None:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_prefix)
+            self.torn_records_dropped += 1
+
+    def replay(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(segment_index, payload)`` for every durable record.
+
+        Sealed segments that fail validation raise
+        :class:`StorageCorruptionError`; the active segment's torn tail was
+        already truncated when the log was opened.
+        """
+
+        indices = self._scan_indices()
+        for index in indices:
+            payloads, _ = self._read_segment(index, sealed=index != self._active_index)
+            for payload in payloads:
+                yield index, payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drop_segment(self, index: int) -> None:
+        """Delete one sealed segment (snapshot truncation)."""
+
+        if index == self._active_index:
+            raise ValueError("cannot drop the active segment")
+        os.unlink(self._segment_path(index))
+
+    def simulate_crash(self) -> None:
+        """Model a process kill: unsynced active-segment bytes half-survive.
+
+        Everything up to the last fsync is kept; of the bytes written since,
+        a deterministic half reach the disk — which is exactly how a torn
+        tail (a record cut mid-frame) comes to exist.  The log is closed;
+        reopening it replays and repairs.
+        """
+
+        self._file.flush()
+        keep = self._synced_offset + (self._active_size - self._synced_offset) // 2
+        self._file.close()
+        with open(self._segment_path(self._active_index), "r+b") as handle:
+            handle.truncate(keep)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self.fsync in ("on_seal", "always"):
+                os.fsync(self._file.fileno())
+            self._file.close()

@@ -1,0 +1,247 @@
+"""One partition's durable store: segment log + manifest + page files.
+
+A :class:`PartitionStore` owns one directory and persists exactly the state
+the trust model calls non-volatile: logged blocks with their Phase I
+receipts, Phase II certification proofs, the Merkle-tracked level pages, and
+the last cloud-signed global root.  Volatile state (the entry buffer,
+in-flight certify windows, staged 2PC prepares) is deliberately never
+written — a crash is *supposed* to lose it.
+
+Layout::
+
+    <partition dir>/
+        seg-00000000.log ...   # append-only record segments (segments.py)
+        MANIFEST.json          # atomically-swapped index snapshot
+        pages/<digest>.json    # content-addressed level pages
+        RETIRED                # marker: this incarnation handed its shard off
+
+Segment records are a small JSON envelope ``{"kind", "bid", "data"}`` so
+that snapshot truncation can track the highest block id per segment without
+decoding full payloads again.  ``write_manifest`` doubles as the snapshot
+point: when ``truncate_on_snapshot`` is set, sealed segments whose every
+block lies below the caller's *truncate floor* (nothing uncertified, nothing
+still in level 0, all merged into manifest pages) are deleted.
+
+Write failures injected by the chaos suite (or a real full disk) surface as
+:class:`~repro.common.errors.StorageError`; the edge treats them as
+degraded durability, not as reasons to stop serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.config import StorageConfig
+from ..common.errors import StorageCorruptionError
+from ..common.identifiers import BlockId
+from ..log.block import Block
+from ..log.proofs import AnyBlockProof, PhaseOneReceipt
+from ..lsm.page import Page
+from ..lsmerkle.mlsm import SignedGlobalRoot
+from .codec import decode_record, encode_record
+from .manifest import Manifest, load_manifest, load_pages, write_manifest
+from .segments import FAULT_KINDS, SegmentLog
+
+RETIRED_MARKER = "RETIRED"
+
+
+@dataclass
+class StoreReplay:
+    """Everything a segment replay recovered, in append order."""
+
+    blocks: list[Block] = field(default_factory=list)
+    receipts: dict[BlockId, PhaseOneReceipt] = field(default_factory=dict)
+    proofs: dict[BlockId, AnyBlockProof] = field(default_factory=dict)
+    torn_records_dropped: int = 0
+
+
+class PartitionStore:
+    """Durable backing for one :class:`~repro.nodes.edge.PartitionState`."""
+
+    def __init__(self, directory: str, config: StorageConfig) -> None:
+        self.directory = directory
+        self.config = config
+        self.stats = {
+            "blocks_appended": 0,
+            "proofs_appended": 0,
+            "manifests_written": 0,
+            "segments_truncated": 0,
+        }
+        #: Highest block id appended per segment index (for truncation);
+        #: rebuilt from replay after a reopen.
+        self._segment_max_bid: dict[int, int] = {}
+        self._manifest_version = 0
+        if os.path.exists(os.path.join(directory, RETIRED_MARKER)):
+            # A previous incarnation handed this shard off; its durable
+            # state was transferred away, so a re-adoption starts fresh.
+            shutil.rmtree(directory)
+        os.makedirs(directory, exist_ok=True)
+        self.segments = SegmentLog(
+            directory,
+            fsync=config.fsync,
+            segment_max_bytes=config.segment_max_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append_envelope(self, kind: str, bid: BlockId, data) -> None:
+        payload = encode_record({"kind": kind, "bid": bid, "data": data})
+        self.segments.append(payload)
+        index = self.segments.active_index
+        if bid > self._segment_max_bid.get(index, -1):
+            self._segment_max_bid[index] = bid
+
+    def append_block(self, block: Block, receipt: PhaseOneReceipt) -> None:
+        """Persist one formed block together with its Phase I receipt."""
+
+        self._append_envelope(
+            "block", block.block_id, {"block": block, "receipt": receipt}
+        )
+        self.stats["blocks_appended"] += 1
+
+    def append_proof(self, proof: AnyBlockProof) -> None:
+        """Persist one Phase II certification proof."""
+
+        self._append_envelope("proof", proof.block_id, proof)
+        self.stats["proofs_appended"] += 1
+
+    # ------------------------------------------------------------------
+    # Manifest / snapshot
+    # ------------------------------------------------------------------
+    def write_manifest(
+        self,
+        next_block_id: BlockId,
+        level_pages: dict[int, list[Page]],
+        level_zero_blocks: tuple[BlockId, ...],
+        signed_root: Optional[SignedGlobalRoot],
+        truncate_floor: Optional[BlockId] = None,
+    ) -> None:
+        """Atomically persist the index snapshot; optionally truncate the log.
+
+        *truncate_floor* is the caller-computed lowest block id that must
+        stay replayable (min over uncertified blocks, level-0 blocks, and
+        the allocator watermark).  Sealed segments entirely below it are
+        deleted — every block they held is certified and merged into the
+        pages this manifest just made durable.
+        """
+
+        self._manifest_version += 1
+        manifest = Manifest(
+            version=self._manifest_version,
+            next_block_id=next_block_id,
+            level_zero_blocks=tuple(level_zero_blocks),
+            levels={
+                index: tuple(page.digest() for page in pages)
+                for index, pages in level_pages.items()
+            },
+            signed_root=signed_root,
+        )
+        write_manifest(
+            self.directory,
+            manifest,
+            [page for pages in level_pages.values() for page in pages],
+        )
+        self.stats["manifests_written"] += 1
+        if truncate_floor is not None and self.config.truncate_on_snapshot:
+            self.truncate_below(truncate_floor)
+
+    def truncate_below(self, floor: BlockId) -> None:
+        """Drop sealed segments whose every block id is below *floor*."""
+
+        for index in self.segments.segment_indices():
+            if index == self.segments.active_index:
+                continue
+            if self._segment_max_bid.get(index, floor) < floor:
+                self.segments.drop_segment(index)
+                self._segment_max_bid.pop(index, None)
+                self.stats["segments_truncated"] += 1
+
+    # ------------------------------------------------------------------
+    # Recovery-side reads
+    # ------------------------------------------------------------------
+    def reopen(self) -> None:
+        """Re-scan the directory after a (simulated) crash.
+
+        Closes the old handles and revalidates segments from disk — sealed
+        corruption raises here, torn active tails are repaired here.
+        """
+
+        self.segments.close()
+        self._segment_max_bid.clear()
+        self.segments = SegmentLog(
+            self.directory,
+            fsync=self.config.fsync,
+            segment_max_bytes=self.config.segment_max_bytes,
+        )
+
+    def replay(self) -> StoreReplay:
+        """Decode every durable segment record, rebuilding truncation state."""
+
+        replay = StoreReplay(torn_records_dropped=self.segments.torn_records_dropped)
+        for segment_index, payload in self.segments.replay():
+            envelope = decode_record(payload)
+            if not isinstance(envelope, dict) or "kind" not in envelope:
+                raise StorageCorruptionError("segment record is not an envelope")
+            bid = envelope["bid"]
+            if bid > self._segment_max_bid.get(segment_index, -1):
+                self._segment_max_bid[segment_index] = bid
+            if envelope["kind"] == "block":
+                replay.blocks.append(envelope["data"]["block"])
+                replay.receipts[bid] = envelope["data"]["receipt"]
+            elif envelope["kind"] == "proof":
+                replay.proofs[bid] = envelope["data"]
+            else:
+                raise StorageCorruptionError(
+                    f"segment record has unknown kind {envelope['kind']!r}"
+                )
+        return replay
+
+    def load_manifest(self) -> Optional[Manifest]:
+        manifest = load_manifest(self.directory)
+        if manifest is not None and manifest.version > self._manifest_version:
+            self._manifest_version = manifest.version
+        return manifest
+
+    def load_pages(self, manifest: Manifest) -> dict[int, list[Page]]:
+        return load_pages(self.directory, manifest)
+
+    # ------------------------------------------------------------------
+    # Fault injection and lifecycle
+    # ------------------------------------------------------------------
+    def arm_fault(self, kind: str, count: int = 1) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown disk fault kind {kind!r}")
+        self.segments.arm_fault(kind, count)
+
+    def simulate_crash(self) -> None:
+        """Model a process kill against the segment log (see segments.py)."""
+
+        self.segments.simulate_crash()
+
+    def retire(self) -> None:
+        """Mark this incarnation done (shard handed off); then close.
+
+        The marker makes the *next* open of this directory wipe it: the
+        durable state now lives with the destination edge, and a future
+        re-adoption of the shard must start from the transfer, not from
+        stale local segments.
+        """
+
+        self.close()
+        with open(os.path.join(self.directory, RETIRED_MARKER), "w") as handle:
+            json.dump({"retired": True}, handle)
+
+    def close(self) -> None:
+        self.segments.close()
+
+    def __deepcopy__(self, memo):
+        # An OS-backed store cannot be duplicated by value (open file
+        # handles, one directory).  Deep copies of a partition state —
+        # e.g. the stale-owner malicious variant snapshotting a shard —
+        # share the store reference instead.
+        return self

@@ -26,6 +26,14 @@ CASES = [
             "orphaned writes visible: 0",
         ],
     ),
+    (
+        "durable_edge.py",
+        [
+            "crash -> recover -> verified get",
+            "root verified: True",
+            "get('sensor-003')",
+        ],
+    ),
 ]
 
 

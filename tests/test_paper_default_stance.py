@@ -1,0 +1,39 @@
+"""Regression pin for the permanent default stance (settled in PR 7).
+
+**Paper-exact by default, fast by config.** Every throughput or
+robustness feature added since the seed defaults OFF so the committed
+figure-4/5 metrics stay byte-identical to the paper-calibrated protocol.
+This test is the tripwire: flipping any of these defaults is a figure
+recalibration (re-measure, re-commit, re-document in ROADMAP), not a
+tweak — whoever changes them must consciously edit this file too.
+"""
+
+from repro.common.config import StorageConfig, SystemConfig
+
+
+class TestPaperDefaultStance:
+    def test_batch_certification_defaults_off(self):
+        config = SystemConfig.paper_default()
+        assert config.logging.certify_batch_size == 1
+
+    def test_gossip_batching_defaults_off(self):
+        config = SystemConfig.paper_default()
+        assert config.security.gossip_batch is False
+
+    def test_certify_pipeline_defaults_off(self):
+        config = SystemConfig.paper_default()
+        assert config.logging.certify_pipeline_depth == 1
+
+    def test_storage_defaults_in_memory(self):
+        config = SystemConfig.paper_default()
+        assert config.storage.backend == "memory"
+        assert not config.storage.is_durable
+        # The zero-arg constructor (what tests and examples reach for)
+        # matches paper_default() — there is exactly one default.
+        assert SystemConfig() == config
+
+    def test_storage_config_defaults(self):
+        # The knobs a disk deployment inherits unless it says otherwise.
+        storage = StorageConfig()
+        assert storage.fsync == "on_seal"
+        assert storage.truncate_on_snapshot is True
