@@ -115,16 +115,17 @@ class TestCompare:
 
     def test_committed_baseline_gates_every_tracked_row(self):
         """The committed BENCH_hotpath.json's non-gating list holds exactly
-        the rows added this PR (the durable-storage pair); everything that
-        predates them — including txn_cross_shard and the cert_pipeline_*
-        rows — gates.  Next PR: graduate the pair by emptying the list."""
+        the row added this PR (the instrumented put-pipeline); everything
+        that predates it — including the PR 7 durable-storage pair, now
+        graduated — gates.  Next PR: graduate it by emptying the list."""
 
         import pathlib
 
         baseline = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
         non_gating = load_non_gating(str(baseline))
         results = load_results(str(baseline))
-        assert non_gating == frozenset({"durable_put", "recovery_replay"})
+        assert non_gating == frozenset({"obs_overhead"})
+        assert "obs_overhead" in results
         assert "durable_put" in results and "recovery_replay" in results
         assert "txn_cross_shard" in results
         assert "cert_pipeline_d1" in results and "cert_pipeline_d8" in results

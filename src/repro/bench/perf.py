@@ -939,6 +939,47 @@ def bench_recovery_replay(rng: random.Random, quick: bool) -> BenchResult:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_obs_overhead(rng: random.Random, quick: bool) -> BenchResult:
+    """The ``put_pipeline`` workload with live observability bookkeeping.
+
+    Same record batches and LSM compaction as ``put_pipeline``, plus the
+    per-batch work an observability-enabled edge performs: registry-mirrored
+    :class:`~repro.obs.metrics.StatsDict` counter updates, a pipeline gauge
+    set, and one histogram observation.  Read the instrumentation overhead
+    by comparing ops/s against the ``put_pipeline`` row; the chaos suite
+    separately asserts the enabled overhead stays under 5% and that
+    disabled observability adds zero work to the hot path.
+    """
+
+    from ..obs.metrics import MetricsRegistry, StatsDict
+
+    batches = 40 if quick else 120
+    batch_size = 100
+    repeats = 6 if quick else 12
+    batches_of_records = [
+        _make_records(rng, batch_size, key_space=batch_size * batches)
+        for _ in range(batches)
+    ]
+
+    def run() -> None:
+        registry = MetricsRegistry("bench-edge")
+        stats = StatsDict(registry, {"entries_logged": 0, "blocks_formed": 0})
+        latency = registry.histogram("certify_latency_s")
+        in_flight = registry.gauge("certify_in_flight", shard="default")
+        tree = LSMTree(config=LSMerkleConfig(level_thresholds=(4, 8, 64, 512)))
+        for index, records in enumerate(batches_of_records):
+            page = build_page(records, created_at=float(index))
+            stats["entries_logged"] += len(records)
+            stats["blocks_formed"] += 1
+            in_flight.set(index % 8)
+            latency.observe(0.001 * (index % 50))
+            if tree.add_level_zero_page(page):
+                tree.compact_all(created_at=float(index))
+        assert registry.snapshot()["counters"]["entries_logged"] == batches * batch_size
+
+    return _time_repeats("obs_overhead", run, batches * batch_size, repeats)
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -959,6 +1000,7 @@ BENCHMARKS = (
     bench_txn_cross_shard,
     bench_durable_put,
     bench_recovery_replay,
+    bench_obs_overhead,
 )
 
 

@@ -9,8 +9,9 @@ the cloud node in Virginia.
 config.**  Every throughput feature added since the seed — batch
 certification (``certify_batch_size``), gossip batching (``gossip_batch``),
 pipelined Phase II (``certify_pipeline_depth``), durable storage
-(``StorageConfig``) — defaults OFF so that the figure-4/5 metrics stay
-byte-identical to the paper-calibrated protocol under ``PYTHONHASHSEED=0``.
+(``StorageConfig``), observability (``ObservabilityConfig``) — defaults OFF
+so that the figure-4/5 metrics stay byte-identical to the paper-calibrated
+protocol under ``PYTHONHASHSEED=0``.
 Deployments opt in per knob.  The stance is pinned by
 ``tests/test_paper_default_stance.py``; changing any of these defaults is a
 figure recalibration, not a tweak.
@@ -299,6 +300,40 @@ class StorageConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Unified observability layer (``repro.obs``).
+
+    ``enabled=False`` (the default) builds nothing: ``env.obs`` stays
+    ``None``, node stat dicts remain plain dicts, the network carries no
+    trace sidecar, and the instrumented hot paths cost one attribute
+    check — the simulation's event stream and wire digests are untouched,
+    preserving the paper-exact default stance.
+
+    ``enabled=True`` attaches one shared :class:`repro.obs.Observability`
+    bundle to the environment: per-node :class:`~repro.obs.metrics.\
+    MetricsRegistry` instances (counters/gauges/histograms with exact
+    percentiles, driven by simulated time), and a
+    :class:`~repro.obs.tracing.Tracer` whose span contexts propagate as a
+    network-layer sidecar — never inside signed or encoded payloads — so
+    enabling observability changes no simulated metric.
+    """
+
+    #: Master switch; ``False`` means no observability object is ever built.
+    enabled: bool = False
+    #: Record protocol-phase spans and fault events (when ``enabled``).
+    trace: bool = True
+    #: Record metrics registries and mirror legacy stat dicts (when
+    #: ``enabled``).
+    metrics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enabled and not (self.trace or self.metrics):
+            raise ConfigurationError(
+                "observability enabled but both trace and metrics are off"
+            )
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Workload shape used by the benchmark harness."""
 
@@ -368,6 +403,9 @@ class SystemConfig:
     #: Durable storage backend (default in-memory = nothing persisted; see
     #: :class:`StorageConfig` and the module docstring's default stance).
     storage: StorageConfig = field(default_factory=StorageConfig)
+    #: Metrics + tracing (default off = nothing recorded, no overhead; see
+    #: :class:`ObservabilityConfig`).
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         if self.num_edge_nodes <= 0:

@@ -59,6 +59,7 @@ class EdgeCertifyPipeline:
         batch_size: int = 32,
         clock: Optional[Callable[[], float]] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        metrics=None,
     ) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
@@ -81,6 +82,12 @@ class EdgeCertifyPipeline:
         #: not pass an explicit timeout.  ``None`` keeps the legacy
         #: flat-timeout contract (the caller must then pass ``timeout_s``).
         self.retry_policy = retry_policy
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: the pipeline mirrors its progress counters onto it
+        #: (``pipeline_submitted`` / ``pipeline_dispatched`` /
+        #: ``pipeline_absorbed`` / ``pipeline_rejected`` /
+        #: ``pipeline_retries``).  ``None`` keeps the hot path untouched.
+        self.metrics = metrics
         self.certifier = LazyCertifier()
         self.absorbed = 0
         self.rejected = 0
@@ -104,6 +111,8 @@ class EdgeCertifyPipeline:
             now = self.clock()
         self.certifier.track(block_id, block_digest, requested_at=now)
         self.certifier.enqueue_for_dispatch(block_id)
+        if self.metrics is not None:
+            self.metrics.counter("pipeline_submitted").inc()
 
     def dispatch_ready(
         self, now: Optional[float] = None, allow_partial: bool = True
@@ -129,6 +138,10 @@ class EdgeCertifyPipeline:
         )
         if not groups:
             return []
+        if self.metrics is not None:
+            self.metrics.counter("pipeline_dispatched").inc(
+                sum(len(tasks) for tasks in groups)
+            )
         statements = [self._batch_statement(tasks) for tasks in groups]
         if len(statements) == 1:
             statement = statements[0]
@@ -212,6 +225,8 @@ class EdgeCertifyPipeline:
                     signature=self.registry.sign(self.edge, statement),
                 )
             )
+        if requests and self.metrics is not None:
+            self.metrics.counter("pipeline_retries").inc(len(requests))
         return requests
 
     # ------------------------------------------------------------------
@@ -231,6 +246,7 @@ class EdgeCertifyPipeline:
             [message.certificate for message in messages],
             expected_cloud=self.cloud,
         )
+        rejected_before = self.rejected
         newly_certified = 0
         for message, valid in zip(messages, verdicts):
             if not valid or message.certificate.edge != self.edge:
@@ -250,6 +266,13 @@ class EdgeCertifyPipeline:
                 self.certifier.complete(proof)
                 newly_certified += 1
         self.absorbed += newly_certified
+        if self.metrics is not None:
+            if newly_certified:
+                self.metrics.counter("pipeline_absorbed").inc(newly_certified)
+            if self.rejected > rejected_before:
+                self.metrics.counter("pipeline_rejected").inc(
+                    self.rejected - rejected_before
+                )
         return newly_certified
 
     def absorb_rejection(self, rejection) -> None:
@@ -263,6 +286,8 @@ class EdgeCertifyPipeline:
         if rejection.cloud != self.cloud or rejection.edge != self.edge:
             return
         self.rejected += 1
+        if self.metrics is not None:
+            self.metrics.counter("pipeline_rejected").inc()
         self.abandoned.add(rejection.block_id)
         self.certifier.abandon_in_flight(rejection.block_id)
 

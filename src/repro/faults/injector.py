@@ -212,3 +212,17 @@ class FaultInjector:
         self.trace.append(
             (round(self._env.now(), 9), action, str(src), str(dst), message_type)
         )
+        # Mirror the fault into the trace (when observability is on).  The
+        # send hook runs while the sender's span is still active, so a
+        # dropped or delayed message shows up *inside* the protocol span it
+        # perturbed; crash/restart/disk events fire from timers and attach
+        # to no span.  The tuple trace above is the determinism contract
+        # and stays exactly as it was.
+        obs = self._env.obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.event(
+                f"fault.{action}",
+                src=str(src),
+                dst=str(dst),
+                message_type=message_type,
+            )

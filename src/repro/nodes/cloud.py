@@ -84,6 +84,11 @@ class CloudNode:
         self.config = config if config is not None else SystemConfig.paper_default()
         self.node_id = cloud_id(name)
         self.region = region if region is not None else self.config.placement.cloud_region
+        self.obs = env.ensure_observability(self.config.observability)
+        self._metrics = (
+            self.obs.registry_for(str(self.node_id)) if self.obs is not None else None
+        )
+        self._obs_tracer = self.obs.tracer if self.obs is not None else None
         self.ledger = PunishmentLedger(self.config.security.punishment_score)
         #: Crypto engine behind the batch-certify path.  The simulated
         #: message handler feeds it windows of one (the event loop is
@@ -146,7 +151,7 @@ class CloudNode:
         #: punish an honest edge for a network artifact.
         self._merge_responses: dict[tuple, MergeResponse] = {}
 
-        self.stats = {
+        stats_init = {
             "certifications": 0,
             "certify_conflicts": 0,
             "certify_batches": 0,
@@ -164,7 +169,18 @@ class CloudNode:
             "shard_installs": 0,
             "shard_disputes": 0,
         }
+        self.stats = self._make_stats(stats_init)
         env.attach(self)
+
+    def _make_stats(self, initial: dict) -> dict:
+        """The node's stat surface: a plain dict by default, a registry-mirrored
+        :class:`~repro.obs.metrics.StatsDict` when observability is on."""
+
+        if self._metrics is None:
+            return dict(initial)
+        from ..obs.metrics import StatsDict
+
+        return StatsDict(self._metrics, initial)
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -286,6 +302,15 @@ class CloudNode:
 
     # -------------------------------------------------------- certification
     def _handle_certify(self, sender: NodeId, request: BlockCertifyRequest) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._process_certify(sender, request)
+            return
+        # Parent is the edge's certify.dispatch span (delivery sidecar).
+        with tracer.span("certify.cloud", node=str(self.node_id), blocks=1):
+            self._process_certify(sender, request)
+
+    def _process_certify(self, sender: NodeId, request: BlockCertifyRequest) -> None:
         params = self.env.params
         cost = params.certification_cost()
         self.env.charge(cost)
@@ -339,6 +364,20 @@ class CloudNode:
             self.env.send(self.node_id, sender, rejection)
 
     def _handle_certify_batch(
+        self, sender: NodeId, request: "CertifyBatchRequest | CertifyWindowRequest"
+    ) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._process_certify_batch(sender, request)
+            return
+        if isinstance(request, CertifyWindowRequest):
+            num_blocks = request.num_blocks
+        else:
+            num_blocks = len(request.statement.items)
+        with tracer.span("certify.cloud", node=str(self.node_id), blocks=num_blocks):
+            self._process_certify_batch(sender, request)
+
+    def _process_certify_batch(
         self, sender: NodeId, request: "CertifyBatchRequest | CertifyWindowRequest"
     ) -> None:
         params = self.env.params
@@ -477,6 +516,19 @@ class CloudNode:
 
     # ---------------------------------------------------------------- merges
     def _handle_merge(self, sender: NodeId, request: MergeRequest) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._process_merge(sender, request)
+            return
+        # Parent is the edge's merge.propose span (delivery sidecar).
+        with tracer.span(
+            "merge.cloud",
+            node=str(self.node_id),
+            level=request.proposal.level_index,
+        ):
+            self._process_merge(sender, request)
+
+    def _process_merge(self, sender: NodeId, request: MergeRequest) -> None:
         params = self.env.params
         proposal = request.proposal
         records_in = sum(block.num_entries for block in proposal.source_blocks)

@@ -188,12 +188,25 @@ class EdgeNode:
         self.region = region if region is not None else self.config.placement.edge_region
         self.cloud = cloud
 
+        #: Observability (``None`` with the paper-default config).  The
+        #: tracer alias is the single-attribute-check guard every
+        #: instrumented hot path tests before doing any tracing work.
+        self.obs = env.ensure_observability(self.config.observability)
+        self._metrics = (
+            self.obs.registry_for(str(self.node_id)) if self.obs is not None else None
+        )
+        self._obs_tracer = self.obs.tracer if self.obs is not None else None
+        #: Phase I span contexts by block id, so the Phase II absorption
+        #: span can link the certificate back to the put that formed the
+        #: block (popped on absorption; bounded by uncertified blocks).
+        self._obs_phase1: dict = {}
+
         self._default_partition = self._new_partition(shard_id=None)
         #: The partition the currently running handler operates on; every
         #: state property below resolves through it.
         self._active: PartitionState = self._default_partition
 
-        self.stats = {
+        stats_init = {
             "append_requests": 0,
             "blocks_formed": 0,
             "entries_logged": 0,
@@ -211,11 +224,30 @@ class EdgeNode:
             "root_refreshes": 0,
             "timeout_flushes": 0,
         }
+        self.stats = self._make_stats(stats_init)
         #: Sequence numbers for edge-produced transaction decision records.
         self._txn_record_seq = SequenceGenerator()
         #: Reports from the last durable restart recovery (diagnostics).
         self.last_recovery_reports: list[RecoveryReport] = []
         env.attach(self)
+
+    # ------------------------------------------------------------------
+    # Observability plumbing (no-ops with the paper-default config)
+    # ------------------------------------------------------------------
+    def _make_stats(self, initial: dict, prefix: str = "") -> dict:
+        """A plain dict, or a registry-mirroring one when metrics are on."""
+
+        if self._metrics is None:
+            return initial
+        from ..obs.metrics import StatsDict
+
+        return StatsDict(self._metrics, initial, prefix=prefix)
+
+    def _obs_phase1_links(self, block_ids) -> list:
+        """Phase I span contexts for *block_ids* (those still tracked)."""
+
+        phase1 = self._obs_phase1
+        return [phase1[bid] for bid in block_ids if bid in phase1]
 
     # ------------------------------------------------------------------
     # Partition state plumbing
@@ -242,7 +274,12 @@ class EdgeNode:
             return None
         partition = "default" if shard_id is None else f"shard-{shard_id:04d}"
         directory = os.path.join(storage.root_dir, self.node_id.name, partition)
-        return PartitionStore(directory, storage)
+        store = PartitionStore(directory, storage)
+        if self._metrics is not None:
+            # Mirror the store's counters into this edge's registry under a
+            # ``storage_`` prefix (``storage_blocks_appended``, ...).
+            store.stats = self._make_stats(dict(store.stats), prefix="storage_")
+        return store
 
     def _partition_states(self) -> Iterable[PartitionState]:
         """Every partition this edge serves (one for the honest base node)."""
@@ -456,9 +493,23 @@ class EdgeNode:
     def _form_block(self, batch: PendingBatch) -> None:
         """Build a block from a full batch, Phase I commit it, start Phase II."""
 
-        params = self.env.params
         now = self.env.now()
         block_id = self._allocate_block_id()
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._commit_block(batch, block_id, now)
+            return
+        # Root span of this put's trace: the certify dispatch below, the
+        # cloud's verification, the absorption of the certificate, and any
+        # merge it triggers all hang off (or link back to) this context.
+        with tracer.span(
+            "phase1.commit", node=str(self.node_id), block_id=str(block_id)
+        ) as span:
+            self._obs_phase1[block_id] = span.context
+            self._commit_block(batch, block_id, now)
+
+    def _commit_block(self, batch: PendingBatch, block_id: BlockId, now: float) -> None:
+        params = self.env.params
         block = self._build_block_for(batch, block_id, now)
         self.env.charge(params.block_build_cost(block.num_entries, block.wire_size))
 
@@ -609,6 +660,16 @@ class EdgeNode:
         peak = self.stats.setdefault("certify_inflight_peak", 0)
         if self.certifier.in_flight_count > peak:
             self.stats["certify_inflight_peak"] = self.certifier.in_flight_count
+        if self._metrics is not None:
+            shard = (
+                "default" if self._active.shard_id is None else str(self._active.shard_id)
+            )
+            self._metrics.gauge("certify_in_flight", shard=shard).set(
+                self.certifier.in_flight_count
+            )
+            self._metrics.gauge("certify_queued", shard=shard).set(
+                self.certifier.pending_dispatch_count
+            )
         return shipped
 
     def _send_single_certify_request(
@@ -622,11 +683,18 @@ class EdgeNode:
         )
         signature = self.env.registry.sign(self.node_id, statement)
         self.stats["certify_requests"] += 1
-        self.env.send(
-            self.node_id,
-            self.cloud,
-            BlockCertifyRequest(statement=statement, signature=signature),
-        )
+        message = BlockCertifyRequest(statement=statement, signature=signature)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, self.cloud, message)
+            return
+        with tracer.span(
+            "certify.dispatch",
+            node=str(self.node_id),
+            links=self._obs_phase1_links((block_id,)),
+            blocks=1,
+        ):
+            self.env.send(self.node_id, self.cloud, message)
 
     def _arm_certify_flush_timer(self) -> None:
         state = self._active
@@ -668,11 +736,18 @@ class EdgeNode:
         signature = self.env.registry.sign(self.node_id, statement)
         self.stats["certify_requests"] += 1
         self.stats["certify_batches"] += 1
-        self.env.send(
-            self.node_id,
-            self.cloud,
-            CertifyBatchRequest(statement=statement, signature=signature),
-        )
+        message = CertifyBatchRequest(statement=statement, signature=signature)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, self.cloud, message)
+            return
+        with tracer.span(
+            "certify.dispatch",
+            node=str(self.node_id),
+            links=self._obs_phase1_links([task.block_id for task in tasks]),
+            blocks=len(tasks),
+        ):
+            self.env.send(self.node_id, self.cloud, message)
 
     def _send_certify_window_request(self, groups) -> None:
         """Ship several batches under one window-envelope signature.
@@ -694,11 +769,21 @@ class EdgeNode:
         self.stats["certify_batches"] += len(groups)
         self.stats.setdefault("certify_windows", 0)
         self.stats["certify_windows"] += 1
-        self.env.send(
-            self.node_id,
-            self.cloud,
-            CertifyWindowRequest(statement=statement, signature=signature),
-        )
+        message = CertifyWindowRequest(statement=statement, signature=signature)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, self.cloud, message)
+            return
+        with tracer.span(
+            "certify.dispatch",
+            node=str(self.node_id),
+            links=self._obs_phase1_links(
+                [task.block_id for tasks in groups for task in tasks]
+            ),
+            blocks=sum(len(tasks) for tasks in groups),
+            window=len(groups),
+        ):
+            self.env.send(self.node_id, self.cloud, message)
 
     def _cancel_certify_flush_timer(self) -> None:
         state = self._active
@@ -889,6 +974,12 @@ class EdgeNode:
         report = recover_partition(fresh, store, self.env.registry, self.cloud)
         self.stats.setdefault("partitions_recovered", 0)
         self.stats["partitions_recovered"] += 1
+        if self._metrics is not None:
+            # Deterministic recovery-size distribution (simulated runs have
+            # no meaningful wall-clock; the replay volume is the cost proxy).
+            self._metrics.histogram(
+                "storage_recovery_blocks", bounds=(1, 4, 16, 64, 256, 1024)
+            ).observe(report.blocks_replayed)
         if report.quarantined is not None:
             self.stats.setdefault("partitions_quarantined", 0)
             self.stats["partitions_quarantined"] += 1
@@ -979,6 +1070,31 @@ class EdgeNode:
     def _accept_certified_proof(self, proof: AnyBlockProof) -> None:
         """Record a verified proof and forward it to waiting subscribers."""
 
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._absorb_certified_proof(proof)
+            return
+        # The acceptance linkage of the whole trace: this span's parent is
+        # the cloud's certify span (via the delivery sidecar) and its link
+        # is the Phase I span of the block being certified — so a Phase II
+        # certificate always resolves back to the put that caused it.
+        links = self._obs_phase1_links((proof.block_id,))
+        with tracer.span(
+            "certify.absorb",
+            node=str(self.node_id),
+            links=links,
+            block_id=str(proof.block_id),
+        ):
+            if self._metrics is not None and links:
+                origin = tracer.find(links[0].span_id)
+                if origin is not None:
+                    self._metrics.histogram("certify_latency_s").observe(
+                        self.env.now() - origin.start
+                    )
+            self._obs_phase1.pop(proof.block_id, None)
+            self._absorb_certified_proof(proof)
+
+    def _absorb_certified_proof(self, proof: AnyBlockProof) -> None:
         record = self.log.try_get(proof.block_id)
         if record is not None and record.block.digest() == proof.block_digest:
             self.log.attach_proof(proof)
@@ -1156,6 +1272,18 @@ class EdgeNode:
         """
 
     def _handle_txn_prepare(self, sender: NodeId, request: TxnPrepareRequest) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._process_txn_prepare(sender, request)
+            return
+        with tracer.span(
+            "txn.prepare",
+            node=str(self.node_id),
+            txn=str(request.statement.txn_id),
+        ):
+            self._process_txn_prepare(sender, request)
+
+    def _process_txn_prepare(self, sender: NodeId, request: TxnPrepareRequest) -> None:
         params = self.env.params
         self.stats.setdefault("txn_prepares", 0)
         self.stats["txn_prepares"] += 1
@@ -1367,6 +1495,19 @@ class EdgeNode:
     def _apply_txn_decision(self, message: TxnDecisionMessage) -> None:
         """Apply an already-verified decision to the active partition."""
 
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._apply_txn_decision_inner(message)
+            return
+        with tracer.span(
+            "txn.apply",
+            node=str(self.node_id),
+            txn=str(message.statement.txn_id),
+            decision=message.statement.decision,
+        ):
+            self._apply_txn_decision_inner(message)
+
+    def _apply_txn_decision_inner(self, message: TxnDecisionMessage) -> None:
         statement = message.statement
         state = self._active
         staged = state.staged_txns.get(statement.txn_id)
@@ -1637,9 +1778,15 @@ class EdgeNode:
             return
         self._active.merge_in_flight = True
         self.stats["merges_started"] += 1
-        self.env.send(
-            self.node_id, self.cloud, MergeRequest(edge=self.node_id, proposal=proposal)
-        )
+        request = MergeRequest(edge=self.node_id, proposal=proposal)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, self.cloud, request)
+            return
+        with tracer.span(
+            "merge.propose", node=str(self.node_id), level=proposal.level_index
+        ):
+            self.env.send(self.node_id, self.cloud, request)
 
     def _build_merge_proposal(self, level_index: int) -> Optional[MergeProposal]:
         if level_index == 0:
@@ -1669,6 +1816,14 @@ class EdgeNode:
         )
 
     def _handle_merge_response(self, sender: NodeId, message: MergeResponse) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._install_merge_response(sender, message)
+            return
+        with tracer.span("merge.install", node=str(self.node_id)):
+            self._install_merge_response(sender, message)
+
+    def _install_merge_response(self, sender: NodeId, message: MergeResponse) -> None:
         params = self.env.params
         outcome = message.outcome
         self.env.charge(

@@ -1,0 +1,283 @@
+"""Fleet health report: one readable summary of a recorded run.
+
+Renders per-node throughput, per-shard occupancy, certify-pipeline state,
+degraded/quarantined partitions, WAN traffic by message type, storage
+timings, and a span/fault digest of the trace.  Consumes the recording
+format produced by :meth:`repro.obs.Observability.write_recording`.
+
+Run over a recorded run::
+
+    python -m repro.obs.report recording.json
+
+or with no argument to run a small seeded demo deployment and report on it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .export import load_recording
+
+#: Counters surfaced in the throughput table when present (per node).
+_THROUGHPUT_KEYS = (
+    "entries_logged",
+    "blocks_formed",
+    "certified_blocks",
+    "certificates_absorbed",
+    "certifications",
+    "reads_served",
+    "gets_served",
+)
+
+
+def _section(lines: List[str], title: str) -> None:
+    if lines and lines[-1] != "":
+        lines.append("")
+    lines.append(title)
+    lines.append("-" * len(title))
+
+
+def _counters(registry: dict) -> Dict[str, float]:
+    return registry.get("counters", {})
+
+
+def _gauges(registry: dict) -> Dict[str, float]:
+    return registry.get("gauges", {})
+
+
+def _label_of(metric: str) -> str:
+    """``'x{shard="3"}'`` -> ``'3'`` (first label value)."""
+
+    if "{" not in metric:
+        return ""
+    inside = metric[metric.index("{") + 1 : -1]
+    first = inside.split(",", 1)[0]
+    return first.split("=", 1)[1].strip('"') if "=" in first else inside
+
+
+def fleet_health_report(recording: dict) -> str:
+    metrics: Dict[str, dict] = recording.get("metrics", {})
+    trace: Sequence[dict] = recording.get("trace", [])
+    node_names = sorted(name for name in metrics if name != "network")
+    lines: List[str] = ["=== WedgeChain fleet health report ==="]
+
+    # ------------------------------------------------------------------
+    # Per-node throughput
+    # ------------------------------------------------------------------
+    _section(lines, "Throughput by node")
+    for node in node_names:
+        counters = _counters(metrics[node])
+        parts = [
+            f"{key}={int(counters[key])}"
+            for key in _THROUGHPUT_KEYS
+            if key in counters
+        ]
+        if parts:
+            lines.append(f"  {node:<12} " + "  ".join(parts))
+    if lines[-1].startswith("Throughput") or lines[-1].startswith("---"):
+        lines.append("  (no throughput counters recorded)")
+
+    # ------------------------------------------------------------------
+    # Per-shard state (sharded deployments only)
+    # ------------------------------------------------------------------
+    shard_lines: List[str] = []
+    for node in node_names:
+        gauges = _gauges(metrics[node])
+        entries = {
+            _label_of(metric): value
+            for metric, value in gauges.items()
+            if metric.startswith("shard_entries{")
+        }
+        if entries:
+            rendered = "  ".join(
+                f"shard {shard}: {int(count)}" for shard, count in sorted(entries.items())
+            )
+            shard_lines.append(f"  {node:<12} {rendered}")
+    if shard_lines:
+        _section(lines, "Entries by shard")
+        lines.extend(shard_lines)
+
+    # ------------------------------------------------------------------
+    # Certify pipeline occupancy
+    # ------------------------------------------------------------------
+    pipeline_lines: List[str] = []
+    for node in node_names:
+        counters = _counters(metrics[node])
+        gauges = _gauges(metrics[node])
+        in_flight = sum(
+            value for metric, value in gauges.items()
+            if metric.startswith("certify_in_flight")
+        )
+        queued = sum(
+            value for metric, value in gauges.items()
+            if metric.startswith("certify_queued")
+        )
+        certify_counters = {
+            metric: value
+            for metric, value in counters.items()
+            if metric.startswith("certify") or metric.startswith("shard_certify")
+        }
+        if certify_counters or in_flight or queued:
+            rendered = "  ".join(
+                f"{metric}={int(value)}" for metric, value in sorted(certify_counters.items())
+            )
+            pipeline_lines.append(
+                f"  {node:<12} in_flight={int(in_flight)}  queued={int(queued)}"
+                + (f"  {rendered}" if rendered else "")
+            )
+    if pipeline_lines:
+        _section(lines, "Certify pipeline")
+        lines.extend(pipeline_lines)
+
+    # ------------------------------------------------------------------
+    # Degraded durability / quarantined partitions
+    # ------------------------------------------------------------------
+    degraded_lines: List[str] = []
+    for node in node_names:
+        counters = _counters(metrics[node])
+        flagged = {
+            metric: value
+            for metric, value in counters.items()
+            if ("degraded" in metric or "quarantin" in metric or "write_error" in metric)
+            and value
+        }
+        if flagged:
+            rendered = "  ".join(
+                f"{metric}={int(value)}" for metric, value in sorted(flagged.items())
+            )
+            degraded_lines.append(f"  {node:<12} {rendered}")
+    _section(lines, "Degraded / quarantined")
+    if degraded_lines:
+        lines.extend(degraded_lines)
+    else:
+        lines.append("  none — every partition at full durability")
+
+    # ------------------------------------------------------------------
+    # WAN bytes by message type
+    # ------------------------------------------------------------------
+    network = metrics.get("network", {})
+    wan = {
+        _type_label(metric): value
+        for metric, value in _counters(network).items()
+        if metric.startswith("net_bytes{") and 'link="wan"' in metric
+    }
+    if wan:
+        _section(lines, "WAN bytes by message type")
+        total = sum(wan.values())
+        for mtype, value in sorted(wan.items(), key=lambda item: (-item[1], item[0])):
+            share = 100.0 * value / total if total else 0.0
+            lines.append(f"  {mtype:<28} {int(value):>10} B  ({share:4.1f}%)")
+        lines.append(f"  {'total':<28} {int(total):>10} B")
+
+    # ------------------------------------------------------------------
+    # Storage timings
+    # ------------------------------------------------------------------
+    storage_lines: List[str] = []
+    for node in node_names:
+        counters = _counters(metrics[node])
+        hists = metrics[node].get("histograms", {})
+        flagged = {
+            metric: value
+            for metric, value in counters.items()
+            if metric.startswith("storage_") and value
+        }
+        timings = {
+            metric: summary
+            for metric, summary in hists.items()
+            if metric.startswith("storage_")
+        }
+        if flagged or timings:
+            rendered = "  ".join(
+                f"{metric}={int(value)}" for metric, value in sorted(flagged.items())
+            )
+            storage_lines.append(f"  {node:<12} {rendered}")
+            for metric, summary in sorted(timings.items()):
+                storage_lines.append(
+                    f"    {metric}: n={summary['count']}  "
+                    f"p50={summary['p50'] * 1000:.3f}ms  p99={summary['p99'] * 1000:.3f}ms"
+                )
+    if storage_lines:
+        _section(lines, "Storage (durable log)")
+        lines.extend(storage_lines)
+
+    # ------------------------------------------------------------------
+    # Trace digest
+    # ------------------------------------------------------------------
+    spans = [record for record in trace if record.get("kind") == "span"]
+    events = [record for record in trace if record.get("kind") == "event"]
+    if spans or events:
+        _section(lines, "Trace digest")
+        by_name: Dict[str, List[float]] = {}
+        for span in spans:
+            end = span.get("end")
+            duration = (end - span["start"]) if end is not None else 0.0
+            by_name.setdefault(span["name"], []).append(duration)
+        for name in sorted(by_name):
+            durations = sorted(by_name[name])
+            count = len(durations)
+            p50 = durations[min(count // 2, count - 1)]
+            p99 = durations[min(int(count * 0.99), count - 1)]
+            lines.append(
+                f"  {name:<20} n={count:<5} p50={p50 * 1000:8.3f}ms  p99={p99 * 1000:8.3f}ms"
+            )
+        if events:
+            fault_counts: Dict[str, int] = {}
+            for event in events:
+                fault_counts[event["name"]] = fault_counts.get(event["name"], 0) + 1
+            linked = sum(1 for event in events if event.get("span"))
+            lines.append(
+                f"  events: {len(events)} total, {linked} linked to an active span"
+            )
+            for name, count in sorted(fault_counts.items()):
+                lines.append(f"    {name:<20} x{count}")
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _type_label(metric: str) -> str:
+    inside = metric[metric.index("{") + 1 : -1]
+    for part in inside.split(","):
+        key, _, value = part.partition("=")
+        if key == "type":
+            return value.strip('"')
+    return inside
+
+
+def _demo_recording() -> dict:
+    """A tiny seeded deployment with observability on, for `--demo` runs."""
+
+    from ..common.config import LoggingConfig, ObservabilityConfig, SystemConfig
+    from ..core.system import WedgeChainSystem
+    from ..log.proofs import CommitPhase
+
+    config = SystemConfig.paper_default().with_overrides(
+        logging=LoggingConfig(block_size=4),
+        observability=ObservabilityConfig(enabled=True),
+    )
+    system = WedgeChainSystem.build(config=config, num_clients=1, seed=11)
+    client = system.client()
+    operations = [
+        client.put(f"demo-{index:03d}", f"value-{index}".encode()) for index in range(12)
+    ]
+    system.wait_for_all([(client, op) for op in operations], CommitPhase.PHASE_TWO)
+    return system.env.obs.recording()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv:
+        recording = load_recording(argv[0])
+    else:
+        print("(no recording given — running a small seeded demo deployment)\n")
+        recording = _demo_recording()
+    print(fleet_health_report(recording), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

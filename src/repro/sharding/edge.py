@@ -148,6 +148,9 @@ class ShardedEdgeNode(EdgeNode):
         #: partition when it ships the transfer, so a lost transfer would
         #: otherwise wedge the shard (neither side could serve it).
         self._outgoing_transfers: dict[ShardId, tuple[ShardTransferMessage, NodeId]] = {}
+        #: Handoff-drain span contexts by shard id (observability only):
+        #: offer and transfer spans link back to the drain that started them.
+        self._obs_handoff: dict[ShardId, Any] = {}
 
         self.stats.update(
             {
@@ -460,6 +463,10 @@ class ShardedEdgeNode(EdgeNode):
             self.shard_entry_counts[shard_id] = self.shard_entry_counts.get(
                 shard_id, 0
             ) + len(batch.entries)
+            if self._metrics is not None:
+                self._metrics.gauge("shard_entries", shard=str(shard_id)).set(
+                    self.shard_entry_counts[shard_id]
+                )
 
     def _read_record(self, block_id: BlockId):
         record = super()._read_record(block_id)
@@ -517,6 +524,19 @@ class ShardedEdgeNode(EdgeNode):
         if self.map_view.owner_of(shard_id) != self.node_id:
             return
         self._migrating[shard_id] = order.dest
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._begin_handoff_drain(state, shard_id)
+            return
+        # Root span of this handoff's trace: offer, transfer, and install
+        # spans (on both edges) link back to the drain that started it.
+        with tracer.span(
+            "handoff.drain", parent=None, node=str(self.node_id), shard=str(shard_id)
+        ) as span:
+            self._obs_handoff[shard_id] = span.context
+            self._begin_handoff_drain(state, shard_id)
+
+    def _begin_handoff_drain(self, state: PartitionState, shard_id: ShardId) -> None:
         with self._as_active(state):
             if state.staged_txns:
                 # Staged cross-shard prepares must resolve (decision or
@@ -602,7 +622,18 @@ class ShardedEdgeNode(EdgeNode):
             signature=self.env.registry.sign(self.node_id, statement),
         )
         self.stats["shard_handoffs_offered"] += 1
-        self._ship_handoff_offer(request)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._ship_handoff_offer(request)
+        else:
+            with tracer.span(
+                "handoff.offer",
+                parent=self._obs_handoff.get(shard_id),
+                node=str(self.node_id),
+                shard=str(shard_id),
+                blocks=len(blocks),
+            ):
+                self._ship_handoff_offer(request)
 
         def resend() -> bool:
             # Superseded: the grant (or a crash) retired the drained state,
@@ -701,7 +732,18 @@ class ShardedEdgeNode(EdgeNode):
         self.env.charge(
             self.env.params.handoff_offer_cost(len(ship_blocks))
         )
-        self.env.send(self.node_id, certificate.dest, transfer)
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, certificate.dest, transfer)
+        else:
+            with tracer.span(
+                "handoff.transfer",
+                parent=self._obs_handoff.get(shard_id),
+                node=str(self.node_id),
+                shard=str(shard_id),
+                blocks=len(ship_blocks),
+            ):
+                self.env.send(self.node_id, certificate.dest, transfer)
         if state.store is not None:
             # The durable state travels with the shard: retire this
             # incarnation's store so a later re-adoption of the shard starts
@@ -709,6 +751,7 @@ class ShardedEdgeNode(EdgeNode):
             state.store.retire()
         del self._shard_states[shard_id]
         self._migrating.pop(shard_id, None)
+        self._obs_handoff.pop(shard_id, None)
         self.stats["shard_handoffs_out"] += 1
         # Keep the transfer for retransmission until the destination's
         # install ack: the live partition is gone as of the line above, so
@@ -739,6 +782,21 @@ class ShardedEdgeNode(EdgeNode):
     # Handoff: destination side
     # ------------------------------------------------------------------
     def _handle_shard_transfer(
+        self, sender: NodeId, message: ShardTransferMessage
+    ) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._install_shard_transfer(sender, message)
+            return
+        # Parent is the source's handoff.transfer span (delivery sidecar).
+        with tracer.span(
+            "handoff.install",
+            node=str(self.node_id),
+            shard=str(message.certificate.shard_id),
+        ):
+            self._install_shard_transfer(sender, message)
+
+    def _install_shard_transfer(
         self, sender: NodeId, message: ShardTransferMessage
     ) -> None:
         params = self.env.params
@@ -978,6 +1036,12 @@ class ShardedEdgeNode(EdgeNode):
         Keys are shard ids (``"default"`` for the default partition); values
         report the in-flight window occupancy, the queued-but-undispatched
         digests, the retired batch count, and the uncertified block count.
+
+        .. deprecated:: PR 8
+            Kept as a thin view for existing callers.  With observability
+            enabled the same occupancy numbers live on the metrics registry
+            (``certify_in_flight`` / ``certify_queued`` gauges, per-shard
+            labels) and render in ``python -m repro.obs.report``.
         """
 
         snapshot: dict = {}

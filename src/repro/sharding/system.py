@@ -266,6 +266,13 @@ class ShardedWedgeSystem(WedgeChainSystem):
         :meth:`~repro.sharding.edge.ShardedEdgeNode.certify_pipeline_snapshot`),
         plus aggregate in-flight and retired-batch totals — the dashboard
         surface for "is Phase II keeping up with Phase I" at fleet scale.
+
+        .. deprecated:: PR 8
+            Kept as a thin view for existing callers.  With observability
+            enabled the same numbers live on the per-node metrics
+            registries (``certify_in_flight`` / ``certify_queued`` gauges)
+            and aggregate in the ``python -m repro.obs.report`` fleet
+            health report.
         """
 
         per_edge = {

@@ -228,6 +228,15 @@ class TxnCoordinator:
         #: never registers a pair the client committed itself, however the
         #: plain write and the transaction interleaved.
         self.recent_own_writes: dict[tuple[str, str], float] = {}
+        #: Trace context of each live transaction's ``txn.begin`` root span
+        #: (observability only); evicted with the record.
+        self._obs_txn: dict[TxnId, object] = {}
+
+    def _tracer(self):
+        """The shared tracer, or ``None`` when observability is off."""
+
+        obs = self.client.env.obs
+        return obs.tracer if obs is not None else None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -378,8 +387,23 @@ class TxnCoordinator:
         client.stats["entries_sent"] += sum(
             len(p.entries) for p in participants.values()
         )
-        for participant in participants.values():
-            self._send_prepare(participant)
+        tracer = self._tracer()
+        if tracer is None:
+            for participant in participants.values():
+                self._send_prepare(participant)
+        else:
+            # Root span of the transaction's trace: the prepares carry its
+            # context to the participants, and txn.decide parents off it.
+            with tracer.span(
+                "txn.begin",
+                parent=None,
+                node=str(client.node_id),
+                txn=str(txn_id),
+                shards=len(participants),
+            ) as span:
+                self._obs_txn[txn_id] = span.context
+                for participant in participants.values():
+                    self._send_prepare(participant)
         env.schedule(
             self._sharding().txn_receipt_timeout_s,
             lambda: self._receipt_timeout(txn_id),
@@ -547,8 +571,20 @@ class TxnCoordinator:
         # Every participant gets the decision — including ones whose receipt
         # never arrived: if they staged late (parked request, slow link) the
         # decision cleans the orphan stage instead of leaving it to expire.
-        for participant in txn.participants.values():
-            env.send(client.node_id, participant.owner, message)
+        tracer = self._tracer()
+        if tracer is None:
+            for participant in txn.participants.values():
+                env.send(client.node_id, participant.owner, message)
+        else:
+            with tracer.span(
+                "txn.decide",
+                parent=self._obs_txn.get(txn.txn_id),
+                node=str(client.node_id),
+                txn=str(txn.txn_id),
+                decision=decision,
+            ):
+                for participant in txn.participants.values():
+                    env.send(client.node_id, participant.owner, message)
         self._arm_decision_retry(txn, attempt=1)
         for participant in txn.participants.values():
             # The signed entries exist to re-send prepares; after the
@@ -643,6 +679,7 @@ class TxnCoordinator:
 
         def evict() -> None:
             record = self.records.pop(txn.txn_id, None)
+            self._obs_txn.pop(txn.txn_id, None)
             if record is None:
                 return
             for participant in record.participants.values():

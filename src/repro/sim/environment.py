@@ -80,6 +80,10 @@ class Environment:
         self._adapters: Dict[NodeId, _EndpointAdapter] = {}
         self._busy_until: Dict[NodeId, float] = {}
         self._current: Optional[_Invocation] = None
+        #: Shared observability bundle; ``None`` until a node is built with
+        #: an enabled :class:`~repro.common.config.ObservabilityConfig`
+        #: (the paper-default deployment never sets it).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -92,6 +96,26 @@ class Environment:
         self._adapters[node.node_id] = adapter
         self._busy_until[node.node_id] = 0.0
         self.registry.register(node.node_id)
+
+    def ensure_observability(self, config) -> Optional[Any]:
+        """The shared :class:`~repro.obs.Observability` bundle, or ``None``.
+
+        Nodes call this from their constructors with their
+        ``config.observability``.  A disabled (or absent) config returns
+        ``None`` — that node carries no instrumentation.  The first enabled
+        config lazily creates the bundle, hands it to the network (which
+        starts carrying trace-context sidecars and per-message-type byte
+        counters), and every later caller shares it.
+        """
+
+        if config is None or not config.enabled:
+            return None
+        if self.obs is None:
+            from ..obs import Observability
+
+            self.obs = Observability(config, clock=self.now)
+            self.network.attach_observability(self.obs)
+        return self.obs
 
     def node(self, node_id: NodeId) -> EnvironmentNode:
         try:
@@ -129,19 +153,31 @@ class Environment:
         self, node: EnvironmentNode, sender: NodeId, message: Any
     ) -> None:
         start = max(self.now(), self._busy_until.get(node.node_id, 0.0))
+        # Trace context crosses the delivery->handling hop as a closure
+        # variable, never on the message (wire payloads stay untouched).
+        ctx = None
+        if self.obs is not None and self.obs.tracer is not None:
+            ctx = self.obs.tracer.current_context()
         self.scheduler.schedule_at(
             start,
-            lambda: self._invoke(node, sender, message),
+            lambda: self._invoke(node, sender, message, ctx),
             label=f"handle@{node.node_id}:{type(message).__name__}",
         )
 
-    def _invoke(self, node: EnvironmentNode, sender: NodeId, message: Any) -> None:
+    def _invoke(
+        self, node: EnvironmentNode, sender: NodeId, message: Any, ctx: Any = None
+    ) -> None:
         previous = self._current
         invocation = _Invocation(node_id=node.node_id, start=self.now())
         self._current = invocation
+        tracer = self.obs.tracer if (ctx is not None and self.obs is not None) else None
+        if tracer is not None:
+            tracer.push(ctx)
         try:
             node.on_message(sender, message)
         finally:
+            if tracer is not None:
+                tracer.pop()
             self._current = previous
         finish = invocation.start + invocation.charged
         self._busy_until[node.node_id] = max(

@@ -140,6 +140,18 @@ class SimNetwork:
         #: Nodes currently crashed: sends from them are vetoed and pending
         #: deliveries to them are dropped at delivery time.
         self._offline: set[NodeId] = set()
+        #: Observability bundle (set by the environment when enabled).  While
+        #: ``None`` — the default — the send path pays one attribute check.
+        self._obs = None
+        self._obs_registry = None
+
+    def attach_observability(self, obs) -> None:
+        """Start recording per-message-type traffic and carrying trace
+        context sidecars on deliveries.  Called once by
+        :meth:`repro.sim.environment.Environment.ensure_observability`."""
+
+        self._obs = obs
+        self._obs_registry = obs.registry_for("network")
 
     # ------------------------------------------------------------------
     # Send hooks (public fault-injection surface)
@@ -279,6 +291,11 @@ class SimNetwork:
         size = message_wire_size(message)
         wan = self._is_wan(src, dst)
         self.stats.record(src_id, dst_id, size, wan)
+        ctx = None
+        if self._obs is not None:
+            self._obs_traffic(message, size, wan)
+            if self._obs.tracer is not None:
+                ctx = self._obs.tracer.current_context()
 
         # Uplink serialization: transfers from the same sender queue up per
         # lane; the message takes the lane that frees up first.
@@ -290,18 +307,44 @@ class SimNetwork:
         lanes[lane] = serialization_done
 
         delivery_time = serialization_done + self._propagation_delay(src, dst)
-        self._schedule_delivery(src_id, dst, message, delivery_time)
+        self._schedule_delivery(src_id, dst, message, delivery_time, ctx)
         return delivery_time
 
+    def _obs_traffic(self, message: Any, size: int, wan: bool) -> None:
+        registry = self._obs_registry
+        if registry is None:
+            return
+        link = "wan" if wan else "lan"
+        mtype = type(message).__name__
+        registry.counter("net_bytes", link=link, type=mtype).inc(size)
+        registry.counter("net_messages", link=link, type=mtype).inc()
+
     def _schedule_delivery(
-        self, src_id: NodeId, dst: NetworkEndpoint, message: Any, when: float
+        self,
+        src_id: NodeId,
+        dst: NetworkEndpoint,
+        message: Any,
+        when: float,
+        ctx: Any = None,
     ) -> None:
         def deliver() -> None:
             if self._offline and dst.node_id in self._offline:
                 # The destination crashed while the message was in flight.
                 self.stats.dropped_deliveries += 1
                 return
-            dst.deliver(src_id, message)
+            # Re-activate the sender's trace context around the receiver's
+            # handling.  The context is a sidecar on this closure — it never
+            # rides inside the message, so wire bytes are identical with
+            # tracing on or off.
+            if ctx is not None and self._obs is not None and self._obs.tracer is not None:
+                tracer = self._obs.tracer
+                tracer.push(ctx)
+                try:
+                    dst.deliver(src_id, message)
+                finally:
+                    tracer.pop()
+            else:
+                dst.deliver(src_id, message)
 
         self._scheduler.schedule_at(
             when,
@@ -326,7 +369,16 @@ class SimNetwork:
         src = self.node(src_id)
         dst = self.node(dst_id)
         size = message_wire_size(message)
-        self.stats.record(src_id, dst_id, size, self._is_wan(src, dst))
+        wan = self._is_wan(src, dst)
+        self.stats.record(src_id, dst_id, size, wan)
+        ctx = None
+        if self._obs is not None:
+            self._obs_traffic(message, size, wan)
+            if self._obs.tracer is not None:
+                # The injector's hook runs while the original sender's span
+                # is still active, so delayed/duplicated/reordered messages
+                # keep their causal context.
+                ctx = self._obs.tracer.current_context()
         when = max(at, self._scheduler.now())
-        self._schedule_delivery(src_id, dst, message, when)
+        self._schedule_delivery(src_id, dst, message, when, ctx)
         return when

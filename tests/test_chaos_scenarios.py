@@ -531,3 +531,112 @@ class TestDeterminism:
         assert first == second
         trace, fired, certified, dropped = first
         assert trace and sum(fired) >= 1 and certified >= 1 and dropped >= 1
+
+
+# ----------------------------------------------------------------------
+# 10. Observability overhead: a pure observer, cheap when on, free when off
+# ----------------------------------------------------------------------
+class TestObservabilityOverhead:
+    """The PR 8 observability layer under the chaos workload.
+
+    Two claims ride the perf gate's ``obs_overhead`` row: with
+    observability *off* (the paper default) the hot path pays exactly one
+    attribute check — no obs objects exist anywhere in the deployment —
+    and with it *on* the same seeded chaos scenario lands the same
+    protocol outcome with under 5% wall-clock overhead.
+    """
+
+    WORKLOAD_BLOCKS = 5
+
+    @staticmethod
+    def _chaos_outcome(observability):
+        from repro.common.config import ObservabilityConfig  # noqa: F401
+
+        system = build_single(seed=110, observability=observability)
+        client = system.client(0)
+        plan = (
+            FaultPlan(seed=110, name="obs-overhead")
+            .with_rule(FaultRule("drop", probability=0.4, until_s=2.0))
+            .with_rule(
+                FaultRule(
+                    "duplicate", probability=0.3, until_s=2.0, spread_s=0.1
+                )
+            )
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+        put_blocks(client, TestObservabilityOverhead.WORKLOAD_BLOCKS)
+        system.run_for(25.0)
+        stop_pump()
+        return system, (
+            tuple(injector.trace),
+            injector.rule_fire_counts(),
+            certified_total(system),
+            system.env.network.stats.dropped_sends,
+            system.env.network.stats.wan_bytes,
+        )
+
+    def test_disabled_observability_is_structurally_absent(self):
+        from repro.common.config import ObservabilityConfig
+
+        system, _ = self._chaos_outcome(ObservabilityConfig())
+        assert system.env.obs is None
+        assert system.env.network._obs is None
+        assert system.env.network._obs_registry is None
+        edge = system.edge(0)
+        assert type(edge.stats) is dict
+        assert type(system.cloud.stats) is dict
+        assert edge._metrics is None and edge._obs_tracer is None
+
+    def test_enabled_observability_is_a_pure_observer(self):
+        from repro.common.config import ObservabilityConfig
+
+        on_system, on_outcome = self._chaos_outcome(
+            ObservabilityConfig(enabled=True)
+        )
+        off_system, off_outcome = self._chaos_outcome(ObservabilityConfig())
+        # Same fault trace, same certified totals, same WAN byte accounting:
+        # the instrumentation observed the run without perturbing it.
+        assert on_outcome == off_outcome
+        assert dict(on_system.edge(0).stats) == dict(off_system.edge(0).stats)
+        # And the observer actually saw the run.
+        tracer = on_system.env.obs.tracer
+        assert tracer.spans_named("phase1.commit")
+        assert tracer.spans_named("certify.absorb")
+
+    def test_enabled_overhead_under_five_percent(self):
+        """Instrumented put-pipeline wall-clock: within 5% of the plain row.
+
+        Runs the exact ``put_pipeline`` / ``obs_overhead`` benchmark pair
+        (same seeded record batches, same LSM compaction; the latter adds
+        the registry-mirrored counters, a gauge, and a histogram per
+        batch) interleaved, and compares best-of-N wall times.  The LSM
+        work dominates, so the instrumentation must disappear into it.
+        min-of-N with retries absorbs scheduler noise on loaded CI
+        machines, and the collector is paused during the timed runs so
+        garbage left by earlier tests in the session can't bill a GC
+        cycle to whichever variant happens to trigger it.
+        """
+
+        import gc as _gc
+        import random as _random
+
+        from repro.bench.perf import bench_obs_overhead, bench_put_pipeline
+
+        plain_times = []
+        instrumented_times = []
+        for attempt in range(5):
+            _gc.collect()
+            _gc.disable()
+            try:
+                for _ in range(2):
+                    plain = bench_put_pipeline(_random.Random(7), quick=True)
+                    instrumented = bench_obs_overhead(_random.Random(7), quick=True)
+                    plain_times.append(plain.p50_ms)
+                    instrumented_times.append(instrumented.p50_ms)
+            finally:
+                _gc.enable()
+            ratio = min(instrumented_times) / min(plain_times)
+            if ratio < 1.05:
+                break
+        assert ratio < 1.05, f"observability overhead {ratio:.3f}x exceeds 1.05x"

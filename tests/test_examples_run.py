@@ -27,6 +27,15 @@ CASES = [
         ],
     ),
     (
+        "observability_report.py",
+        [
+            "causal chain for the first Phase II certificate",
+            "certify.absorb",
+            "fault.delay",
+            "=== WedgeChain fleet health report ===",
+        ],
+    ),
+    (
         "durable_edge.py",
         [
             "crash -> recover -> verified get",

@@ -37,3 +37,11 @@ class TestPaperDefaultStance:
         storage = StorageConfig()
         assert storage.fsync == "on_seal"
         assert storage.truncate_on_snapshot is True
+
+    def test_observability_defaults_off(self):
+        # Observability (PR 8) is opt-in: a default deployment carries no
+        # tracer, no metrics registries, and never imports repro.obs —
+        # the hot-path cost of the instrumentation is one attribute check.
+        config = SystemConfig.paper_default()
+        assert config.observability.enabled is False
+        assert SystemConfig() == config
