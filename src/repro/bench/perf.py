@@ -980,6 +980,91 @@ def bench_obs_overhead(rng: random.Random, quick: bool) -> BenchResult:
     return _time_repeats("obs_overhead", run, batches * batch_size, repeats)
 
 
+def bench_replica_read(rng: random.Random, quick: bool) -> BenchResult:
+    """Leased replica reads: route, sticky member pick, lease validation.
+
+    A ``replication_factor=3`` shard map (one certifying writer plus k=2
+    read replicas per shard) serves a Zipfian(0.99) read stream.  Per
+    read: the client routes the key, picks its sticky replica-set member
+    (the crc32 spread that pins a session to one member), and — when the
+    pick is a replica — validates the member's freshness lease: the cloud
+    signature plus the replica/shard/expiry pins.  That is exactly the
+    work a replica read adds on top of the ``get_verify`` proof path; the
+    k=0 cost of the same stream is the ``shard_route`` row (route only,
+    no member pick, no lease), so the replica-set overhead is the ratio
+    of the two.  Reported as reads/s.
+    """
+
+    import zlib
+
+    from ..messages.shard_messages import ReplicaLease, ReplicaLeaseStatement
+    from ..sharding.partitioner import HashRingPartitioner
+    from ..sharding.router import ShardRouter
+    from ..sharding.shard_map import ShardMapView, build_shard_map_message
+    from ..sim.rng import DeterministicRng
+    from ..workloads.generator import KeySpace
+
+    num_shards = 16
+    num_edges = 4
+    reads_per_repeat = 2000 if quick else 8000
+    repeats = 15 if quick else 40
+    registry, cloud, _ = _certification_registry()
+    client = client_id("bench-client")
+    edges = [edge_id(f"bench-edge-{index}") for index in range(num_edges)]
+    assignments = {
+        shard_id: edges[shard_id % num_edges] for shard_id in range(num_shards)
+    }
+    replicas = {
+        shard_id: (
+            edges[(shard_id + 1) % num_edges],
+            edges[(shard_id + 2) % num_edges],
+        )
+        for shard_id in range(num_shards)
+    }
+    message = build_shard_map_message(
+        registry, cloud, 1, num_shards, "hash-ring", assignments, 1.0,
+        replicas=replicas,
+    )
+    view = ShardMapView(cloud=cloud)
+    assert view.update(registry, message)
+    router = ShardRouter(HashRingPartitioner(num_shards), view)
+    leases = {}
+    for shard_id in range(num_shards):
+        for member in (assignments[shard_id], *replicas[shard_id]):
+            statement = ReplicaLeaseStatement(
+                cloud=cloud,
+                replica=member,
+                shard_id=shard_id,
+                map_version=1,
+                issued_at=1.0,
+                expires_at=10.0,
+            )
+            leases[(shard_id, member)] = ReplicaLease(
+                statement=statement, signature=registry.sign(cloud, statement)
+            )
+    key_space = KeySpace(10_000, distribution="zipfian", zipf_theta=0.99)
+    sampler = DeterministicRng(rng.randrange(2**31))
+    keys = [key_space.sample(sampler) for _ in range(reads_per_repeat)]
+
+    def run() -> None:
+        for key in keys:
+            route = router.route(key)
+            members = (route.owner, *view.replicas_of(route.shard_id))
+            pick = members[
+                zlib.crc32(f"{client}:{route.shard_id}".encode())
+                % len(members)
+            ]
+            if pick != route.owner:
+                lease = leases[(route.shard_id, pick)]
+                assert lease.verify(registry)
+                assert lease.statement.cloud == cloud
+                assert lease.statement.replica == pick
+                assert lease.statement.shard_id == route.shard_id
+                assert lease.statement.issued_at <= lease.statement.expires_at
+
+    return _time_repeats("replica_read", run, reads_per_repeat, repeats)
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -1001,6 +1086,7 @@ BENCHMARKS = (
     bench_durable_put,
     bench_recovery_replay,
     bench_obs_overhead,
+    bench_replica_read,
 )
 
 

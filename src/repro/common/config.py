@@ -218,6 +218,25 @@ class ShardingConfig:
     #: coordinator only commits while every receipt is unexpired, so the
     #: gap between the two is the decision's safe delivery window.
     txn_prepare_timeout_s: float = 5.0
+    #: Total copies of each shard: one certifying writer plus
+    #: ``replication_factor - 1`` read replicas receiving the certified log
+    #: by shipping.  ``1`` (the default) is the unreplicated deployment —
+    #: no leases, no shipping, no failover machinery is ever built, keeping
+    #: the paper's metrics byte-identical (pinned by
+    #: ``tests/test_paper_default_stance.py``).
+    replication_factor: int = 1
+    #: Validity (simulated seconds) of one cloud-signed serving lease on a
+    #: replicated shard.  Writers and replicas of replicated shards may
+    #: only answer clients while holding an unexpired lease; an honest node
+    #: parks requests once its lease lapses, which is what makes failover
+    #: promotions safe to judge offline (a deposed-but-honest node can
+    #: never have served past its last lease).
+    replica_lease_s: float = 2.0
+    #: How long (simulated seconds) the cloud waits without hearing from a
+    #: replicated shard's writer before treating it as lost and starting
+    #: failover (promotion still waits for the writer's last lease to
+    #: expire).
+    failover_timeout_s: float = 3.0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -242,6 +261,12 @@ class ShardingConfig:
                 "txn_prepare_timeout_s must exceed txn_receipt_timeout_s "
                 "(the gap is the decision's safe delivery window)"
             )
+        if self.replication_factor <= 0:
+            raise ConfigurationError("replication_factor must be positive")
+        if self.replica_lease_s <= 0:
+            raise ConfigurationError("replica_lease_s must be positive")
+        if self.failover_timeout_s <= 0:
+            raise ConfigurationError("failover_timeout_s must be positive")
 
 
 @dataclass(frozen=True)

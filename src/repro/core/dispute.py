@@ -274,6 +274,69 @@ def judge_shard_dispute(
     return ShardDisputeJudgement(False, f"unknown shard dispute kind {kind!r}")
 
 
+def judge_stale_replica_dispute(
+    dispute: ShardDispute,
+    registry: KeyRegistry,
+    owner_at: Callable[[int, float], Optional[NodeId]],
+    cloud: Optional[NodeId] = None,
+    shard_of: Optional[Callable[[str], int]] = None,
+) -> ShardDisputeJudgement:
+    """Judge a ``stale-replica-serve`` dispute from signed artifacts alone.
+
+    Generalizes the stale-owner judge to replica reads: a read replica's
+    serving authority is the cloud-signed lease it attaches to every
+    response, so the evidence pair (replica-signed get-response statement,
+    attached lease) is self-contained.  The accused is convicted when it
+    provably served while it was not the shard's writer *and* the lease it
+    presented (possibly none) did not cover the statement's ``issued_at``.
+    An honest replica never signs a response without a covering lease in
+    hand — it parks or redirects once its lease lapses — so no honest node
+    can be convicted, even across lease-renewal races: whatever lease it
+    actually held when signing is exactly what the client received and
+    forwarded.
+    """
+
+    if dispute.kind != "stale-replica-serve":
+        return ShardDisputeJudgement(
+            False, f"not a stale-replica dispute: {dispute.kind!r}"
+        )
+    statement = dispute.serve_statement
+    signature = dispute.serve_signature
+    if statement is None or signature is None:
+        return ShardDisputeJudgement(False, "stale-replica dispute without evidence")
+    if signature.signer != dispute.accused or not registry.verify(
+        signature, statement
+    ):
+        return ShardDisputeJudgement(False, "serve statement signature invalid")
+    if statement.edge != dispute.accused:
+        return ShardDisputeJudgement(False, "serve statement names a different edge")
+    if shard_of is not None and shard_of(statement.key) != dispute.shard_id:
+        return ShardDisputeJudgement(
+            False, "served key does not belong to the disputed shard"
+        )
+    if owner_at(dispute.shard_id, statement.issued_at) == dispute.accused:
+        return ShardDisputeJudgement(
+            False, "accused was the shard's writer when it served; not a replica"
+        )
+    lease = dispute.lease
+    if lease is not None:
+        lease_valid = (
+            lease.verify(registry)
+            and (cloud is None or lease.statement.cloud == cloud)
+            and lease.replica == dispute.accused
+            and lease.shard_id == dispute.shard_id
+        )
+        if lease_valid and statement.issued_at <= lease.expires_at:
+            return ShardDisputeJudgement(
+                False, "attached lease covers the response; no misbehaviour"
+            )
+    return ShardDisputeJudgement(
+        True,
+        "replica signed a read response without a covering serving lease "
+        "(served past its lease's certified watermark)",
+    )
+
+
 @dataclass(frozen=True)
 class TxnDisputeJudgement:
     """Outcome of evaluating a cross-shard transaction dispute."""

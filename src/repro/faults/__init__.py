@@ -29,6 +29,7 @@ from .invariants import (
     assert_no_false_convictions,
     assert_no_lost_atomicity,
     assert_no_quarantines,
+    assert_replicated_reads_served,
     txn_decisions,
 )
 from .plan import (
@@ -58,5 +59,6 @@ __all__ = [
     "assert_no_false_convictions",
     "assert_no_lost_atomicity",
     "assert_no_quarantines",
+    "assert_replicated_reads_served",
     "txn_decisions",
 ]

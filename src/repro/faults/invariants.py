@@ -146,6 +146,30 @@ def assert_no_quarantines(edges: Sequence) -> None:
             )
 
 
+def assert_replicated_reads_served(
+    samples: Sequence[Tuple[float, int, bool]],
+    label: str = "replicated reads",
+) -> None:
+    """Every sampled read probe against a replicated shard was served.
+
+    Chaos scenarios that take down a replicated shard's writer feed this
+    the ``(time_s, shard_id, served)`` probe results they collected while
+    the fault was live (probes go directly to surviving replica-set
+    members, since a request routed at the dead writer just vanishes).
+    Replication's promise is that losing any single edge never stops
+    reads — one unserved probe falsifies it, and an empty sample set
+    means the scenario never actually exercised the promise.
+    """
+
+    if not samples:
+        raise InvariantViolation(f"{label}: no probes were collected")
+    failed = [(when, shard) for (when, shard, served) in samples if not served]
+    if failed:
+        raise InvariantViolation(
+            f"{label}: probes went unserved at (time_s, shard): {failed}"
+        )
+
+
 def assert_monotone(series: Sequence[float], label: str = "progress") -> None:
     """A sampled progress series never decreases (monotone recovery)."""
 

@@ -19,6 +19,8 @@ from ..common.identifiers import BlockId, NodeId
 from .block import Block, BlockSummary
 from .proofs import AnyBlockProof
 
+NodeIds = tuple[NodeId, ...]
+
 
 @dataclass
 class LogRecord:
@@ -36,8 +38,15 @@ class LogRecord:
 class WedgeLog:
     """Append-only, digest-tracked block log for one edge partition."""
 
-    def __init__(self, owner: NodeId) -> None:
+    def __init__(self, owner: NodeId, co_owners: NodeIds = ()) -> None:
         self._owner = owner
+        #: Additional edges whose blocks this log may legitimately hold.  A
+        #: promoted replica inherits the certified prefix written by the
+        #: deposed writer; those blocks keep their original ``edge`` field
+        #: (their certificates bind it), so the promoted log accepts the
+        #: provenance chain alongside its own appends.  Empty by default —
+        #: a single-writer log rejects foreign blocks exactly as before.
+        self._co_owners: frozenset[NodeId] = frozenset(co_owners)
         self._records: dict[BlockId, LogRecord] = {}
         self._next_block_id: BlockId = 0
         #: Block ids below this were snapshot-truncated from durable storage
@@ -89,7 +98,7 @@ class WedgeLog:
     def append(self, block: Block) -> LogRecord:
         """Append a formed block to the log."""
 
-        if block.edge != self._owner:
+        if block.edge != self._owner and block.edge not in self._co_owners:
             raise ProtocolError(
                 f"block owned by {block.edge} appended to log of {self._owner}"
             )

@@ -165,12 +165,24 @@ def _verify_level_zero(
     registry: KeyRegistry,
     edge: NodeId,
     evidence: Sequence[LevelZeroEvidence],
+    provenance: Sequence[NodeId] = (),
 ) -> None:
+    """Pin every level-0 block (and its proof) to a permitted writer.
+
+    ``provenance`` extends the single expected writer with prior writers of
+    a replicated shard: after a failover promotion the certified blocks of
+    the deposed writer legitimately remain in the promoted state, and a
+    replica serves the current writer's blocks.  Each block's certificate
+    must still name the block's own writer — provenance widens *which*
+    writers are acceptable, never the binding between block and proof.
+    """
+
+    allowed = {edge, *provenance}
     for item in evidence:
-        if item.block.edge != edge:
+        if item.block.edge not in allowed:
             raise ProofVerificationError(
                 f"level-0 block {item.block_id} belongs to {item.block.edge}, "
-                f"expected {edge}"
+                f"expected one of {sorted(allowed)}"
             )
         if item.proof is None:
             continue
@@ -179,7 +191,7 @@ def _verify_level_zero(
             raise ProofVerificationError(
                 f"block proof digest mismatch for block {item.block_id}"
             )
-        if item.proof.edge != edge or item.proof.block_id != item.block_id:
+        if item.proof.edge != item.block.edge or item.proof.block_id != item.block_id:
             raise ProofVerificationError(
                 f"block proof identity mismatch for block {item.block_id}"
             )
@@ -261,6 +273,7 @@ def verify_get_proof(
     proof: GetProof,
     now: Optional[float] = None,
     freshness_window_s: Optional[float] = None,
+    provenance: Sequence[NodeId] = (),
 ) -> VerifiedGet:
     """Verify a get proof and independently derive the correct answer.
 
@@ -279,7 +292,7 @@ def verify_get_proof(
     ):
         raise ProofVerificationError("signed global root failed verification")
 
-    _verify_level_zero(registry, edge, proof.level_zero)
+    _verify_level_zero(registry, edge, proof.level_zero, provenance=provenance)
 
     # Newest version present in level 0, derived from the blocks themselves.
     level_zero_best: Optional[KVRecord] = None

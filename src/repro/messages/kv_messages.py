@@ -9,13 +9,17 @@ merge protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..common.identifiers import NodeId, OperationId
 from ..crypto.signatures import Signature
 from ..lsmerkle.merge import MergeOutcome, MergeProposal
 from ..lsmerkle.mlsm import SignedGlobalRoot
 from ..lsmerkle.read_proof import GetProof
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard_messages
+    # imports GetResponseStatement from this module)
+    from .shard_messages import ReplicaLease
 
 
 # ----------------------------------------------------------------------
@@ -48,12 +52,20 @@ class GetResponseStatement:
 
 @dataclass(frozen=True)
 class GetResponse:
-    """The edge's get response: value, index proof, and signed statement."""
+    """The edge's get response: value, index proof, and signed statement.
+
+    ``lease`` rides along only when a read replica of a replicated shard
+    answers: it is the cloud-signed serving lease that authorizes the
+    response (see :class:`~repro.messages.shard_messages.ReplicaLease`).
+    ``None`` — the writer's own responses and every unreplicated
+    deployment — leaves the response exactly as before.
+    """
 
     statement: GetResponseStatement
     signature: Signature
     value: Optional[bytes]
     proof: GetProof
+    lease: "Optional[ReplicaLease]" = None
 
     @property
     def edge(self) -> NodeId:
@@ -72,6 +84,8 @@ class GetResponse:
         size = 64 + 96 + self.proof.wire_size
         if self.value is not None:
             size += len(self.value)
+        if self.lease is not None:
+            size += self.lease.wire_size
         return size
 
 

@@ -39,10 +39,19 @@ from ..messages.kv_messages import GetResponseStatement
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardAssignment:
-    """One shard's owner inside a signed shard map."""
+    """One shard's owner (and optional replica set) inside a signed map.
+
+    ``replicas`` lists the read replicas receiving the writer's certified
+    log by shipping; ``provenance`` lists prior writers whose certified
+    blocks legitimately remain in the shard's state after failover
+    promotions.  Both are empty in the unreplicated deployment, leaving the
+    signed bytes of a ``replication_factor=1`` map exactly as before.
+    """
 
     shard_id: ShardId
     owner: NodeId
+    replicas: tuple[NodeId, ...] = ()
+    provenance: tuple[NodeId, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -67,6 +76,18 @@ class ShardMapStatement:
                 return assignment.owner
         return None
 
+    def replicas_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        for assignment in self.assignments:
+            if assignment.shard_id == shard_id:
+                return assignment.replicas
+        return ()
+
+    def provenance_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        for assignment in self.assignments:
+            if assignment.shard_id == shard_id:
+                return assignment.provenance
+        return ()
+
 
 @dataclass(frozen=True)
 class ShardMapMessage:
@@ -81,8 +102,14 @@ class ShardMapMessage:
 
     @property
     def wire_size(self) -> int:
-        # One signature + header amortized over every assignment entry.
-        return 96 + 48 * len(self.statement.assignments)
+        # One signature + header amortized over every assignment entry;
+        # replica/provenance node ids add 32 bytes each (zero when the map
+        # is unreplicated, preserving the historical size exactly).
+        extra = sum(
+            32 * (len(assignment.replicas) + len(assignment.provenance))
+            for assignment in self.statement.assignments
+        )
+        return 96 + 48 * len(self.statement.assignments) + extra
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +370,222 @@ class ShardInstallAck:
 
 
 # ----------------------------------------------------------------------
+# Shard replication: leases, certified log shipping, failover promotion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaLeaseStatement:
+    """What the cloud signs when it leases serving rights on a shard.
+
+    A node (writer or read replica) of a replicated shard may only answer
+    clients while ``expires_at`` has not passed.  The lease is the offline
+    authority chain for replica reads: a replica attaches its current lease
+    to every response, and serving without a covering lease is convictable
+    via :func:`repro.core.dispute.judge_stale_replica_dispute`.
+    """
+
+    cloud: NodeId
+    replica: NodeId
+    shard_id: ShardId
+    map_version: int
+    issued_at: float
+    expires_at: float
+
+
+@dataclass(frozen=True)
+class ReplicaLease:
+    """Cloud-signed serving lease for one node on one replicated shard."""
+
+    statement: ReplicaLeaseStatement
+    signature: Signature
+
+    @property
+    def replica(self) -> NodeId:
+        return self.statement.replica
+
+    @property
+    def shard_id(self) -> ShardId:
+        return self.statement.shard_id
+
+    @property
+    def expires_at(self) -> float:
+        return self.statement.expires_at
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + 112
+
+    def verify(self, registry) -> bool:
+        """Check the lease was signed by the cloud node it names."""
+
+        if self.signature.signer != self.statement.cloud:
+            return False
+        return registry.verify(self.signature, self.statement)
+
+
+@dataclass(frozen=True)
+class ReplicaLogShipment:
+    """Writer → replica: the certified log suffix past the replica's ack.
+
+    Nothing here is newly signed — every block rides with its cloud
+    certificate, and the index state rides as the writer's latest
+    cloud-signed root plus the pages beneath it, so the replica installs
+    only what it can verify against cloud signatures it already trusts.
+    ``level_zero_ids`` is the writer's full current level-0 block order
+    (install order matters for root recomputation).
+    """
+
+    writer: NodeId
+    replica: NodeId
+    shard_id: ShardId
+    blocks: tuple[Block, ...]
+    proofs: tuple[AnyBlockProof, ...]
+    level_zero_ids: tuple[BlockId, ...]
+    level_pages: tuple[tuple[int, tuple[Page, ...]], ...]
+    signed_root: Optional[SignedGlobalRoot]
+    certified_count: int
+
+    @property
+    def wire_size(self) -> int:
+        size = 112 + 8 * len(self.level_zero_ids)
+        size += sum(block.wire_size for block in self.blocks)
+        size += sum(proof.wire_size for proof in self.proofs)
+        size += sum(
+            page.wire_size for _, pages in self.level_pages for page in pages
+        )
+        if self.signed_root is not None:
+            size += self.signed_root.wire_size
+        return size
+
+
+@dataclass(frozen=True)
+class ReplicaShipmentAck:
+    """Replica → writer and cloud: certified prefix installed up to here.
+
+    ``watermark`` counts the certified records the replica holds; the cloud
+    uses the per-replica watermarks to pick the freshest replica when the
+    writer is lost.
+    """
+
+    replica: NodeId
+    shard_id: ShardId
+    watermark: int
+    root_version: int
+
+    @property
+    def wire_size(self) -> int:
+        return 144
+
+
+@dataclass(frozen=True)
+class WriterHeartbeat:
+    """Writer → cloud: liveness beacon for its replicated shards.
+
+    ``shards`` pairs each owned replicated shard with the writer's
+    certified-record count, letting the cloud track shipping progress and
+    detect a lost writer without any new signatures.
+    """
+
+    edge: NodeId
+    shards: tuple[tuple[ShardId, int], ...]
+
+    @property
+    def wire_size(self) -> int:
+        return 48 + 16 * len(self.shards)
+
+
+@dataclass(frozen=True)
+class ShardQuarantineNotice:
+    """Edge → cloud: durable recovery quarantined one of my shards.
+
+    For a replicated shard this turns PR 7's quarantine dead-end into a
+    failover trigger: the quarantined partition refuses all service (so no
+    lease wait is needed) and the cloud can promote a replica immediately.
+    """
+
+    edge: NodeId
+    shard_id: ShardId
+    reason: str
+
+    @property
+    def wire_size(self) -> int:
+        return 160
+
+
+@dataclass(frozen=True)
+class ReplicaPromotionOrder:
+    """Cloud → replica: offer your installed state for promotion."""
+
+    cloud: NodeId
+    shard_id: ShardId
+    source: NodeId
+    dest: NodeId
+
+    @property
+    def wire_size(self) -> int:
+        return 112
+
+
+@dataclass(frozen=True)
+class ReplicaPromotionOffer:
+    """Promotion offer: replica → cloud, digests only (data-free).
+
+    Reuses the handoff offer statement — the replica signs the certified
+    ``(block id, digest)`` prefix it installed plus the state digest, with
+    itself as ``dest``.  ``level_page_digests`` and ``signed_root`` let the
+    cloud rebuild its digest mirror at exactly the replica's installed
+    version (which may trail the deposed writer's last merge; the
+    difference is re-mergeable log suffix, never lost data).
+    """
+
+    statement: ShardHandoffStatement
+    signature: Signature
+    level_page_digests: tuple[tuple[int, tuple[str, ...]], ...]
+    signed_root: Optional[SignedGlobalRoot]
+    watermark: int
+
+    @property
+    def edge(self) -> NodeId:
+        return self.statement.edge
+
+    @property
+    def shard_id(self) -> ShardId:
+        return self.statement.shard_id
+
+    @property
+    def wire_size(self) -> int:
+        size = 64 + 128 + 104 * len(self.statement.blocks)
+        size += sum(32 * len(digests) for _, digests in self.level_page_digests)
+        if self.signed_root is not None:
+            size += self.signed_root.wire_size
+        return size
+
+
+@dataclass(frozen=True)
+class ReplicaPromotionGrant:
+    """Cloud → promoted replica: countersigned promotion plus the new map.
+
+    ``signed_root`` is the shard's root re-signed for the promoted replica
+    at its installed level roots (``None`` when the shard had never merged,
+    exactly like a fresh shard before its first merge).
+    """
+
+    certificate: ShardHandoffCertificate
+    shard_map: ShardMapMessage
+    signed_root: Optional[SignedGlobalRoot]
+
+    @property
+    def shard_id(self) -> ShardId:
+        return self.certificate.shard_id
+
+    @property
+    def wire_size(self) -> int:
+        size = 16 + self.certificate.wire_size + self.shard_map.wire_size
+        if self.signed_root is not None:
+            size += self.signed_root.wire_size
+        return size
+
+
+# ----------------------------------------------------------------------
 # Shard disputes
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -358,6 +601,12 @@ class ShardDispute:
       :class:`~repro.messages.kv_messages.GetResponseStatement` issued
       after the edge lost the shard; the cloud convicts from its ownership
       history.
+    * ``stale-replica-serve`` — a client presents a replica-signed
+      :class:`~repro.messages.kv_messages.GetResponseStatement` together
+      with whatever lease the replica attached (``lease``, possibly
+      ``None``); the cloud convicts unless the lease covers the statement's
+      ``issued_at`` (see
+      :func:`repro.core.dispute.judge_stale_replica_dispute`).
     """
 
     reporter: NodeId
@@ -368,10 +617,14 @@ class ShardDispute:
     transfer_signature: Optional[Signature] = None
     serve_statement: Optional[GetResponseStatement] = None
     serve_signature: Optional[Signature] = None
+    lease: Optional[ReplicaLease] = None
 
     @property
     def wire_size(self) -> int:
-        return 288
+        size = 288
+        if self.lease is not None:
+            size += self.lease.wire_size
+        return size
 
 
 @dataclass(frozen=True)

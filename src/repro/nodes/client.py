@@ -258,6 +258,18 @@ class Client:
 
         return self._expected_edge(record)
 
+    def _read_provenance(self, record: OperationRecord) -> tuple[NodeId, ...]:
+        """Extra writers whose certified blocks may appear in a get proof.
+
+        Empty for the single-edge client.  Shard-aware subclasses return
+        the shard's current writer plus its provenance chain when a read is
+        served by a replica or a promoted (post-failover) writer — those
+        proofs legitimately carry blocks certified under other edges'
+        names, each still pinned to its own writer's certificate.
+        """
+
+        return ()
+
     def _block_should_exist(self, record: OperationRecord, block_id: int) -> bool:
         """Whether gossip proves the read block exists at the serving edge."""
 
@@ -575,6 +587,7 @@ class Client:
                 proof=response.proof,
                 now=now,
                 freshness_window_s=self.freshness.effective_window(),
+                provenance=self._read_provenance(record),
             )
         except ProofVerificationError as exc:
             self.stats["verification_failures"] += 1

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..common.config import SystemConfig
+from ..common.config import ShardingConfig, SystemConfig
 from ..common.identifiers import BlockId, NodeId, ShardId, cloud_id
 from ..common.regions import Region
 from ..lsmerkle.merge import CloudIndexMirror
@@ -41,6 +41,12 @@ from ..messages.log_messages import (
 )
 from ..messages.shard_messages import (
     HandoffGrantStatement,
+    ReplicaLease,
+    ReplicaLeaseStatement,
+    ReplicaPromotionGrant,
+    ReplicaPromotionOffer,
+    ReplicaPromotionOrder,
+    ReplicaShipmentAck,
     ShardDispute,
     ShardDisputeVerdict,
     ShardHandoffCertificate,
@@ -50,6 +56,8 @@ from ..messages.shard_messages import (
     ShardHandoffRequest,
     ShardInstallAck,
     ShardMapMessage,
+    ShardQuarantineNotice,
+    WriterHeartbeat,
 )
 from ..messages.txn_messages import TxnDispute, TxnDisputeVerdict
 from ..common.errors import ConfigurationError, MergeProtocolError
@@ -58,6 +66,7 @@ from ..core.dispute import (
     PunishmentLedger,
     judge_dispute,
     judge_shard_dispute,
+    judge_stale_replica_dispute,
     judge_txn_dispute,
 )
 from ..core.gossip import build_gossip, build_gossip_batch
@@ -144,6 +153,23 @@ class CloudNode:
         #: Install acks already counted: (dest, shard id, state digest).
         #: Duplicate deliveries must not inflate ``shard_installs``.
         self._install_acks_seen: set[tuple[NodeId, ShardId, str]] = set()
+        #: Replica groups: when any shard is replicated the cloud tracks
+        #: liveness (last message time per node), per-replica shipping
+        #: watermarks (the freshness record promotion picks by), the expiry
+        #: of every serving lease it issued, quarantine notices, and which
+        #: promotions are in flight (shard -> ordered destination replica).
+        self._last_seen: dict[NodeId, float] = {}
+        self._replica_acks: dict[tuple[ShardId, NodeId], int] = {}
+        self._issued_lease_expiry: dict[tuple[ShardId, NodeId], float] = {}
+        self._quarantined_shards: set[ShardId] = set()
+        self._promotions_inflight: dict[ShardId, NodeId] = {}
+        #: Promotion grants already countersigned, keyed by the exact offer
+        #: they answered (shard id, replica, state digest) — duplicate
+        #: offers are answered with the stored grant, like handoff regrants.
+        self._promotion_grants: dict[
+            tuple[ShardId, NodeId, str], ReplicaPromotionGrant
+        ] = {}
+        self._replication_stopper = None
         #: Executed merge outcomes keyed by the proposal's content
         #: fingerprint.  A duplicated (at-least-once delivered) proposal is
         #: answered with the stored response: re-executing it against the
@@ -168,6 +194,11 @@ class CloudNode:
             "shard_handoffs_rejected": 0,
             "shard_installs": 0,
             "shard_disputes": 0,
+            "replica_leases_issued": 0,
+            "shard_failovers_started": 0,
+            "replica_promotions": 0,
+            "promotion_offers_rejected": 0,
+            "shard_quarantine_notices": 0,
         }
         self.stats = self._make_stats(stats_init)
         env.attach(self)
@@ -280,6 +311,11 @@ class CloudNode:
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Any) -> None:
+        if self.shard_registry is not None:
+            # Liveness for failover detection: *any* message from a node
+            # counts as a heartbeat (appending writers certify constantly;
+            # the explicit WriterHeartbeat covers idle ones).
+            self._last_seen[sender] = self.env.now()
         if isinstance(message, BlockCertifyRequest):
             self._handle_certify(sender, message)
         elif isinstance(message, (CertifyBatchRequest, CertifyWindowRequest)):
@@ -294,6 +330,14 @@ class CloudNode:
             self._handle_shard_handoff_request(sender, message)
         elif isinstance(message, ShardInstallAck):
             self._handle_shard_install_ack(sender, message)
+        elif isinstance(message, ReplicaPromotionOffer):
+            self._handle_promotion_offer(sender, message)
+        elif isinstance(message, ReplicaShipmentAck):
+            self._handle_replica_ack(sender, message)
+        elif isinstance(message, WriterHeartbeat):
+            self._handle_writer_heartbeat(sender, message)
+        elif isinstance(message, ShardQuarantineNotice):
+            self._handle_quarantine_notice(sender, message)
         elif isinstance(message, ShardDispute):
             self._handle_shard_dispute(sender, message)
         elif isinstance(message, TxnDispute):
@@ -674,12 +718,15 @@ class CloudNode:
         partitioner_name: str,
         assignments: dict[ShardId, NodeId],
         key_space: Optional[int] = None,
+        replicas: Optional[dict[ShardId, tuple[NodeId, ...]]] = None,
     ) -> ShardMapMessage:
         """Become the shard-map authority for a fleet; returns the signed map.
 
         Called once at fleet construction.  Subsequent ownership changes go
         through the certified handoff protocol, which bumps the map version
-        and republishes.
+        and republishes.  ``replicas`` names each shard's read replicas
+        (``replication_factor > 1`` fleets); any replicated shard starts the
+        cloud's lease/failover tick.
         """
 
         from ..sharding.partitioner import make_partitioner
@@ -693,6 +740,7 @@ class CloudNode:
             partitioner=partitioner_name,
             assignments=assignments,
             now=now,
+            replicas=replicas,
         )
         if key_space is not None:
             self._partitioner = make_partitioner(
@@ -701,6 +749,7 @@ class CloudNode:
         else:
             self._partitioner = make_partitioner(partitioner_name, num_shards)
         self.stats["shard_maps_published"] += 1
+        self._start_replication()
         return self.shard_registry.sign(self.env.registry, self.node_id, now)
 
     def current_shard_map(self) -> ShardMapMessage:
@@ -912,6 +961,387 @@ class CloudNode:
         self._install_acks_seen.add(key)
         self.stats["shard_installs"] += 1
 
+    # ------------------------------------------------------------------
+    # Replica groups: leases, liveness, and certified failover
+    # ------------------------------------------------------------------
+    def _sharding_config(self) -> ShardingConfig:
+        return (
+            self.config.sharding
+            if self.config.sharding is not None
+            else ShardingConfig()
+        )
+
+    def add_replica(self, shard_id: ShardId, replica: NodeId) -> ShardMapMessage:
+        """Bootstrap *replica* as a read replica of *shard_id*.
+
+        Data-free like every membership change: the new member installs
+        state only from the writer's certified shipments (its first ack is
+        the ``-1`` watermark, which requests the full certified prefix).
+        Returns the republished signed map.
+        """
+
+        if self.shard_registry is None:
+            raise ConfigurationError("no shard map installed")
+        owner = self.shard_registry.owner_of(shard_id)
+        if owner is None:
+            raise ConfigurationError(f"shard {shard_id} has no owner")
+        if replica == owner:
+            raise ConfigurationError("a shard's writer cannot be its replica")
+        current = self.shard_registry.replicas_of(shard_id)
+        if replica in current:
+            return self.current_shard_map()
+        now = self.env.now()
+        self.shard_registry.set_replicas(shard_id, current + (replica,), now)
+        map_message = self.shard_registry.sign(self.env.registry, self.node_id, now)
+        self.stats["shard_maps_published"] += 1
+        self.env.send(self.node_id, owner, map_message)
+        self.env.send(self.node_id, replica, map_message)
+        for client in self._gossip_targets:
+            self.env.send(self.node_id, client, map_message)
+            self.stats["gossip_messages"] += 1
+        self._start_replication()
+        return map_message
+
+    def _start_replication(self) -> None:
+        """Start the lease/failover tick once any shard is replicated.
+
+        Idempotent, and a no-op for ``replication_factor=1`` fleets: the
+        unreplicated deployment runs byte-identically to the historical
+        one.  The tick runs at the gossip interval but never slower than
+        half the lease duration, so honest leases are renewed before they
+        lapse; an immediate first tick issues the fleet's initial leases.
+        """
+
+        if self._replication_stopper is not None:
+            return
+        if self.shard_registry is None or not self.shard_registry.replicated_shards():
+            return
+        interval = min(
+            self.config.security.gossip_interval_s,
+            self._sharding_config().replica_lease_s / 2.0,
+        )
+        self._replication_stopper = self.env.schedule_periodic(
+            interval, self._replication_tick, "cloud-replication"
+        )
+        self.env.schedule(0.0, self._replication_tick, "cloud-replication-start")
+
+    def _replication_tick(self) -> None:
+        """Renew serving leases and detect lost writers.
+
+        A writer is *suspect* when its shard was quarantined by durable
+        recovery or when it has been silent past ``failover_timeout_s``.
+        Suspicion withholds the writer's lease renewal; promotion of the
+        freshest replica starts only once the writer's last issued lease
+        has expired (immediately for quarantine — a quarantined partition
+        refuses all service, so no two-writers window is possible).
+        """
+
+        registry = self.shard_registry
+        if registry is None:
+            return
+        now = self.env.now()
+        cfg = self._sharding_config()
+        for shard_id in registry.replicated_shards():
+            writer = registry.owner_of(shard_id)
+            replicas = registry.replicas_of(shard_id)
+            if writer is None or not replicas:
+                continue
+            inflight = self._promotions_inflight.get(shard_id)
+            quarantined = shard_id in self._quarantined_shards
+            last = self._last_seen.setdefault(writer, now)
+            suspect = (
+                inflight is not None
+                or quarantined
+                or now - last > cfg.failover_timeout_s
+            )
+            for node in (writer, *replicas):
+                if node == writer and suspect:
+                    continue
+                self._issue_lease(shard_id, node, now, cfg.replica_lease_s)
+            if inflight is not None:
+                # The order (or the offer/grant behind it) may have been
+                # lost: re-order every tick.  Offers are idempotent and a
+                # duplicate offer is answered with the stored grant.
+                self._send_promotion_order(shard_id, writer, inflight)
+                continue
+            if not suspect:
+                continue
+            if not quarantined and now < self._issued_lease_expiry.get(
+                (shard_id, writer), 0.0
+            ):
+                continue
+            dest = min(
+                replicas,
+                key=lambda replica: (
+                    -self._replica_acks.get((shard_id, replica), -1),
+                    str(replica),
+                ),
+            )
+            self._promotions_inflight[shard_id] = dest
+            self.stats["shard_failovers_started"] += 1
+            tracer = self._obs_tracer
+            if tracer is None:
+                self._send_promotion_order(shard_id, writer, dest)
+                continue
+            with tracer.span(
+                "failover.detect",
+                node=str(self.node_id),
+                shard=str(shard_id),
+                writer=str(writer),
+            ):
+                self._send_promotion_order(shard_id, writer, dest)
+
+    def _issue_lease(
+        self, shard_id: ShardId, node: NodeId, now: float, lease_s: float
+    ) -> None:
+        self.env.charge(self.env.params.sign_seconds)
+        statement = ReplicaLeaseStatement(
+            cloud=self.node_id,
+            replica=node,
+            shard_id=shard_id,
+            map_version=self.shard_registry.version,
+            issued_at=now,
+            expires_at=now + lease_s,
+        )
+        lease = ReplicaLease(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
+        )
+        self._issued_lease_expiry[(shard_id, node)] = statement.expires_at
+        self.stats["replica_leases_issued"] += 1
+        self.env.send(self.node_id, node, lease)
+
+    def _send_promotion_order(
+        self, shard_id: ShardId, source: NodeId, dest: NodeId
+    ) -> None:
+        self.env.charge(self.env.params.request_overhead_seconds)
+        self.env.send(
+            self.node_id,
+            dest,
+            ReplicaPromotionOrder(
+                cloud=self.node_id, shard_id=shard_id, source=source, dest=dest
+            ),
+        )
+
+    def _handle_writer_heartbeat(
+        self, sender: NodeId, heartbeat: WriterHeartbeat
+    ) -> None:
+        # Liveness was already recorded in on_message; the heartbeat exists
+        # so an idle (not-certifying) writer still counts as alive.
+        del heartbeat
+
+    def _handle_replica_ack(self, sender: NodeId, ack: ReplicaShipmentAck) -> None:
+        if ack.replica != sender or self.shard_registry is None:
+            return
+        if sender not in self.shard_registry.replicas_of(ack.shard_id):
+            return
+        # Last ack wins (not max): a restarted mirror reports ``-1`` until
+        # the full certified prefix is re-shipped.
+        self._replica_acks[(ack.shard_id, sender)] = ack.watermark
+
+    def _handle_quarantine_notice(
+        self, sender: NodeId, notice: ShardQuarantineNotice
+    ) -> None:
+        if notice.edge != sender or self.shard_registry is None:
+            return
+        if self.shard_registry.owner_of(notice.shard_id) != sender:
+            return
+        if not self.shard_registry.replicas_of(notice.shard_id):
+            return  # unreplicated quarantine stays the PR 7 dead-end
+        self._quarantined_shards.add(notice.shard_id)
+        self.stats["shard_quarantine_notices"] += 1
+
+    def _reject_promotion_offer(
+        self, sender: NodeId, offer: ReplicaPromotionOffer, reason: str
+    ) -> None:
+        self.stats["promotion_offers_rejected"] += 1
+        self.env.send(
+            self.node_id,
+            sender,
+            ShardHandoffRejection(
+                cloud=self.node_id,
+                edge=offer.edge,
+                shard_id=offer.shard_id,
+                reason=reason,
+            ),
+        )
+
+    def _handle_promotion_offer(
+        self, sender: NodeId, offer: ReplicaPromotionOffer
+    ) -> None:
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._process_promotion_offer(sender, offer)
+            return
+        with tracer.span(
+            "failover.grant", node=str(self.node_id), shard=str(offer.shard_id)
+        ):
+            self._process_promotion_offer(sender, offer)
+
+    def _process_promotion_offer(
+        self, sender: NodeId, offer: ReplicaPromotionOffer
+    ) -> None:
+        """Verify a promotion offer against certified state and countersign.
+
+        Like a handoff offer the promotion offer is data-free: every listed
+        block must match a digest this cloud certified for the deposed
+        writer (or a provenance writer before it), and the level pages must
+        hash to the level roots of a root this cloud itself signed.  The
+        promoted state is therefore never newer than what certification
+        already vouches for — the only possible loss is the deposed
+        writer's uncertified backlog, which it could repudiate anyway.
+        """
+
+        from ..sharding.handoff import shard_state_digest
+
+        statement = offer.statement
+        self.env.charge(self.env.params.handoff_countersign_cost(len(statement.blocks)))
+        if self.shard_registry is None:
+            return
+        if statement.edge != sender or statement.dest != sender:
+            return
+        if not self.env.registry.verify(offer.signature, statement):
+            return
+        shard_id = statement.shard_id
+        stored = self._promotion_grants.get(
+            (shard_id, sender, statement.state_digest)
+        )
+        if stored is not None:
+            self.stats.setdefault("replica_promotion_regrants", 0)
+            self.stats["replica_promotion_regrants"] += 1
+            self.env.send(self.node_id, sender, stored)
+            return
+        if self._promotions_inflight.get(shard_id) != sender:
+            self._reject_promotion_offer(
+                sender, offer, "no outstanding promotion order for this replica"
+            )
+            return
+        source = self.shard_registry.owner_of(shard_id)
+        allowed = {source, *self.shard_registry.provenance_of(shard_id)}
+        for block_id, digest in statement.blocks:
+            if not any(
+                self._certified.get(writer, {}).get(block_id) == digest
+                for writer in allowed
+            ):
+                # An honest replica only installs blocks that carry this
+                # cloud's certificates, so a non-certified digest in its
+                # signed offer is a provable lie.
+                self._punish(
+                    sender,
+                    reason="promotion offer lists a digest that was never "
+                    f"certified for block {block_id} of shard {shard_id}",
+                    block_id=block_id,
+                )
+                self._reject_promotion_offer(sender, offer, "uncertified block in offer")
+                return
+
+        rebuilt = CloudIndexMirror(
+            edge=sender,
+            config=self.config.lsmerkle,
+            page_capacity=self.config.logging.block_size,
+        )
+        for level_index, digests in offer.level_page_digests:
+            if not 1 <= level_index < len(rebuilt.level_page_digests):
+                self._reject_promotion_offer(sender, offer, "level index out of range")
+                return
+            rebuilt.level_page_digests[level_index] = list(digests)
+        signed_root = offer.signed_root
+        if signed_root is None:
+            if offer.level_page_digests:
+                self._reject_promotion_offer(
+                    sender, offer, "level pages presented without a signed root"
+                )
+                return
+            base_version = 0
+        else:
+            if not signed_root.verify(
+                self.env.registry, self.node_id
+            ) or signed_root.statement.edge not in allowed:
+                self._reject_promotion_offer(sender, offer, "signed root invalid")
+                return
+            if tuple(signed_root.statement.level_roots) != rebuilt.level_roots():
+                self._reject_promotion_offer(
+                    sender, offer, "level pages do not match the signed root"
+                )
+                return
+            base_version = signed_root.statement.version
+        expected_digest = shard_state_digest(
+            shard_id, rebuilt.level_roots(), statement.blocks
+        )
+        if expected_digest != statement.state_digest:
+            self._punish(
+                sender,
+                reason="promotion offer's state digest differs from the one "
+                f"recomputed from its own evidence for shard {shard_id}",
+                block_id=None,
+            )
+            self._reject_promotion_offer(sender, offer, "state digest mismatch")
+            return
+
+        # Promote: deposed writer joins the provenance chain, the replica
+        # leaves the replica set and takes ownership, the shard's mirror is
+        # re-keyed to the new writer, and the root is re-signed in its name.
+        now = self.env.now()
+        rebuilt.version = base_version + 1
+        new_version = self.shard_registry.promote_replica(shard_id, sender, now)
+        self._mirrors[(sender, shard_id)] = rebuilt
+        self._mirrors.pop((source, shard_id), None)
+        new_root = None
+        if signed_root is not None:
+            new_root = sign_global_root(
+                registry=self.env.registry,
+                cloud=self.node_id,
+                edge=sender,
+                level_roots=rebuilt.level_roots(),
+                version=rebuilt.version,
+                timestamp=now,
+            )
+        grant_statement = HandoffGrantStatement(
+            cloud=self.node_id,
+            source=source,
+            dest=sender,
+            shard_id=shard_id,
+            map_version=new_version,
+            state_digest=statement.state_digest,
+            num_blocks=len(statement.blocks),
+            issued_at=now,
+        )
+        certificate = ShardHandoffCertificate(
+            statement=grant_statement,
+            signature=self.env.registry.sign(self.node_id, grant_statement),
+        )
+        self._handoff_certificates[(shard_id, new_version)] = certificate
+        map_message = self.shard_registry.sign(self.env.registry, self.node_id, now)
+        grant = ReplicaPromotionGrant(
+            certificate=certificate, shard_map=map_message, signed_root=new_root
+        )
+        self._promotion_grants[(shard_id, sender, statement.state_digest)] = grant
+        self._promotions_inflight.pop(shard_id, None)
+        self._quarantined_shards.discard(shard_id)
+        self._replica_acks.pop((shard_id, sender), None)
+        self.stats["replica_promotions"] += 1
+        self.stats["shard_maps_published"] += 1
+        self.env.send(self.node_id, sender, grant)
+        # The promoted writer serves immediately under a fresh lease (the
+        # shard may still have surviving replicas keeping the gate on).
+        if self.shard_registry.replicas_of(shard_id):
+            self._issue_lease(
+                shard_id, sender, now, self._sharding_config().replica_lease_s
+            )
+        # Mid-interval membership change: push the new map to the whole
+        # fleet (the deposed writer's send simply fails while it is down —
+        # it catches up from gossip or retirement when it returns).
+        recipients = set(self.shard_registry.assignments().values())
+        for other in self.shard_registry.replicated_shards():
+            recipients.update(self.shard_registry.replicas_of(other))
+        recipients.add(source)
+        recipients.discard(sender)
+        for node in sorted(recipients, key=str):
+            self.env.send(self.node_id, node, map_message)
+        for client in self._gossip_targets:
+            self.env.send(self.node_id, client, map_message)
+            self.stats["gossip_messages"] += 1
+
     def _handle_shard_dispute(self, sender: NodeId, dispute: ShardDispute) -> None:
         params = self.env.params
         self.env.charge(params.request_overhead_seconds + 2 * params.verify_seconds)
@@ -919,19 +1349,28 @@ class CloudNode:
         if self.shard_registry is None or dispute.reporter != sender:
             return
 
-        granted_digest = None
-        if dispute.transfer_statement is not None:
-            certificate = self._handoff_certificates.get(
-                (dispute.shard_id, dispute.transfer_statement.map_version)
+        if dispute.kind == "stale-replica-serve":
+            judgement = judge_stale_replica_dispute(
+                dispute=dispute,
+                registry=self.env.registry,
+                owner_at=self.shard_registry.owner_at,
+                cloud=self.node_id,
+                shard_of=self._partitioner.shard_of if self._partitioner else None,
             )
-            granted_digest = certificate.state_digest if certificate else None
-        judgement = judge_shard_dispute(
-            dispute=dispute,
-            registry=self.env.registry,
-            owner_at=self.shard_registry.owner_at,
-            granted_state_digest=granted_digest,
-            shard_of=self._partitioner.shard_of if self._partitioner else None,
-        )
+        else:
+            granted_digest = None
+            if dispute.transfer_statement is not None:
+                certificate = self._handoff_certificates.get(
+                    (dispute.shard_id, dispute.transfer_statement.map_version)
+                )
+                granted_digest = certificate.state_digest if certificate else None
+            judgement = judge_shard_dispute(
+                dispute=dispute,
+                registry=self.env.registry,
+                owner_at=self.shard_registry.owner_at,
+                granted_state_digest=granted_digest,
+                shard_of=self._partitioner.shard_of if self._partitioner else None,
+            )
         if judgement.punished:
             self._punish(
                 dispute.accused,

@@ -1740,6 +1740,7 @@ class EdgeNode:
             signature=self.env.registry.sign(self.node_id, statement),
             value=value,
             proof=proof,
+            lease=self._response_lease(),
         )
         self.env.send(self.node_id, sender, response)
 
@@ -1747,6 +1748,16 @@ class EdgeNode:
         for block_id in proof.uncertified_block_ids:
             if block_id in self.certifier:
                 self.certifier.subscribe(block_id, sender, request.operation_id)
+
+    def _response_lease(self):
+        """Serving lease to attach to get responses.
+
+        ``None`` for the base node (and for a shard's writer): only a read
+        replica of a replicated shard attaches the cloud-signed lease that
+        authorizes it to answer (see ``sharding.edge``).
+        """
+
+        return None
 
     # Hooks overridden by malicious subclasses -------------------------------
     def _index_lookup(self, key: str):

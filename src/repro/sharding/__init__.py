@@ -19,6 +19,8 @@ This subsystem turns the paper's single-edge deployment into a fleet:
 from .client import ShardedClient
 from .edge import (
     AbortIgnoringEdgeNode,
+    DeposedWriterEdgeNode,
+    ExpiredLeaseReplicaEdgeNode,
     ShardedEdgeNode,
     StaleShardOwnerEdgeNode,
     TamperingHandoffEdgeNode,
@@ -56,6 +58,8 @@ from .transactions import (
 
 __all__ = [
     "AbortIgnoringEdgeNode",
+    "DeposedWriterEdgeNode",
+    "ExpiredLeaseReplicaEdgeNode",
     "FleetGossipView",
     "HashRingPartitioner",
     "KeyPartitioner",

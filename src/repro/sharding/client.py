@@ -20,6 +20,7 @@ A :class:`ShardedClient` keeps the base client's whole verification stack
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterable, Optional, Sequence
 
 from ..common.config import SystemConfig
@@ -38,6 +39,7 @@ from ..messages.log_messages import (
 )
 from ..messages.shard_messages import (
     NotOwnerRedirect,
+    ReplicaLease,
     ShardDispute,
     ShardDisputeVerdict,
     ShardMapMessage,
@@ -111,6 +113,8 @@ class ShardedClient(Client):
                 "redirect_failures": 0,
                 "shard_disputes_sent": 0,
                 "stale_owner_detections": 0,
+                "stale_replica_detections": 0,
+                "replica_reads_routed": 0,
                 "txns_started": 0,
                 "txns_committed": 0,
                 "txns_aborted": 0,
@@ -161,11 +165,34 @@ class ShardedClient(Client):
 
     def get(self, key: str, edge: Optional[NodeId] = None) -> OperationId:
         route = self.router.route(key)
-        target = edge if edge is not None else route.owner
+        target = (
+            edge
+            if edge is not None
+            else self._read_target(route.shard_id, route.owner)
+        )
         operation_id = super().get(key, edge=target)
         record = self.tracker.get(operation_id)
         record.details["shard_id"] = route.shard_id
         return operation_id
+
+    def _read_target(self, shard_id: ShardId, owner: NodeId) -> NodeId:
+        """Where to send a read: the writer or one of its read replicas.
+
+        Sticky per (client, shard): the same client always reads a shard
+        from the same member, so session consistency (monotone root
+        versions per serving edge) composes with replica reads without any
+        cross-member version coordination.
+        """
+
+        replicas = self.fleet_view.shard_map.replicas_of(shard_id)
+        if not replicas:
+            return owner
+        members = (owner, *replicas)
+        index = zlib.crc32(f"{self.node_id}:{shard_id}".encode()) % len(members)
+        target = members[index]
+        if target != owner:
+            self.stats["replica_reads_routed"] += 1
+        return target
 
     def txn_put(self, items: Iterable[tuple[str, bytes]]) -> TxnId:
         """Atomically put a batch of keys that may span several shards.
@@ -384,7 +411,39 @@ class ShardedClient(Client):
             if shard_id is not None and self._is_stale_owner_response(
                 record, statement, shard_id
             ):
-                if statement.edge == self._expected_edge(
+                if statement.edge in self.fleet_view.shard_map.replicas_of(
+                    shard_id
+                ):
+                    # A read replica answered.  Its serving authority is the
+                    # cloud-signed lease it attached; a covering lease makes
+                    # this an ordinary verified read, anything else is the
+                    # convictable stale-replica serve.
+                    if not self._replica_lease_covers(
+                        response.lease, statement, shard_id
+                    ):
+                        if statement.edge == self._expected_edge(
+                            record
+                        ) and self.env.registry.verify(
+                            response.signature, statement
+                        ):
+                            self.stats["stale_replica_detections"] += 1
+                            self._record_suspicion(
+                                "stale-replica-serve", None, record.operation_id
+                            )
+                            self._send_stale_replica_dispute(
+                                statement.edge,
+                                shard_id,
+                                statement,
+                                response.signature,
+                                response.lease,
+                            )
+                            self.tracker.mark_failed(
+                                record.operation_id,
+                                self.env.now(),
+                                "replica served without a covering lease",
+                            )
+                        return
+                elif statement.edge == self._expected_edge(
                     record
                 ) and self.env.registry.verify(response.signature, statement):
                     # The edge's own signed statement is the evidence.
@@ -400,10 +459,12 @@ class ShardedClient(Client):
                         self.env.now(),
                         "served by an edge that no longer owns the shard",
                     )
-                # Unverifiable non-owner responses are dropped outright: a
-                # forger must not be able to kill an in-flight operation
-                # whose genuine response is still on the wire.
-                return
+                    return
+                else:
+                    # Unverifiable non-owner responses are dropped outright:
+                    # a forger must not be able to kill an in-flight
+                    # operation whose genuine response is still on the wire.
+                    return
         super()._handle_get_response(sender, response)
         # Post-verification staged-abort-serve detection: only a value whose
         # *proven* record sequence places it at or after the prepare
@@ -439,6 +500,63 @@ class ShardedClient(Client):
 
         current_owner = self.fleet_view.shard_map.owner_of(shard_id)
         return current_owner is not None and statement.edge != current_owner
+
+    def _replica_lease_covers(
+        self,
+        lease: Optional[ReplicaLease],
+        statement,
+        shard_id: ShardId,
+    ) -> bool:
+        """Whether the attached lease authorized this replica's response.
+
+        The lease must be cloud-signed for exactly this replica and shard,
+        and its expiry must cover the statement's ``issued_at`` — the same
+        rule :func:`repro.core.dispute.judge_stale_replica_dispute` applies,
+        so a response this check rejects is a conviction, never a guess.
+        """
+
+        if lease is None:
+            return False
+        if lease.statement.cloud != self.cloud or not lease.verify(
+            self.env.registry
+        ):
+            return False
+        if lease.replica != statement.edge or lease.shard_id != shard_id:
+            return False
+        return statement.issued_at <= lease.expires_at
+
+    def _read_provenance(self, record: OperationRecord) -> tuple[NodeId, ...]:
+        shard_id = record.details.get("shard_id")
+        if shard_id is None:
+            return ()
+        view = self.fleet_view.shard_map
+        writers = {view.owner_of(shard_id), *view.provenance_of(shard_id)}
+        writers.discard(None)
+        writers.discard(self._expected_edge(record))
+        return tuple(sorted(writers, key=str))
+
+    def _send_stale_replica_dispute(
+        self,
+        accused: NodeId,
+        shard_id: ShardId,
+        statement,
+        signature,
+        lease: Optional[ReplicaLease],
+    ) -> None:
+        self.stats["shard_disputes_sent"] += 1
+        self.env.send(
+            self.node_id,
+            self.cloud,
+            ShardDispute(
+                reporter=self.node_id,
+                accused=accused,
+                shard_id=shard_id,
+                kind="stale-replica-serve",
+                serve_statement=statement,
+                serve_signature=signature,
+                lease=lease,
+            ),
+        )
 
     def _send_shard_dispute(
         self, accused: NodeId, shard_id: ShardId, statement, signature

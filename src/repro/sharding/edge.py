@@ -30,8 +30,9 @@ from typing import Any, Optional
 from ..common.config import SystemConfig
 from ..common.identifiers import BlockId, NodeId, OperationId, ShardId
 from ..common.regions import Region
-from ..log.wedge_log import LogRecord
-from ..lsmerkle.codec import decode_put, is_put_payload
+from ..log.wedge_log import LogRecord, WedgeLog
+from ..lsmerkle.mlsm import MerkleizedLSM
+from ..lsmerkle.codec import decode_put, is_put_payload, page_from_block
 from ..messages.kv_messages import (
     GetRequest,
     MergeRejection,
@@ -58,6 +59,12 @@ from ..messages.txn_messages import (
 from ..messages.shard_messages import (
     NotOwnerRedirect,
     NotOwnerStatement,
+    ReplicaLease,
+    ReplicaLogShipment,
+    ReplicaPromotionGrant,
+    ReplicaPromotionOffer,
+    ReplicaPromotionOrder,
+    ReplicaShipmentAck,
     ShardDispute,
     ShardDisputeVerdict,
     ShardHandoffGrant,
@@ -67,8 +74,10 @@ from ..messages.shard_messages import (
     ShardHandoffStatement,
     ShardInstallAck,
     ShardMapMessage,
+    ShardQuarantineNotice,
     ShardTransferMessage,
     ShardTransferStatement,
+    WriterHeartbeat,
 )
 from ..common.errors import StorageError
 from ..faults.retry import RetryPolicy
@@ -151,6 +160,27 @@ class ShardedEdgeNode(EdgeNode):
         #: Handoff-drain span contexts by shard id (observability only):
         #: offer and transfer spans link back to the drain that started them.
         self._obs_handoff: dict[ShardId, Any] = {}
+        #: Read-replica mirrors of shards this edge replicates but does not
+        #: own.  Deliberately *excluded* from ``_partition_states()``: a
+        #: mirror is a verified copy of another edge's certified log, not
+        #: this edge's own serving state, so invariant sweeps, crash wipes,
+        #: and certification scans must not treat it as such.
+        self._replica_states: dict[ShardId, PartitionState] = {}
+        #: Cloud-signed serving leases this node holds, by shard — as the
+        #: shard's writer (gate on client-facing ops) or as one of its read
+        #: replicas (attached to every get response it serves).
+        self._shard_leases: dict[ShardId, ReplicaLease] = {}
+        #: Writer-side shipping bookkeeping: highest block id each replica
+        #: has acknowledged, keyed ``(shard id, replica)``; ``-1`` = nothing.
+        self._replica_watermarks: dict[tuple[ShardId, NodeId], BlockId] = {}
+        #: Lease to attach to the get response currently being built (set by
+        #: the replica-serving branch of ``_resolve_serving``, popped by
+        #: ``_response_lease``).
+        self._serving_lease: Optional[ReplicaLease] = None
+        #: Stopper of the periodic log-shipping tick.  ``None`` until this
+        #: edge owns a replicated shard — a ``replication_factor=1`` fleet
+        #: never starts the timer, keeping the default byte-identical.
+        self._replication_stopper: Optional[Any] = None
 
         self.stats.update(
             {
@@ -165,6 +195,16 @@ class ShardedEdgeNode(EdgeNode):
                 "shard_offer_retries": 0,
                 "shard_transfer_retries": 0,
                 "shard_transfer_acks": 0,
+                "replica_shipments_sent": 0,
+                "replica_shipments_installed": 0,
+                "replica_shipments_rejected": 0,
+                "replica_reads": 0,
+                "replica_lease_updates": 0,
+                "writer_lease_waits": 0,
+                "shard_depositions": 0,
+                "shard_promotions": 0,
+                "promotion_offers": 0,
+                "shard_quarantine_notices": 0,
             }
         )
 
@@ -185,6 +225,7 @@ class ShardedEdgeNode(EdgeNode):
         for shard_id in self.map_view.shards_owned_by(self.node_id):
             if shard_id not in self._shard_states:
                 self._shard_states[shard_id] = self._new_partition(shard_id)
+        self._reconcile_with_map()
 
     def owned_shards(self) -> tuple[ShardId, ...]:
         return tuple(sorted(self._shard_states))
@@ -192,9 +233,104 @@ class ShardedEdgeNode(EdgeNode):
     def shard_state(self, shard_id: ShardId) -> Optional[PartitionState]:
         return self._shard_states.get(shard_id)
 
+    def replica_state(self, shard_id: ShardId) -> Optional[PartitionState]:
+        return self._replica_states.get(shard_id)
+
     def _handle_shard_map(self, sender: NodeId, message: ShardMapMessage) -> None:
         if self.map_view.update(self.env.registry, message):
             self.stats["shard_map_updates"] += 1
+            self._reconcile_with_map()
+
+    def _reconcile_with_map(self) -> None:
+        """Align local serving state with a freshly adopted shard map.
+
+        All three concerns are replication-only (an unreplicated fleet's
+        map never moves ownership outside the handoff flow, which retires
+        its own state):
+
+        * a shard this edge serves but the map now assigns elsewhere is
+          *deposed* state — a failover promoted a replica while this
+          writer was crashed or partitioned.  The honest reaction is to
+          stop serving immediately: archive the blocks (they stay
+          certified under this edge's name, so log reads must keep
+          resolving) and drop the partition.  Shards mid-handoff are
+          skipped — the grant/transfer flow retires those itself.
+        * a shard the map names this edge a replica of gets a mirror
+          partition, filled by the writer's certified log shipments;
+        * a mirror this edge no longer replicates is dropped — unless the
+          map promoted *this* edge, in which case the promotion grant is
+          about to convert the mirror into the serving partition.
+        """
+
+        for shard_id in sorted(self._shard_states):
+            if self.map_view.owner_of(shard_id) == self.node_id:
+                continue
+            if shard_id in self._migrating or shard_id in self._outgoing_transfers:
+                continue
+            self._retire_deposed_state(shard_id)
+        replicated = set(self.map_view.shards_replicated_by(self.node_id))
+        for shard_id in sorted(replicated):
+            writer = self.map_view.owner_of(shard_id)
+            if writer == self.node_id or writer is None:
+                continue
+            state = self._replica_states.get(shard_id)
+            if state is not None and state.owner != writer:
+                # The shard failed over to a *different* replica: re-key
+                # the mirror to the promoted writer but keep the certified
+                # blocks already installed — they remain valid under the
+                # shard's provenance chain, and serving them bridges the
+                # gap until the new writer's first shipment lands (which
+                # replaces the index snapshot wholesale anyway).
+                fresh = self._new_replica_state(shard_id, writer)
+                for record in state.log:
+                    fresh.log.append(record.block)
+                    if record.proof is not None:
+                        fresh.log.attach_proof(record.proof)
+                fresh.index = state.index
+                fresh.level_zero_blocks = state.level_zero_blocks
+                fresh.signed_root = state.signed_root
+                self._replica_states[shard_id] = fresh
+                state = fresh
+            if state is None:
+                self._replica_states[shard_id] = self._new_replica_state(
+                    shard_id, writer
+                )
+        for shard_id in sorted(self._replica_states):
+            if shard_id in replicated:
+                continue
+            if self.map_view.owner_of(shard_id) == self.node_id:
+                continue  # promotion in flight: the grant consumes the mirror
+            del self._replica_states[shard_id]
+            self._shard_leases.pop(shard_id, None)
+        self._maybe_start_replication()
+
+    def _retire_deposed_state(self, shard_id: ShardId) -> None:
+        state = self._shard_states.pop(shard_id)
+        for record in state.log:
+            self._archived_records[record.block.block_id] = record
+        if state.store is not None:
+            state.store.retire()
+        self._shard_leases.pop(shard_id, None)
+        for key in [k for k in self._replica_watermarks if k[0] == shard_id]:
+            del self._replica_watermarks[key]
+        self.stats["shard_depositions"] += 1
+        # Requests parked behind the writer's lease gate now resolve to
+        # truthful signed redirects under the new map.
+        for parked_sender, parked_message in self._parked_requests.pop(shard_id, []):
+            self.on_message(parked_sender, parked_message)
+
+    def _new_replica_state(self, shard_id: ShardId, writer: NodeId) -> PartitionState:
+        # Constructed directly rather than via ``_new_partition``: a mirror
+        # is volatile by design (no durable store — it rebuilds from the
+        # writer's shipping stream) and its log holds the *writer's* blocks,
+        # extended by the shard's provenance chain after failovers.
+        state = PartitionState(
+            owner=writer, config=self.config, shard_id=shard_id
+        )
+        state.log = WedgeLog(
+            writer, co_owners=self.map_view.provenance_of(shard_id)
+        )
+        return state
 
     # ------------------------------------------------------------------
     # Message dispatch / partition resolution
@@ -221,6 +357,16 @@ class ShardedEdgeNode(EdgeNode):
             self._handle_shard_transfer(sender, message)
         elif isinstance(message, ShardInstallAck):
             self._handle_install_ack_from_dest(sender, message)
+        elif isinstance(message, ReplicaLease):
+            self._handle_replica_lease(sender, message)
+        elif isinstance(message, ReplicaLogShipment):
+            self._handle_replica_shipment(sender, message)
+        elif isinstance(message, ReplicaShipmentAck):
+            self._handle_replica_shipment_ack(sender, message)
+        elif isinstance(message, ReplicaPromotionOrder):
+            self._handle_promotion_order(sender, message)
+        elif isinstance(message, ReplicaPromotionGrant):
+            self._handle_promotion_grant(sender, message)
         elif isinstance(message, ShardDisputeVerdict):
             self.shard_verdicts.append(message)
         elif isinstance(message, TxnDisputeVerdict):
@@ -321,9 +467,46 @@ class ShardedEdgeNode(EdgeNode):
                     (sender, message)
                 )
                 return None
+            if self.map_view.replicas_of(shard_id) and not self._writer_lease_valid(
+                shard_id
+            ):
+                # Replicated shards serve under a cloud-signed lease.  An
+                # honest writer that lost contact with the cloud parks here
+                # instead of serving past the lease the failover path waits
+                # out — which is exactly what makes promotion safe without
+                # any new signatures: by the time the cloud promotes a
+                # replica, an honest deposed writer has provably stopped.
+                self.stats["writer_lease_waits"] += 1
+                self._parked_requests.setdefault(shard_id, []).append(
+                    (sender, message)
+                )
+                return None
             return state
+        if isinstance(message, GetRequest) and shard_id in self._replica_states:
+            lease = self._shard_leases.get(shard_id)
+            if self._replica_lease_valid(lease, self.env.now()):
+                # A read replica answers under its serving lease, which it
+                # attaches to the signed response: a client can check the
+                # lease covered ``issued_at`` and convict a replica serving
+                # past it (``stale-replica-serve``).
+                self.stats["replica_reads"] += 1
+                self._serving_lease = lease
+                return self._replica_states[shard_id]
         self._send_not_owner_redirect(sender, operation_id, shard_id)
         return None
+
+    def _writer_lease_valid(self, shard_id: ShardId) -> bool:
+        lease = self._shard_leases.get(shard_id)
+        return lease is not None and lease.expires_at >= self.env.now()
+
+    def _replica_lease_valid(
+        self, lease: Optional[ReplicaLease], now: float
+    ) -> bool:
+        return lease is not None and lease.expires_at >= now
+
+    def _response_lease(self) -> Optional[ReplicaLease]:
+        lease, self._serving_lease = self._serving_lease, None
+        return lease
 
     def _send_not_owner_redirect(
         self, sender: NodeId, operation_id: OperationId, shard_id: ShardId
@@ -971,6 +1154,398 @@ class ShardedEdgeNode(EdgeNode):
         self.stats["shard_transfer_acks"] += 1
 
     # ------------------------------------------------------------------
+    # Replica groups: leases
+    # ------------------------------------------------------------------
+    def _handle_replica_lease(self, sender: NodeId, lease: ReplicaLease) -> None:
+        if sender != self.cloud or lease.statement.cloud != self.cloud:
+            return
+        if lease.replica != self.node_id or not lease.verify(self.env.registry):
+            return
+        current = self._shard_leases.get(lease.shard_id)
+        if current is not None and current.expires_at >= lease.expires_at:
+            return
+        self._shard_leases[lease.shard_id] = lease
+        self.stats["replica_lease_updates"] += 1
+        if self.map_view.owner_of(lease.shard_id) == self.node_id:
+            # Writes parked behind the writer's lease gate replay under the
+            # renewed lease.
+            for parked_sender, parked_message in self._parked_requests.pop(
+                lease.shard_id, []
+            ):
+                self.on_message(parked_sender, parked_message)
+
+    # ------------------------------------------------------------------
+    # Replica groups: certified log shipping (writer side)
+    # ------------------------------------------------------------------
+    def _maybe_start_replication(self) -> None:
+        """Start the periodic shipping tick once this edge owns a replicated
+        shard (idempotent; a ``replication_factor=1`` fleet never starts it)."""
+
+        if self._replication_stopper is not None:
+            return
+        if not any(
+            self.map_view.replicas_of(shard_id)
+            for shard_id in self.map_view.shards_owned_by(self.node_id)
+        ):
+            return
+        self._replication_stopper = self.env.schedule_periodic(
+            self.config.security.gossip_interval_s,
+            self._replication_tick,
+            label=f"{self.node_id}:replication",
+        )
+
+    def _replication_tick(self) -> None:
+        """Ship the certified log prefix of every replicated owned shard.
+
+        Nothing here is newly signed: a shipment carries certified blocks
+        with their cloud proofs, the current level pages, and the latest
+        cloud-signed root — the replica verifies everything against the
+        cloud's signatures before installing.  The heartbeat doubles as the
+        cloud's liveness signal for failover detection.
+        """
+
+        heartbeat_shards: list[tuple[ShardId, int]] = []
+        for shard_id in sorted(self._shard_states):
+            if self.map_view.owner_of(shard_id) != self.node_id:
+                continue
+            replicas = self.map_view.replicas_of(shard_id)
+            if not replicas:
+                continue
+            state = self._shard_states[shard_id]
+            if state.quarantined is not None:
+                continue
+            records = self._certified_prefix(state)
+            heartbeat_shards.append((shard_id, len(records)))
+            certified_ids = {record.block.block_id for record in records}
+            level_zero_ids = tuple(
+                block_id
+                for block_id in state.level_zero_blocks
+                if block_id in certified_ids
+            )
+            level_pages = tuple(
+                (level.index, tuple(level.pages))
+                for level in state.index.tree.levels[1:]
+                if level.pages
+            )
+            for replica in replicas:
+                self._ship_to_replica(
+                    shard_id, state, replica, records, level_zero_ids, level_pages
+                )
+            if self._metrics is not None:
+                slowest = min(
+                    self._replica_watermarks.get((shard_id, replica), -1)
+                    for replica in replicas
+                )
+                lag = sum(
+                    1 for record in records if record.block.block_id > slowest
+                )
+                self._metrics.gauge("replication_lag", shard=str(shard_id)).set(lag)
+        if heartbeat_shards:
+            self.env.charge(self.env.params.request_overhead_seconds)
+            self.env.send(
+                self.node_id,
+                self.cloud,
+                WriterHeartbeat(edge=self.node_id, shards=tuple(heartbeat_shards)),
+            )
+
+    @staticmethod
+    def _certified_prefix(state: PartitionState) -> list[LogRecord]:
+        """The longest log prefix where every block carries a cloud proof.
+
+        Only this prefix ships: replicas mirror *certified* state, which is
+        what bounds a promotion's data loss to the uncertified backlog —
+        precisely the blocks the crashed writer could repudiate anyway.
+        """
+
+        records: list[LogRecord] = []
+        for record in state.log:
+            if record.proof is None:
+                break
+            records.append(record)
+        return records
+
+    def _ship_to_replica(
+        self,
+        shard_id: ShardId,
+        state: PartitionState,
+        replica: NodeId,
+        records: list[LogRecord],
+        level_zero_ids: tuple[BlockId, ...],
+        level_pages: tuple,
+    ) -> None:
+        acked = self._replica_watermarks.get((shard_id, replica), -1)
+        fresh = [r for r in records if r.block.block_id > acked]
+        shipment = ReplicaLogShipment(
+            writer=self.node_id,
+            replica=replica,
+            shard_id=shard_id,
+            blocks=tuple(record.block for record in fresh),
+            proofs=tuple(record.proof for record in fresh),
+            level_zero_ids=level_zero_ids,
+            level_pages=level_pages,
+            signed_root=state.signed_root,
+            certified_count=len(records),
+        )
+        self.stats["replica_shipments_sent"] += 1
+        self.env.charge(self.env.params.handoff_offer_cost(len(fresh)))
+        self.env.send(self.node_id, replica, shipment)
+
+    def _handle_replica_shipment_ack(
+        self, sender: NodeId, ack: ReplicaShipmentAck
+    ) -> None:
+        if ack.replica != sender:
+            return
+        if sender not in self.map_view.replicas_of(ack.shard_id):
+            return
+        # Last ack wins (not max): a restarted mirror acks ``-1`` to request
+        # a full re-ship of the certified prefix.
+        self._replica_watermarks[(ack.shard_id, sender)] = ack.watermark
+
+    # ------------------------------------------------------------------
+    # Replica groups: shipment install (replica side)
+    # ------------------------------------------------------------------
+    def _handle_replica_shipment(
+        self, sender: NodeId, message: ReplicaLogShipment
+    ) -> None:
+        if message.replica != self.node_id or message.writer != sender:
+            return
+        shard_id = message.shard_id
+        if self.map_view.owner_of(shard_id) != sender:
+            return  # a deposed writer kept shipping: nothing to install
+        if self.node_id not in self.map_view.replicas_of(shard_id):
+            return
+        state = self._replica_states.get(shard_id)
+        if state is None:
+            state = self._new_replica_state(shard_id, sender)
+            self._replica_states[shard_id] = state
+        num_pages = sum(len(pages) for _, pages in message.level_pages)
+        self.env.charge(
+            self.env.params.handoff_install_cost(len(message.blocks), num_pages)
+        )
+        if len(message.proofs) != len(message.blocks):
+            self.stats["replica_shipments_rejected"] += 1
+            return
+        allowed = {sender, *self.map_view.provenance_of(shard_id)}
+        for block, proof in zip(message.blocks, message.proofs):
+            if (
+                block.edge not in allowed
+                or proof is None
+                or proof.cloud != self.cloud
+                or not proof.certifies(block)
+                or not proof.verify(self.env.registry)
+            ):
+                self.stats["replica_shipments_rejected"] += 1
+                return
+        signed_root = message.signed_root
+        if signed_root is not None and (
+            not signed_root.verify(self.env.registry, self.cloud)
+            or signed_root.statement.edge not in allowed
+        ):
+            self.stats["replica_shipments_rejected"] += 1
+            return
+
+        for block, proof in zip(message.blocks, message.proofs):
+            if state.log.try_get(block.block_id) is None:
+                state.log.append(block)
+                state.log.attach_proof(proof)
+        missing = [
+            block_id
+            for block_id in message.level_zero_ids
+            if state.log.try_get(block_id) is None
+        ]
+        if missing:
+            # This mirror is behind the writer's shipping watermark (it
+            # restarted, or the stream was lossy): ack ``-1`` so the next
+            # tick re-ships the full certified prefix.
+            self._ack_shipment(shard_id, -1, 0)
+            return
+        # Rebuild the index as one consistent snapshot of the shipment:
+        # merged levels come as pages verified against the cloud-signed
+        # root, level 0 re-derives from the shipped blocks themselves.
+        rebuilt = MerkleizedLSM(
+            config=self.config.lsmerkle,
+            page_capacity=self.config.logging.block_size,
+        )
+        for level_index, pages in message.level_pages:
+            rebuilt.install_level_pages(level_index, pages)
+        for block_id in message.level_zero_ids:
+            page = page_from_block(state.log.block(block_id))
+            if page is not None:
+                rebuilt.add_level_zero_page(page)
+        state.index = rebuilt
+        state.level_zero_blocks = list(message.level_zero_ids)
+        if signed_root is not None:
+            state.signed_root = signed_root
+        self.stats["replica_shipments_installed"] += 1
+        watermark = max(
+            (record.block.block_id for record in state.log), default=-1
+        )
+        root_version = (
+            signed_root.statement.version if signed_root is not None else 0
+        )
+        self._ack_shipment(shard_id, watermark, root_version)
+
+    def _ack_shipment(
+        self, shard_id: ShardId, watermark: int, root_version: int
+    ) -> None:
+        """Ack to both the writer (shipping watermark) and the cloud (the
+        freshness record failover promotion picks the best replica by)."""
+
+        ack = ReplicaShipmentAck(
+            replica=self.node_id,
+            shard_id=shard_id,
+            watermark=watermark,
+            root_version=root_version,
+        )
+        self.env.charge(self.env.params.request_overhead_seconds)
+        writer = self.map_view.owner_of(shard_id)
+        if writer is not None and writer != self.node_id:
+            self.env.send(self.node_id, writer, ack)
+        self.env.send(self.node_id, self.cloud, ack)
+
+    # ------------------------------------------------------------------
+    # Replica groups: failover promotion (replica side)
+    # ------------------------------------------------------------------
+    def _handle_promotion_order(
+        self, sender: NodeId, order: ReplicaPromotionOrder
+    ) -> None:
+        """Offer this mirror's state for promotion — data-free, like a
+        handoff offer: digests only, nothing the cloud cannot re-verify
+        against its own certified-digest map and signatures."""
+
+        if sender != self.cloud or order.cloud != self.cloud:
+            return
+        if order.dest != self.node_id:
+            return
+        shard_id = order.shard_id
+        state = self._replica_states.get(shard_id)
+        if state is None:
+            state = self._new_replica_state(shard_id, order.source)
+            self._replica_states[shard_id] = state
+        blocks = tuple(
+            (record.block.block_id, record.block.digest())
+            for record in state.log
+        )
+        statement = ShardHandoffStatement(
+            edge=self.node_id,
+            dest=self.node_id,
+            shard_id=shard_id,
+            blocks=blocks,
+            state_digest=shard_state_digest(
+                shard_id, state.index.level_roots(), blocks
+            ),
+            issued_at=self.env.now(),
+        )
+        offer = ReplicaPromotionOffer(
+            statement=statement,
+            signature=self.env.registry.sign(self.node_id, statement),
+            level_page_digests=tuple(
+                (level.index, tuple(page.digest() for page in level.pages))
+                for level in state.index.tree.levels[1:]
+                if level.pages
+            ),
+            signed_root=state.signed_root,
+            watermark=max(
+                (record.block.block_id for record in state.log), default=-1
+            ),
+        )
+        self.stats["promotion_offers"] += 1
+        self.env.charge(self.env.params.handoff_offer_cost(len(blocks)))
+        tracer = self._obs_tracer
+        if tracer is None:
+            self.env.send(self.node_id, self.cloud, offer)
+            return
+        with tracer.span(
+            "failover.offer",
+            node=str(self.node_id),
+            shard=str(shard_id),
+            blocks=len(blocks),
+        ):
+            self.env.send(self.node_id, self.cloud, offer)
+
+    def _handle_promotion_grant(
+        self, sender: NodeId, grant: ReplicaPromotionGrant
+    ) -> None:
+        if sender != self.cloud:
+            return
+        certificate = grant.certificate
+        if (
+            certificate.cloud != self.cloud
+            or certificate.dest != self.node_id
+            or not certificate.verify(self.env.registry)
+        ):
+            return
+        shard_id = certificate.shard_id
+        if shard_id in self._shard_states:
+            return  # duplicate grant: already promoted
+        tracer = self._obs_tracer
+        if tracer is None:
+            self._promote_from_mirror(sender, shard_id, grant)
+            return
+        with tracer.span(
+            "failover.promote", node=str(self.node_id), shard=str(shard_id)
+        ):
+            self._promote_from_mirror(sender, shard_id, grant)
+
+    def _promote_from_mirror(
+        self, sender: NodeId, shard_id: ShardId, grant: ReplicaPromotionGrant
+    ) -> None:
+        """Convert the mirror into the serving partition under the new map.
+
+        The promoted log is owned by *this* edge with the shard's
+        provenance chain as co-owners: the deposed writer's certified
+        blocks keep their original ``edge`` field (their certificates bind
+        it) while new appends carry this edge's.  Imported block ids live
+        in the prior writers' id spaces — the edge-wide allocator skips
+        past them but ``_block_shards`` routes only locally formed blocks.
+        """
+
+        self._handle_shard_map(sender, grant.shard_map)
+        mirror = self._replica_states.pop(shard_id, None)
+        if mirror is None:
+            return
+        state = self._new_partition(shard_id)
+        state.log = WedgeLog(
+            self.node_id, co_owners=self.map_view.provenance_of(shard_id)
+        )
+        for record in mirror.log:
+            state.log.append(record.block)
+            if record.proof is not None:
+                state.log.attach_proof(record.proof)
+            self._imported_blocks[(record.block.edge, record.block.block_id)] = (
+                record.block,
+                record.proof,
+            )
+        state.index = mirror.index
+        state.level_zero_blocks = list(mirror.level_zero_blocks)
+        state.signed_root = grant.signed_root
+        if state.store is not None:
+            # Seed the durable backend with the merged levels and the
+            # re-signed root.  Imported level-0 records stay volatile until
+            # the next merge folds them into manifest-covered pages — the
+            # same window the in-memory crash model already accepts.
+            level_pages = tuple(
+                (level.index, tuple(level.pages))
+                for level in state.index.tree.levels[1:]
+                if level.pages
+            )
+            try:
+                seed_partition_store(
+                    state.store,
+                    level_pages=level_pages,
+                    signed_root=grant.signed_root,
+                    next_block_id=state.log.next_block_id,
+                )
+            except StorageError:
+                self._storage_degraded()
+        self._shard_states[shard_id] = state
+        self._next_block_id = max(self._next_block_id, state.log.next_block_id)
+        self.stats["shard_promotions"] += 1
+        self._maybe_start_replication()
+        for parked_sender, parked_message in self._parked_requests.pop(shard_id, []):
+            self.on_message(parked_sender, parked_message)
+
+    # ------------------------------------------------------------------
     # Crash model (fault injection)
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
@@ -991,6 +1566,13 @@ class ShardedEdgeNode(EdgeNode):
         for handle in self._handoff_retries.values():
             handle.cancel()
         self._handoff_retries.clear()
+        # Replication soft state: leases and shipping watermarks are
+        # volatile (the cloud re-issues leases every tick; replicas dedupe
+        # re-shipped blocks).  The mirrors themselves survive under the
+        # same in-memory durability story as the log and index above.
+        self._shard_leases.clear()
+        self._serving_lease = None
+        self._replica_watermarks.clear()
 
     def _recover_durable_partitions(self) -> None:
         """Recover the default partition and every owned shard from disk.
@@ -1021,6 +1603,27 @@ class ShardedEdgeNode(EdgeNode):
         for state in self._shard_states.values():
             watermark = max(watermark, state.log.next_block_id)
         self._next_block_id = max(self._next_block_id, watermark)
+        # A quarantined *replicated* shard is recoverable: its replicas
+        # mirror the certified state, so instead of a dead shard (the PR 7
+        # dead end) the cloud can promote one.  Tell it.
+        for shard_id in sorted(self._shard_states):
+            state = self._shard_states[shard_id]
+            if state.quarantined is None:
+                continue
+            if self.map_view.owner_of(shard_id) != self.node_id:
+                continue
+            if not self.map_view.replicas_of(shard_id):
+                continue
+            self.stats["shard_quarantine_notices"] += 1
+            self.env.send(
+                self.node_id,
+                self.cloud,
+                ShardQuarantineNotice(
+                    edge=self.node_id,
+                    shard_id=shard_id,
+                    reason=state.quarantined,
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Per-shard maintenance helpers
@@ -1179,3 +1782,51 @@ class StaleShardOwnerEdgeNode(ShardedEdgeNode):
         if stale is not None:
             return stale  # serve the shard it no longer owns
         return super()._resolve_serving(sender, message, shard_id, operation_id)
+
+
+class DeposedWriterEdgeNode(ShardedEdgeNode):
+    """Ignores its own deposition after a failover promotion.
+
+    An honest writer of a replicated shard parks requests the moment its
+    serving lease expires and retires the shard when the republished map
+    deposes it.  This variant does neither: it pretends its lease never
+    expires and discards any map that would take a shard away from it.
+    Every signed get response it issues after the promotion is
+    self-contained evidence — the cloud's ownership history says someone
+    else owned the shard at ``issued_at`` (the ``stale-owner-serve``
+    judge, unchanged from plain handoffs, convicts it).
+    """
+
+    def _writer_lease_valid(self, shard_id: ShardId) -> bool:
+        return True  # serve as if the lease never expired
+
+    def _handle_shard_map(self, sender: NodeId, message: ShardMapMessage) -> None:
+        for assignment in message.statement.assignments:
+            if (
+                assignment.owner != self.node_id
+                and assignment.shard_id in self._shard_states
+                and assignment.shard_id not in self._migrating
+                and assignment.shard_id not in self._outgoing_transfers
+            ):
+                # The map deposes this edge: pretend it never arrived.
+                self.stats.setdefault("maps_ignored", 0)
+                self.stats["maps_ignored"] += 1
+                return
+        super()._handle_shard_map(sender, message)
+
+
+class ExpiredLeaseReplicaEdgeNode(ShardedEdgeNode):
+    """A read replica that keeps serving after its lease expired.
+
+    An honest replica cut off from the cloud redirects reads to the writer
+    once its lease runs out.  This variant keeps answering, attaching the
+    stale lease it still holds — and that attached lease is exactly what
+    convicts it: the client forwards the signed response plus the lease as
+    a ``stale-replica-serve`` dispute, and the judge sees a serve
+    timestamp past the lease's expiry.
+    """
+
+    def _replica_lease_valid(
+        self, lease: Optional[ReplicaLease], now: float
+    ) -> bool:
+        return lease is not None  # expired is good enough to keep serving

@@ -38,13 +38,20 @@ def build_shard_map_message(
     partitioner: str,
     assignments: dict[ShardId, NodeId],
     timestamp: float,
+    replicas: Optional[dict[ShardId, tuple[NodeId, ...]]] = None,
+    provenance: Optional[dict[ShardId, tuple[NodeId, ...]]] = None,
 ) -> ShardMapMessage:
     """Sign one shard-map snapshot on behalf of the cloud.
 
     Assignments are ordered by shard id so the signed bytes are
     deterministic regardless of the registry's internal bookkeeping order.
+    ``replicas``/``provenance`` name each shard's read replicas and prior
+    writers; omitted (the unreplicated default) the signed bytes are
+    identical to the historical single-owner map.
     """
 
+    replicas = replicas or {}
+    provenance = provenance or {}
     statement = ShardMapStatement(
         cloud=cloud,
         version=version,
@@ -52,7 +59,12 @@ def build_shard_map_message(
         partitioner=partitioner,
         timestamp=timestamp,
         assignments=tuple(
-            ShardAssignment(shard_id=shard_id, owner=assignments[shard_id])
+            ShardAssignment(
+                shard_id=shard_id,
+                owner=assignments[shard_id],
+                replicas=tuple(replicas.get(shard_id, ())),
+                provenance=tuple(provenance.get(shard_id, ())),
+            )
             for shard_id in sorted(assignments)
         ),
     )
@@ -98,11 +110,18 @@ class ShardRegistry:
         partitioner: str,
         assignments: dict[ShardId, NodeId],
         now: float = 0.0,
+        replicas: Optional[dict[ShardId, tuple[NodeId, ...]]] = None,
     ) -> None:
         self.num_shards = num_shards
         self.partitioner = partitioner
         self.version = 1
         self._owners: dict[ShardId, NodeId] = dict(assignments)
+        self._replicas: dict[ShardId, tuple[NodeId, ...]] = {
+            shard_id: tuple(members)
+            for shard_id, members in (replicas or {}).items()
+            if members
+        }
+        self._provenance: dict[ShardId, tuple[NodeId, ...]] = {}
         self._history: list[OwnershipEpoch] = [
             OwnershipEpoch(shard_id=shard_id, owner=owner, version=1, since=now)
             for shard_id, owner in sorted(assignments.items())
@@ -116,6 +135,15 @@ class ShardRegistry:
 
     def assignments(self) -> dict[ShardId, NodeId]:
         return dict(self._owners)
+
+    def replicas_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        return self._replicas.get(shard_id, ())
+
+    def provenance_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        return self._provenance.get(shard_id, ())
+
+    def replicated_shards(self) -> tuple[ShardId, ...]:
+        return tuple(sorted(self._replicas))
 
     def shards_owned_by(self, edge: NodeId) -> tuple[ShardId, ...]:
         return tuple(
@@ -157,6 +185,52 @@ class ShardRegistry:
         )
         return self.version
 
+    def set_replicas(
+        self, shard_id: ShardId, replicas: tuple[NodeId, ...], now: float
+    ) -> int:
+        """Replace a shard's replica set; returns the new map version."""
+
+        self.version += 1
+        if replicas:
+            self._replicas[shard_id] = tuple(replicas)
+        else:
+            self._replicas.pop(shard_id, None)
+        # Replica-set changes don't move ownership, but the new version
+        # still needs a history anchor so owner_at stays total.
+        owner = self._owners[shard_id]
+        self._history.append(
+            OwnershipEpoch(
+                shard_id=shard_id, owner=owner, version=self.version, since=now
+            )
+        )
+        return self.version
+
+    def promote_replica(
+        self, shard_id: ShardId, replica: NodeId, now: float
+    ) -> int:
+        """Promote a replica to writer after the old writer was lost.
+
+        The deposed writer joins the shard's provenance chain (its
+        certified blocks legitimately remain in the promoted state) and
+        the promoted replica leaves the replica set.  Returns the new map
+        version.
+        """
+
+        deposed = self._owners[shard_id]
+        provenance = self._provenance.get(shard_id, ())
+        if deposed not in provenance:
+            self._provenance[shard_id] = provenance + (deposed,)
+        remaining = tuple(
+            member
+            for member in self._replicas.get(shard_id, ())
+            if member != replica
+        )
+        if remaining:
+            self._replicas[shard_id] = remaining
+        else:
+            self._replicas.pop(shard_id, None)
+        return self.reassign(shard_id, replica, now)
+
     def sign(
         self, registry: KeyRegistry, cloud: NodeId, timestamp: float
     ) -> ShardMapMessage:
@@ -170,6 +244,8 @@ class ShardRegistry:
             partitioner=self.partitioner,
             assignments=self._owners,
             timestamp=timestamp,
+            replicas=self._replicas,
+            provenance=self._provenance,
         )
 
 
@@ -188,6 +264,8 @@ class ShardMapView:
     #: How many stale or invalid maps were rejected (observability).
     rejected: int = 0
     _owners: dict[ShardId, NodeId] = field(default_factory=dict)
+    _replicas: dict[ShardId, tuple[NodeId, ...]] = field(default_factory=dict)
+    _provenance: dict[ShardId, tuple[NodeId, ...]] = field(default_factory=dict)
 
     @property
     def version(self) -> int:
@@ -204,11 +282,24 @@ class ShardMapView:
     def owner_of(self, shard_id: ShardId) -> Optional[NodeId]:
         return self._owners.get(shard_id)
 
+    def replicas_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        return self._replicas.get(shard_id, ())
+
+    def provenance_of(self, shard_id: ShardId) -> tuple[NodeId, ...]:
+        return self._provenance.get(shard_id, ())
+
     def shards_owned_by(self, edge: NodeId) -> tuple[ShardId, ...]:
         return tuple(
             shard_id
             for shard_id, owner in sorted(self._owners.items())
             if owner == edge
+        )
+
+    def shards_replicated_by(self, edge: NodeId) -> tuple[ShardId, ...]:
+        return tuple(
+            shard_id
+            for shard_id, members in sorted(self._replicas.items())
+            if edge in members
         )
 
     def update(self, registry: KeyRegistry, message: ShardMapMessage) -> bool:
@@ -231,6 +322,16 @@ class ShardMapView:
         self._owners = {
             assignment.shard_id: assignment.owner
             for assignment in message.statement.assignments
+        }
+        self._replicas = {
+            assignment.shard_id: assignment.replicas
+            for assignment in message.statement.assignments
+            if assignment.replicas
+        }
+        self._provenance = {
+            assignment.shard_id: assignment.provenance
+            for assignment in message.statement.assignments
+            if assignment.provenance
         }
         return True
 

@@ -124,11 +124,25 @@ class ShardedWedgeSystem(WedgeChainSystem):
             shard_id: edges[shard_id % len(edges)].node_id
             for shard_id in range(sharding.num_shards)
         }
+        # replication_factor - 1 read replicas per shard, round-robin over
+        # the edges after the writer.  The paper-default factor of 1 leaves
+        # the map (and its signed bytes) exactly as the unreplicated fleet.
+        replicas = None
+        extra = min(sharding.replication_factor - 1, len(edges) - 1)
+        if extra > 0:
+            replicas = {
+                shard_id: tuple(
+                    edges[(shard_id + offset) % len(edges)].node_id
+                    for offset in range(1, extra + 1)
+                )
+                for shard_id in range(sharding.num_shards)
+            }
         map_message = cloud.install_shard_map(
             num_shards=sharding.num_shards,
             partitioner_name=sharding.partitioner,
             assignments=assignments,
             key_space=sharding.key_space,
+            replicas=replicas,
         )
         for edge in edges:
             edge.adopt_shard_map(map_message)

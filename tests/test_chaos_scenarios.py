@@ -32,12 +32,14 @@ from repro.common.config import (
     LSMerkleConfig,
     SecurityConfig,
     ShardingConfig,
+    StorageConfig,
     SystemConfig,
 )
 from repro.common.regions import Region
 from repro.core.system import WedgeChainSystem
 from repro.faults import (
     CrashEvent,
+    DiskFaultRule,
     FaultInjector,
     FaultPlan,
     FaultRule,
@@ -48,11 +50,17 @@ from repro.faults import (
     assert_monotone,
     assert_no_false_convictions,
     assert_no_lost_atomicity,
+    assert_replicated_reads_served,
 )
 from repro.log.proofs import CommitPhase
 from repro.nodes.edge import EdgeNode
 from repro.nodes.malicious import EquivocatingCertifierEdgeNode
-from repro.sharding import ShardedWedgeSystem
+from repro.sharding import (
+    DeposedWriterEdgeNode,
+    ExpiredLeaseReplicaEdgeNode,
+    ShardedEdgeNode,
+    ShardedWedgeSystem,
+)
 from repro.sim.environment import local_environment
 from repro.workloads.generator import format_key
 
@@ -96,6 +104,55 @@ def build_sharded(seed=17, num_edges=2, num_shards=4, **config_overrides):
         ),
         num_clients=1,
         env=local_environment(seed=seed),
+    )
+
+
+def build_replicated(
+    seed,
+    num_edges=3,
+    num_shards=4,
+    failover_timeout_s=1.0,
+    edge_factory=None,
+    **config_overrides,
+):
+    """A fully replicated fleet: every edge holds every shard (writer or
+    replica), with tight lease/failover timers so scenarios converge fast."""
+
+    return ShardedWedgeSystem.build(
+        config=chaos_config(
+            num_edge_nodes=num_edges,
+            sharding=ShardingConfig(
+                num_shards=num_shards,
+                replication_factor=3,
+                replica_lease_s=1.0,
+                failover_timeout_s=failover_timeout_s,
+            ),
+            **config_overrides,
+        ),
+        num_clients=1,
+        env=local_environment(seed=seed),
+        edge_factory=edge_factory,
+    )
+
+
+def flatten_ops(ops):
+    """Sharded ``put_batch`` fans out into one operation per owning edge;
+    flatten the per-batch tuples into plain operation ids."""
+
+    flat = []
+    for op in ops:
+        flat.extend(op) if isinstance(op, tuple) else flat.append(op)
+    return flat
+
+
+def written_key_in_shard(client, shard_id, blocks, prefix):
+    """A key :func:`put_blocks` wrote that routes to *shard_id*."""
+
+    return next(
+        (f"{prefix}-{block}-{i}", b"v%d" % i)
+        for block in range(blocks)
+        for i in range(BLOCK_SIZE)
+        if client.partitioner.shard_of(f"{prefix}-{block}-{i}") == shard_id
     )
 
 
@@ -640,3 +697,324 @@ class TestObservabilityOverhead:
             if ratio < 1.05:
                 break
         assert ratio < 1.05, f"observability overhead {ratio:.3f}x exceeds 1.05x"
+
+
+# ----------------------------------------------------------------------
+# 11. Writer loss in a replica group: certified failover, reads never stop
+# ----------------------------------------------------------------------
+class TestWriterCrashFailover:
+    """Crash a replicated shard's certifying writer and never bring it back.
+
+    The replica group's promise: reads on the writer's shards keep being
+    served (first under the surviving replicas' freshness leases, then by
+    the promoted writer), the cloud promotes the freshest replica through
+    the countersigned handoff path, no committed-and-replicated write is
+    lost, and no honest node is convicted — all without signing a single
+    new data byte during the failover.
+    """
+
+    WORKLOAD_BLOCKS = 6
+
+    @classmethod
+    def _run(cls, seed, **build_kwargs):
+        system = build_replicated(seed, **build_kwargs)
+        client = system.clients[0]
+        stop_pump = start_certify_pump(system)
+
+        ops = flatten_ops(put_blocks(client, cls.WORKLOAD_BLOCKS, prefix="pre"))
+        # Phase II completes and at least one shipping interval passes, so
+        # every certified block is installed on both replicas pre-crash.
+        system.run_for(3.0)
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in ops
+        )
+
+        writer = system.edge_by_id(system.shard_owner(0))
+        crashed_shards = tuple(writer.owned_shards())
+        survivors = [edge for edge in system.edges if edge is not writer]
+        for survivor in survivors:
+            assert survivor.stats["replica_shipments_installed"] >= 1
+
+        now = system.env.now()
+        plan = FaultPlan(seed=seed, name="writer-crash").with_crash(
+            CrashEvent(writer.node_id, at_s=now + 0.05)  # never restarts
+        )
+        injector = FaultInjector(system.env, plan).install()
+
+        # Probe reads on a crashed shard against the surviving replica-set
+        # members through the whole outage: the lease window, the failover
+        # countdown, and the post-promotion regime.  (A read routed at the
+        # dead writer just vanishes — replication's promise is about the
+        # survivors.)
+        probe_shard = crashed_shards[0]
+        probe_key, probe_value = written_key_in_shard(
+            client, probe_shard, cls.WORKLOAD_BLOCKS, "pre"
+        )
+        samples = []
+        for _ in range(10):
+            for survivor in survivors:
+                op = client.get(probe_key, edge=survivor.node_id)
+                system.run_for(0.4)
+                record = client.tracker.get(op)
+                served = (
+                    client.phase_of(op)
+                    in (CommitPhase.PHASE_ONE, CommitPhase.PHASE_TWO)
+                    and record.details.get("value") == probe_value
+                )
+                samples.append((system.env.now(), probe_shard, served))
+        assert_replicated_reads_served(samples)
+
+        # The cloud noticed the silence and promoted a replica for every
+        # shard the dead writer certified, via the countersigned map path.
+        assert system.cloud.stats["shard_failovers_started"] >= 1
+        assert system.cloud.stats["replica_promotions"] == len(crashed_shards)
+        assert system.cloud.shard_registry.version > 1
+        for shard_id in crashed_shards:
+            new_owner = system.shard_owner(shard_id)
+            assert new_owner != writer.node_id
+            promoted = system.edge_by_id(new_owner)
+            assert promoted.stats["shard_promotions"] >= 1
+            assert shard_id in promoted.owned_shards()
+            assert writer.node_id in system.cloud.shard_registry.provenance_of(
+                shard_id
+            )
+
+        # No committed write lost: every pre-crash write reads back, with a
+        # proof the client verifies against the promoted writers' roots.
+        readback = []
+        for block in range(cls.WORKLOAD_BLOCKS):
+            for i in range(BLOCK_SIZE):
+                key = f"pre-{block}-{i}"
+                owner = system.shard_owner(client.partitioner.shard_of(key))
+                readback.append((client.get(key, edge=owner), b"v%d" % i))
+        system.run_for(3.0)
+        stop_pump()
+        for op, expected in readback:
+            assert client.phase_of(op) is CommitPhase.PHASE_TWO
+            assert client.tracker.get(op).details.get("value") == expected
+
+        assert_full_certification(survivors)
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges]
+        )
+        summary = (
+            tuple(injector.trace),
+            tuple(
+                (shard_id, str(system.shard_owner(shard_id)))
+                for shard_id in range(4)
+            ),
+            system.cloud.stats["replica_promotions"],
+            system.cloud.shard_registry.version,
+        )
+        return summary
+
+    def test_volatile_writer_crash_fails_over(self):
+        self._run(111)
+
+    def test_durable_writer_crash_fails_over(self, tmp_path):
+        self._run(
+            112,
+            storage=StorageConfig(
+                backend="disk", root_dir=str(tmp_path), fsync="always"
+            ),
+        )
+
+    def test_same_seed_same_promotion(self):
+        assert self._run(116) == self._run(116)
+
+
+# ----------------------------------------------------------------------
+# 12. Disk-quarantined writer: PR 7's dead-end becomes a failover trigger
+# ----------------------------------------------------------------------
+class TestQuarantineFailover:
+    def test_quarantined_writer_shard_fails_over(self, tmp_path):
+        # A huge silence timeout isolates the trigger under test: only the
+        # restarted writer's own quarantine notice may start the failover.
+        system = build_replicated(
+            113,
+            failover_timeout_s=30.0,
+            storage=StorageConfig(
+                backend="disk",
+                root_dir=str(tmp_path),
+                fsync="always",
+                segment_max_bytes=512,
+                truncate_on_snapshot=False,
+            ),
+        )
+        client = system.clients[0]
+        writer = system.edge_by_id(system.shard_owner(0))
+        victim_shard = 0
+        plan = (
+            FaultPlan(seed=113, name="writer-quarantine")
+            .with_disk_fault(
+                DiskFaultRule(
+                    node=writer.node_id,
+                    kind="bit_flip",
+                    at_s=0.1,
+                    count=1,
+                    shard_id=victim_shard,
+                )
+            )
+            .with_crash(CrashEvent(writer.node_id, at_s=2.0, restart_at_s=3.0))
+        )
+        injector = FaultInjector(system.env, plan).install()
+        stop_pump = start_certify_pump(system)
+
+        # Arm first, then write into the victim shard: the first durable
+        # append there lands checksummed-and-wrong in a sealed segment.
+        system.run_for(0.3)
+        keys = []
+        index = 0
+        while len(keys) < BLOCK_SIZE * 4:
+            key = f"flip-{index}"
+            if client.partitioner.shard_of(key) == victim_shard:
+                keys.append(key)
+            index += 1
+        for batch in range(4):
+            client.put_batch(
+                [
+                    (key, b"q%d" % batch)
+                    for key in keys[batch * BLOCK_SIZE : (batch + 1) * BLOCK_SIZE]
+                ]
+            )
+        system.run_for(1.5)  # certified and shipped before the crash at 2.0
+
+        # Crash, restart, recovery quarantines the corrupt partition, the
+        # notice reaches the cloud, and the very next tick promotes — no
+        # lease-expiry wait, since a quarantined partition refuses service.
+        system.run_for(4.0)
+        stop_pump()
+
+        assert any(
+            action == "disk:bit_flip" for _, action, *_ in injector.trace
+        )
+        assert writer.stats.get("partitions_quarantined", 0) >= 1
+        assert system.cloud.stats["shard_quarantine_notices"] >= 1
+        assert system.cloud.stats["replica_promotions"] >= 1
+        new_owner = system.shard_owner(victim_shard)
+        assert new_owner != writer.node_id
+
+        # The shard the quarantine orphaned serves verified reads again.
+        op = client.get(keys[0], edge=new_owner)
+        system.run_for(1.0)
+        assert client.phase_of(op) in (
+            CommitPhase.PHASE_ONE,
+            CommitPhase.PHASE_TWO,
+        )
+        assert client.tracker.get(op).details.get("value") == b"q0"
+        # An honest edge with a corrupt disk loses the shard, not its bond.
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges]
+        )
+
+
+# ----------------------------------------------------------------------
+# 13. Misbehavior around failover is convicted — and only misbehavior
+# ----------------------------------------------------------------------
+class TestFailoverMisbehaviorConvicted:
+    def test_deposed_writer_that_keeps_serving_is_convicted(self):
+        def factory(env, cloud, config, name, region, partitioner):
+            cls = DeposedWriterEdgeNode if name == "edge-0" else ShardedEdgeNode
+            return cls(
+                env=env,
+                cloud=cloud,
+                config=config,
+                name=name,
+                region=region,
+                partitioner=partitioner,
+            )
+
+        system = build_replicated(114, edge_factory=factory)
+        client = system.clients[0]
+        rogue = system.edges[0]
+        stop_pump = start_certify_pump(system)
+
+        ops = flatten_ops(put_blocks(client, 4, prefix="pre"))
+        system.run_for(1.4)
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in ops
+        )
+        rogue_shard = rogue.owned_shards()[0]
+
+        # Partition the rogue writer from the cloud (both directions,
+        # forever): silence triggers failover, and the deposing map would
+        # not reach it anyway — which suits a node built to ignore it.
+        plan = (
+            FaultPlan(seed=114, name="deposed-writer")
+            .with_rule(
+                FaultRule("drop", src=rogue.node_id, dst=system.cloud.node_id)
+            )
+            .with_rule(
+                FaultRule("drop", src=system.cloud.node_id, dst=rogue.node_id)
+            )
+        )
+        FaultInjector(system.env, plan).install()
+        system.run_for(6.0)  # silence timeout + writer lease expiry + grant
+        assert system.shard_owner(rogue_shard) != rogue.node_id
+
+        # The rogue still answers gets for the shard it lost, with a lease
+        # it pretends never expired.  One signed response convicts it.
+        probe_key, _ = written_key_in_shard(client, rogue_shard, 4, "pre")
+        op = client.get(probe_key, edge=rogue.node_id)
+        system.run_for(2.0)
+        stop_pump()
+
+        assert client.phase_of(op) is not CommitPhase.PHASE_TWO
+        assert_convicted(system.cloud, [rogue.node_id])
+        assert_no_false_convictions(
+            system.cloud, [edge.node_id for edge in system.edges[1:]]
+        )
+
+    def test_replica_serving_past_lease_is_convicted(self):
+        def factory(env, cloud, config, name, region, partitioner):
+            cls = (
+                ExpiredLeaseReplicaEdgeNode
+                if name == "edge-1"
+                else ShardedEdgeNode
+            )
+            return cls(
+                env=env,
+                cloud=cloud,
+                config=config,
+                name=name,
+                region=region,
+                partitioner=partitioner,
+            )
+
+        system = build_replicated(115, edge_factory=factory)
+        client = system.clients[0]
+        rogue = system.edges[1]  # replica of shard 0 (owner edge-0)
+        stop_pump = start_certify_pump(system)
+
+        ops = flatten_ops(put_blocks(client, 4, prefix="pre"))
+        system.run_for(2.0)  # certified, shipped, leases flowing
+        assert all(
+            client.phase_of(op) is CommitPhase.PHASE_TWO for op in ops
+        )
+        assert rogue.stats["replica_shipments_installed"] >= 1
+
+        # Cut only the lease stream to the rogue: an honest replica would
+        # stop serving when its last lease lapses; this one keeps going.
+        plan = FaultPlan(seed=115, name="stale-replica").with_rule(
+            FaultRule(
+                "drop",
+                message_type="ReplicaLease",
+                dst=rogue.node_id,
+                start_s=system.env.now(),
+            )
+        )
+        FaultInjector(system.env, plan).install()
+        system.run_for(2.5)  # well past the 1s lease it still holds
+
+        probe_key, _ = written_key_in_shard(client, 0, 4, "pre")
+        op = client.get(probe_key, edge=rogue.node_id)
+        system.run_for(2.0)
+        stop_pump()
+
+        assert client.phase_of(op) is not CommitPhase.PHASE_TWO
+        assert client.stats.get("stale_replica_detections", 0) >= 1
+        assert_convicted(system.cloud, [rogue.node_id])
+        assert_no_false_convictions(
+            system.cloud,
+            [system.edges[0].node_id, system.edges[2].node_id],
+        )

@@ -36,6 +36,16 @@ CASES = [
         ],
     ),
     (
+        "replicated_fleet.py",
+        [
+            "replica shipments installed",
+            "replica promotions: 2",
+            "countersigned map v",
+            "verified read from promoted replica",
+            "punishments recorded: 0",
+        ],
+    ),
+    (
         "durable_edge.py",
         [
             "crash -> recover -> verified get",

@@ -8,7 +8,7 @@ recalibration (re-measure, re-commit, re-document in ROADMAP), not a
 tweak — whoever changes them must consciously edit this file too.
 """
 
-from repro.common.config import StorageConfig, SystemConfig
+from repro.common.config import ShardingConfig, StorageConfig, SystemConfig
 
 
 class TestPaperDefaultStance:
@@ -45,3 +45,14 @@ class TestPaperDefaultStance:
         config = SystemConfig.paper_default()
         assert config.observability.enabled is False
         assert SystemConfig() == config
+
+    def test_replication_defaults_off(self):
+        # Replica groups (PR 9) are opt-in: the default fleet has one
+        # certifying writer per shard and no read replicas, the signed
+        # shard map carries no replica sets (byte-identical to the
+        # unreplicated map), and no lease/shipping/failover machinery
+        # ever starts.
+        sharding = ShardingConfig()
+        assert sharding.replication_factor == 1
+        assert sharding.replica_lease_s == 2.0
+        assert sharding.failover_timeout_s == 3.0
