@@ -115,8 +115,8 @@ class TestCompare:
 
     def test_committed_baseline_gates_every_tracked_row(self):
         """The committed BENCH_hotpath.json's non-gating list holds exactly
-        the row added this PR (the leased replica read); everything that
-        predates it — including the PR 8 instrumented put-pipeline, now
+        the row added this PR (the wall-clock open-loop put p99); everything
+        that predates it — including the PR 9 leased replica read, now
         graduated — gates.  Next PR: graduate it by emptying the list."""
 
         import pathlib
@@ -124,7 +124,8 @@ class TestCompare:
         baseline = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
         non_gating = load_non_gating(str(baseline))
         results = load_results(str(baseline))
-        assert non_gating == frozenset({"replica_read"})
+        assert non_gating == frozenset({"live_put_p99"})
+        assert "live_put_p99" in results
         assert "replica_read" in results
         assert "obs_overhead" in results
         assert "durable_put" in results and "recovery_replay" in results

@@ -1065,6 +1065,63 @@ def bench_replica_read(rng: random.Random, quick: bool) -> BenchResult:
     return _time_repeats("replica_read", run, reads_per_repeat, repeats)
 
 
+def bench_live_put_p99(rng: random.Random, quick: bool) -> BenchResult:
+    """Open-loop Poisson puts against a live 1-edge asyncio fleet.
+
+    The only row measured under real time: a seeded Poisson arrival stream
+    of put batches is offered to a 1-cloud/1-edge fleet running on the
+    wall-clock asyncio transport (unix sockets, codec-framed messages),
+    and per-request Phase I response times are recorded.  ``ops_per_s`` is
+    settled requests per second of wall time; the percentile columns are
+    the *response-time* percentiles (p50/p90/p99), not per-repeat harness
+    times — this is the tail-latency-under-load row the simulator cannot
+    produce.  Wall-clock numbers vary with the host, so the row rides in
+    ``non_gating`` first, per convention.
+    """
+
+    import asyncio
+
+    from ..common.config import WorkloadConfig
+    from ..service import LiveFleet
+    from ..workloads.openloop import OpenLoopSpec, run_open_loop
+    from .runner import config_for_batch
+
+    # ~40 req/s of 100-put batches saturates the single edge on a typical
+    # host; offer well below that so the row tracks the service-time tail
+    # rather than unbounded saturation queueing.
+    batch_size = 100
+    num_requests = 50 if quick else 200
+    rate = 20.0 if quick else 25.0
+    workload = WorkloadConfig(
+        num_clients=1,
+        batch_size=batch_size,
+        value_size=100,
+        read_fraction=0.0,
+        key_space=10_000,
+        operations_per_client=batch_size,
+        seed=7,
+    )
+    spec = OpenLoopSpec(workload=workload, num_requests=num_requests, rate=rate)
+    config = config_for_batch(batch_size)
+
+    async def offered_run():
+        async with LiveFleet(config=config, num_clients=1) as fleet:
+            return await run_open_loop(fleet, spec)
+
+    result = asyncio.run(offered_run())
+    percentiles = result.percentiles_s
+    return BenchResult(
+        name="live_put_p99",
+        ops=result.completed,
+        repeats=1,
+        total_s=result.duration_s,
+        ops_per_s=result.throughput_rps,
+        p50_ms=percentiles["p50"] * 1000.0,
+        p90_ms=percentiles["p90"] * 1000.0,
+        p99_ms=percentiles["p99"] * 1000.0,
+    )
+
+
 #: All registered micro-benchmarks, in reporting order.
 BENCHMARKS = (
     bench_digest_encode,
@@ -1087,6 +1144,7 @@ BENCHMARKS = (
     bench_recovery_replay,
     bench_obs_overhead,
     bench_replica_read,
+    bench_live_put_p99,
 )
 
 

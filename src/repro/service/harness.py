@@ -1,0 +1,268 @@
+"""A live WedgeChain fleet: cloud + edges + clients as asyncio tasks.
+
+:class:`LiveFleet` is the wall-clock twin of
+:class:`repro.core.system.WedgeChainSystem`: the same wiring (clients
+assigned to edges round-robin, gossip targets registered on the cloud, an
+``edge_factory`` hook for sharded or adversarial edge variants), but nodes
+exchange frames over real sockets and timers fire on real time.
+
+Usage is a start → load → report → clean-shutdown story::
+
+    fleet = LiveFleet(num_edges=2, num_clients=2)
+    await fleet.start()
+    op = fleet.client(0).put_batch([("k", b"v")])
+    await fleet.wait_for(fleet.client(0), op, CommitPhase.PHASE_TWO)
+    await fleet.stop()
+
+``async with LiveFleet(...)`` handles start/stop; see
+``examples/live_fleet.py`` for the full walk-through with open-loop load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigurationError
+from ..common.identifiers import NodeId, OperationId
+from ..common.regions import Region
+from ..log.proofs import CommitPhase
+from ..nodes.client import Client
+from ..nodes.cloud import CloudNode
+from ..nodes.edge import EdgeNode
+from ..sim.parameters import SimulationParameters
+from .runtime import LiveEnvironment
+from .transport import AsyncioTransport
+
+#: Edge factory signature — same shape as the sim system's, so sharded or
+#: malicious variants plug into either substrate unchanged.
+LiveEdgeFactory = Callable[[LiveEnvironment, NodeId, SystemConfig, str, Region], EdgeNode]
+
+_POLL_S = 0.002
+
+
+def _default_edge_factory(
+    env: LiveEnvironment,
+    cloud: NodeId,
+    config: SystemConfig,
+    name: str,
+    region: Region,
+) -> EdgeNode:
+    return EdgeNode(env=env, cloud=cloud, config=config, name=name, region=region)
+
+
+@dataclass
+class LiveFleetStats:
+    """Counters collected from a live run (same shape as the sim's)."""
+
+    phase_one_commits: int
+    phase_two_commits: int
+    failed_operations: int
+    blocks_formed: int
+    certifications: int
+    wan_bytes: int
+    lan_bytes: int
+    frames_sent: int
+    frame_bytes_sent: int
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class LiveFleet:
+    """A full live deployment with clean start/stop lifecycle."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        num_clients: int = 1,
+        num_edges: Optional[int] = None,
+        params: Optional[SimulationParameters] = None,
+        edge_factory: Optional[LiveEdgeFactory] = None,
+        seed: int = 7,
+        enable_gossip: bool = False,
+        transport_mode: str = "unix",
+        socket_dir: Optional[str] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        self.config = config if config is not None else SystemConfig.paper_default()
+        if num_edges is not None:
+            self.config = self.config.with_overrides(num_edge_nodes=num_edges)
+        self._num_clients = num_clients
+        self._params = params
+        self._edge_factory = (
+            edge_factory if edge_factory is not None else _default_edge_factory
+        )
+        self._seed = seed
+        self._enable_gossip = enable_gossip
+        self._transport_mode = transport_mode
+        self._socket_dir = socket_dir
+        self._host = host
+        self.env: Optional[LiveEnvironment] = None
+        self.cloud: Optional[CloudNode] = None
+        self.edges: list[EdgeNode] = []
+        self.clients: list[Client] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "LiveFleet":
+        """Construct the fleet and bring sockets, workers, and timers up."""
+
+        if self._running:
+            return self
+        transport = AsyncioTransport(
+            mode=self._transport_mode,
+            socket_dir=self._socket_dir,
+            host=self._host,
+        )
+        self.env = LiveEnvironment(
+            transport=transport,
+            params=self._params,
+            signature_scheme=self.config.security.signature_scheme,
+            seed=self._seed,
+        )
+        self.cloud = CloudNode(env=self.env, config=self.config, name="cloud-0")
+        self.edges = [
+            self._edge_factory(
+                self.env,
+                self.cloud.node_id,
+                self.config,
+                f"edge-{index}",
+                self.config.placement.edge_region,
+            )
+            for index in range(self.config.num_edge_nodes)
+        ]
+        self.clients = []
+        for index in range(self._num_clients):
+            edge = self.edges[index % len(self.edges)]
+            client = Client(
+                env=self.env,
+                edge=edge.node_id,
+                cloud=self.cloud.node_id,
+                config=self.config,
+                name=f"client-{index}",
+                region=self.config.placement.client_region,
+            )
+            self.clients.append(client)
+            self.cloud.register_gossip_target(client.node_id)
+        await self.env.start()
+        if self._enable_gossip:
+            self.cloud.start_gossip()
+        self._running = True
+        return self
+
+    async def stop(self) -> None:
+        if self.env is not None:
+            await self.env.stop()
+        self._running = False
+
+    async def __aenter__(self) -> "LiveFleet":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def client(self, index: int = 0) -> Client:
+        return self.clients[index]
+
+    def edge(self, index: int = 0) -> EdgeNode:
+        return self.edges[index]
+
+    # ------------------------------------------------------------------
+    # Waiting (wall-clock analogue of the sim's run_until_condition)
+    # ------------------------------------------------------------------
+    async def await_condition(
+        self, condition: Callable[[], bool], timeout_s: float = 30.0
+    ) -> bool:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while True:
+            if condition():
+                return True
+            if loop.time() >= deadline:
+                return condition()
+            await asyncio.sleep(_POLL_S)
+
+    async def wait_for(
+        self,
+        client: Client,
+        operation_id: OperationId,
+        phase: CommitPhase = CommitPhase.PHASE_TWO,
+        timeout_s: float = 30.0,
+    ) -> CommitPhase:
+        target = _phase_rank(phase)
+
+        def done() -> bool:
+            current = client.tracker.get(operation_id).phase
+            return _phase_rank(current) >= target or current is CommitPhase.FAILED
+
+        await self.await_condition(done, timeout_s)
+        return client.tracker.get(operation_id).phase
+
+    async def wait_for_all(
+        self,
+        operations: Iterable[tuple[Client, OperationId]],
+        phase: CommitPhase = CommitPhase.PHASE_TWO,
+        timeout_s: float = 60.0,
+    ) -> bool:
+        pairs = list(operations)
+        target = _phase_rank(phase)
+
+        def done() -> bool:
+            for client, operation_id in pairs:
+                current = client.tracker.get(operation_id).phase
+                if current is CommitPhase.FAILED:
+                    continue
+                if _phase_rank(current) < target:
+                    return False
+            return True
+
+        return await self.await_condition(done, timeout_s)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def trackers(self) -> list:
+        return [client.tracker for client in self.clients]
+
+    def stats(self) -> LiveFleetStats:
+        transport = self.env.transport
+        return LiveFleetStats(
+            phase_one_commits=sum(
+                tracker.count_in_phase(CommitPhase.PHASE_ONE)
+                for tracker in self.trackers()
+            ),
+            phase_two_commits=sum(
+                tracker.count_in_phase(CommitPhase.PHASE_TWO)
+                for tracker in self.trackers()
+            ),
+            failed_operations=sum(
+                tracker.count_in_phase(CommitPhase.FAILED)
+                for tracker in self.trackers()
+            ),
+            blocks_formed=sum(edge.stats["blocks_formed"] for edge in self.edges),
+            certifications=self.cloud.stats["certifications"],
+            wan_bytes=transport.stats.wan_bytes,
+            lan_bytes=transport.stats.lan_bytes,
+            frames_sent=transport.frames_sent,
+            frame_bytes_sent=transport.frame_bytes_sent,
+        )
+
+
+def _phase_rank(phase: CommitPhase) -> int:
+    order = {
+        CommitPhase.PENDING: 0,
+        CommitPhase.FAILED: 0,
+        CommitPhase.PHASE_ONE: 1,
+        CommitPhase.PHASE_TWO: 2,
+    }
+    return order[phase]

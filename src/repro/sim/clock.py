@@ -54,6 +54,24 @@ class ManualClock:
         self._now = float(value)
 
 
+class AnchoredWallClock:
+    """Real time re-based to zero at construction.
+
+    The live service harness (:mod:`repro.service`) runs the same node code
+    as the simulator, and that code treats timestamps as small
+    seconds-since-start floats (lease expiries, dispute deadlines, gossip
+    ages).  Anchoring the monotonic clock at the fleet's start keeps those
+    semantics — and keeps live traces comparable to sim traces — without
+    touching protocol code.
+    """
+
+    def __init__(self) -> None:
+        self._anchor = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._anchor
+
+
 class SimulatedClock:
     """The clock owned by the event scheduler.
 

@@ -43,81 +43,40 @@ empty dict and one empty set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Protocol, Tuple
+from typing import Any, Callable, Dict
 
-from ..common.encoding import encoded_size
 from ..common.errors import TransportError
 from ..common.identifiers import NodeId, NodeRole
-from ..common.regions import Region
+from ..transport import (
+    NetworkEndpoint,
+    NetworkStats,
+    SendHook,
+    message_wire_size,
+)
 from .events import EventScheduler
 from .parameters import SimulationParameters
 from .rng import DeterministicRng
 from .topology import Topology
 
-
-class NetworkEndpoint(Protocol):
-    """The minimal interface a node must expose to be attached to the network."""
-
-    node_id: NodeId
-    region: Region
-
-    def deliver(self, sender: NodeId, message: Any) -> None:
-        """Called by the network when a message arrives at this node."""
-
-
-def message_wire_size(message: Any) -> int:
-    """Size in bytes a message occupies on the wire."""
-
-    size = getattr(message, "wire_size", None)
-    if size is not None:
-        return int(size)
-    return encoded_size(message)
-
-
-@dataclass
-class NetworkStats:
-    """Aggregate traffic counters, split by link class.
-
-    The data-free certification claim of the paper is fundamentally a
-    bandwidth claim, so the network keeps byte counters that the ablation
-    benchmarks report.
-    """
-
-    messages_sent: int = 0
-    bytes_sent: int = 0
-    wan_messages: int = 0
-    wan_bytes: int = 0
-    lan_messages: int = 0
-    lan_bytes: int = 0
-    #: Sends vetoed by a hook plus deliveries dropped at an offline node.
-    dropped_sends: int = 0
-    dropped_deliveries: int = 0
-    per_link_bytes: Dict[Tuple[str, str], int] = field(default_factory=dict)
-
-    def record(self, src: NodeId, dst: NodeId, size: int, wan: bool) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += size
-        if wan:
-            self.wan_messages += 1
-            self.wan_bytes += size
-        else:
-            self.lan_messages += 1
-            self.lan_bytes += size
-        key = (str(src), str(dst))
-        self.per_link_bytes[key] = self.per_link_bytes.get(key, 0) + size
-
-
-#: A send hook: ``(src, dst, message) -> deliver?``.  Returning ``False``
-#: vetoes the delivery; the send is reported as never arriving.
-SendHook = Callable[[NodeId, NodeId, Any], bool]
+__all__ = [
+    "NetworkEndpoint",
+    "NetworkStats",
+    "SendHook",
+    "SimNetwork",
+    "message_wire_size",
+]
 
 #: Reserved hook name backing the legacy ``send_interceptor`` attribute.
 _LEGACY_INTERCEPTOR = "legacy-send-interceptor"
 
 
 class SimNetwork:
-    """Latency- and bandwidth-aware message delivery between registered nodes."""
+    """Latency- and bandwidth-aware message delivery between registered nodes.
+
+    The simulated implementation of the :class:`repro.transport.Transport`
+    boundary; its behaviour is pinned byte-identical by the figure-4/5
+    regression suite and the golden digest vectors.
+    """
 
     def __init__(
         self,

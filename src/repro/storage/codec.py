@@ -9,6 +9,14 @@ object it was written from.  This module adds that inverse on top of
 ``{"__bytes__": hex}``, ``{"__enum__": ...}``), against an explicit registry
 of the storable classes.
 
+The same codec is the **wire format** of the live service harness
+(:mod:`repro.service`): every message a node puts on a socket goes through
+:func:`encode_record` and comes back through :func:`decode_record`, so the
+registry also covers every class in
+:data:`repro.messages.WIRE_MESSAGE_TYPES` together with the statement and
+evidence types nested inside them.  ``tests/test_wire_codec_roundtrip.py``
+enforces coverage and ``encode → decode → encode`` byte-identity.
+
 Decoding is strict: an unknown ``__type__``, a malformed tree, or a value
 that fails its class's own ``__post_init__`` validation raises
 :class:`~repro.common.errors.StorageCorruptionError` — storage never hands
@@ -19,13 +27,14 @@ declares its sequence fields.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from enum import Enum
 from typing import Any
 
 from ..common.encoding import to_jsonable
 from ..common.errors import StorageCorruptionError
-from ..common.identifiers import NodeId, NodeRole
+from ..common.identifiers import NodeId, NodeRole, OperationId, OperationKind
 from ..crypto.signatures import BatchRootStatement, Signature
 from ..log.block import Block
 from ..log.entry import EntryBody, LogEntry
@@ -39,8 +48,16 @@ from ..log.proofs import (
 )
 from ..lsm.page import Page
 from ..lsm.records import KeyFence, KVRecord
+from ..lsmerkle.merge import MergeOutcome, MergeProposal
 from ..lsmerkle.mlsm import GlobalRootStatement, SignedGlobalRoot
+from ..lsmerkle.read_proof import GetProof, LevelPageEvidence, LevelZeroEvidence
 from ..merkle.tree import InclusionProof, ProofStep
+from ..messages import (
+    kv_messages as _kv_messages,
+    log_messages as _log_messages,
+    shard_messages as _shard_messages,
+    txn_messages as _txn_messages,
+)
 
 #: Dataclasses the store is allowed to reconstruct.  Every entry decodes
 #: through its ordinary (validating) constructor.
@@ -48,6 +65,7 @@ _TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         NodeId,
+        OperationId,
         Signature,
         EntryBody,
         LogEntry,
@@ -66,10 +84,57 @@ _TYPES: dict[str, type] = {
         KVRecord,
         KeyFence,
         Page,
+        # Nested evidence/proposal types that ride inside wire messages.
+        LevelZeroEvidence,
+        LevelPageEvidence,
+        GetProof,
+        MergeProposal,
+        MergeOutcome,
     )
 }
 
 _ENUMS: dict[str, type[Enum]] = {NodeRole.__name__: NodeRole}
+
+#: Fields whose declared type is a ``str``-subclass enum.  The canonical
+#: encoding flattens those to their plain string value (``isinstance(x, str)``
+#: wins before the enum check), so the decoder re-wraps them here — an
+#: unknown value raises inside the enum constructor, -> corruption.
+_ENUM_FIELDS: dict[type, dict[str, type[Enum]]] = {
+    NodeId: {"role": NodeRole},
+    _log_messages.AppendBatchRequest: {"kind": OperationKind},
+}
+
+
+def register_storable(cls: type) -> type:
+    """Register *cls* as decodable; rejects ``__name__`` collisions.
+
+    The codec keys records by class name, so two distinct classes sharing a
+    name would silently decode into the wrong one — refuse instead.
+    """
+
+    existing = _TYPES.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"storable name collision: {cls.__name__!r} already registered "
+            f"for {existing.__module__}.{existing.__qualname__}"
+        )
+    _TYPES[cls.__name__] = cls
+    return cls
+
+
+# The live transport frames these exact records over sockets, so every
+# message dataclass — envelopes and the signed statements nested inside
+# them — must decode.  Scanning the defining modules keeps a future message
+# class from silently missing the registry (and the round-trip test pins
+# coverage of WIRE_MESSAGE_TYPES explicitly).
+for _module in (_kv_messages, _log_messages, _shard_messages, _txn_messages):
+    for _obj in vars(_module).values():
+        if (
+            isinstance(_obj, type)
+            and dataclasses.is_dataclass(_obj)
+            and _obj.__module__ == _module.__name__
+        ):
+            register_storable(_obj)
 
 
 def encode_record(value: Any) -> bytes:
@@ -108,11 +173,8 @@ def _decode_tree(node: Any) -> Any:
                 # re-checking sort order and fences, refuses to rebuild a
                 # tampered page).
                 fields.pop("page_id", None)
-            elif cls is NodeId:
-                # NodeRole subclasses str, so the canonical encoding
-                # flattens it to its plain value — re-wrap it on the way
-                # back (an unknown role value raises, -> corruption).
-                fields["role"] = NodeRole(fields["role"])
+            for name, enum_cls in _ENUM_FIELDS.get(cls, {}).items():
+                fields[name] = enum_cls(fields[name])
             return cls(**fields)
         return {key: _decode_tree(value) for key, value in node.items()}
     if isinstance(node, list):

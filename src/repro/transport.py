@@ -1,0 +1,181 @@
+"""The explicit node/network boundary shared by every substrate.
+
+Protocol code (nodes, clients, the sharded fleet) never talks to a network
+implementation directly — it sends messages and schedules timers through the
+small runtime surface its environment exposes.  This module names that
+boundary explicitly so the *same* node code runs under two substrates:
+
+* the discrete-event simulator (:class:`repro.sim.network.SimNetwork` under
+  :class:`repro.sim.environment.Environment`), which reproduces the paper's
+  calibrated latency/bandwidth model byte-exactly; and
+* the wall-clock asyncio service harness
+  (:class:`repro.service.transport.AsyncioTransport` under
+  :class:`repro.service.runtime.LiveEnvironment`), which frames the same
+  canonical-encoded messages over real TCP or unix-domain sockets.
+
+Two protocols define the boundary:
+
+:class:`Transport`
+    What an environment needs from a message-delivery substrate: endpoint
+    registration, ``send``, traffic stats, composable send hooks, and the
+    offline (crash) gate.  ``SimNetwork`` conforms structurally — its
+    behaviour is pinned byte-identical by the figure-4/5 regression tests —
+    and ``AsyncioTransport`` implements the same surface over sockets.
+
+:class:`NodeRuntime`
+    What a node needs from its environment: ``send``, ``schedule``,
+    ``schedule_periodic``, ``now``, ``charge``, the shared key registry,
+    the calibration parameters, ``attach``, and ``ensure_observability``.
+    This is the *entire* surface the node implementations use (grep-audited:
+    message handlers never reach into the scheduler or the network), which
+    is what makes them transport-agnostic.
+
+The boundary types that both substrates share — :class:`NetworkEndpoint`,
+:class:`NetworkStats`, :func:`message_wire_size`, :data:`SendHook` — live
+here as well; :mod:`repro.sim.network` re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from .common.encoding import encoded_size
+from .common.identifiers import NodeId
+from .common.regions import Region
+
+
+class NetworkEndpoint(Protocol):
+    """The minimal interface a node must expose to be attached to a transport."""
+
+    node_id: NodeId
+    region: Region
+
+    def deliver(self, sender: NodeId, message: Any) -> None:
+        """Called by the transport when a message arrives at this node."""
+
+
+def message_wire_size(message: Any) -> int:
+    """Size in bytes a message occupies on the wire."""
+
+    size = getattr(message, "wire_size", None)
+    if size is not None:
+        return int(size)
+    return encoded_size(message)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, split by link class.
+
+    The data-free certification claim of the paper is fundamentally a
+    bandwidth claim, so every transport keeps byte counters that the
+    ablation benchmarks report.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    wan_messages: int = 0
+    wan_bytes: int = 0
+    lan_messages: int = 0
+    lan_bytes: int = 0
+    #: Sends vetoed by a hook plus deliveries dropped at an offline node.
+    dropped_sends: int = 0
+    dropped_deliveries: int = 0
+    per_link_bytes: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, src: NodeId, dst: NodeId, size: int, wan: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if wan:
+            self.wan_messages += 1
+            self.wan_bytes += size
+        else:
+            self.lan_messages += 1
+            self.lan_bytes += size
+        key = (str(src), str(dst))
+        self.per_link_bytes[key] = self.per_link_bytes.get(key, 0) + size
+
+
+#: A send hook: ``(src, dst, message) -> deliver?``.  Returning ``False``
+#: vetoes the delivery; the send is reported as never arriving.
+SendHook = Callable[[NodeId, NodeId, Any], bool]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What an environment needs from a message-delivery substrate."""
+
+    stats: NetworkStats
+
+    def register(self, node: NetworkEndpoint) -> None:
+        """Attach *node* so it can send and receive messages."""
+
+    def node(self, node_id: NodeId) -> NetworkEndpoint:
+        """The registered endpoint for *node_id* (raises on unknown ids)."""
+
+    def knows(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is registered."""
+
+    def send(
+        self,
+        src_id: NodeId,
+        dst_id: NodeId,
+        message: Any,
+        depart_at: Optional[float] = None,
+    ) -> float:
+        """Deliver *message* from *src_id* to *dst_id*.
+
+        Returns the (estimated) delivery time on the transport's clock, or
+        ``inf`` when the send was vetoed or the sender is offline.
+        """
+
+    def add_send_hook(self, name: str, hook: SendHook) -> None:
+        """Register a named, composable send predicate (fault injection)."""
+
+    def remove_send_hook(self, name: str) -> None:
+        """Unregister a hook by name (idempotent)."""
+
+    def set_offline(self, node_id: NodeId, offline: bool = True) -> None:
+        """Mark a node crashed (or back up); offline nodes lose all traffic."""
+
+    def is_offline(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is currently marked crashed."""
+
+
+class NodeRuntime(Protocol):
+    """The environment surface node implementations are written against.
+
+    Both :class:`repro.sim.environment.Environment` (simulated clock,
+    charged CPU model) and :class:`repro.service.runtime.LiveEnvironment`
+    (wall clock, real CPU) satisfy this protocol, which is the precise
+    sense in which ``CloudNode``/``EdgeNode``/``ShardedEdgeNode``/``Client``
+    are transport-agnostic.
+    """
+
+    registry: Any
+    params: Any
+    obs: Any
+
+    def attach(self, node: Any) -> None:
+        """Register a node with the transport and the key registry."""
+
+    def ensure_observability(self, config: Any) -> Optional[Any]:
+        """Shared observability bundle, or ``None`` when disabled."""
+
+    def now(self) -> float:
+        """Current time in seconds on this substrate's clock."""
+
+    def charge(self, seconds: float) -> None:
+        """Account CPU time (simulated substrate) or no-op (wall clock)."""
+
+    def send(self, src: NodeId, dst: NodeId, message: Any) -> float:
+        """Send a message from *src* to *dst*."""
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = ""):
+        """Run *callback* after *delay* seconds; returns a cancellable handle."""
+
+    def schedule_periodic(
+        self, interval: float, callback: Callable[[], None], label: str = ""
+    ) -> Callable[[], None]:
+        """Run *callback* every *interval* seconds; returns a stopper."""

@@ -1,5 +1,11 @@
-"""Workload generation and closed-loop drivers for the evaluation."""
+"""Workload generation and closed-/open-loop drivers for the evaluation."""
 
+from .arrivals import (
+    ArrivalProcess,
+    MAPArrivalProcess,
+    PoissonArrivalProcess,
+    TraceArrivalProcess,
+)
 from .driver import ClientProgress, ClosedLoopDriver, DriverResult
 from .generator import (
     KeySpace,
@@ -9,15 +15,35 @@ from .generator import (
     WriteOp,
     format_key,
 )
+from .openloop import (
+    OpenLoopResult,
+    OpenLoopSpec,
+    ResponseRecorder,
+    ScheduledRequest,
+    SimOpenLoopDriver,
+    build_request_schedule,
+    run_open_loop,
+)
 
 __all__ = [
+    "ArrivalProcess",
     "ClientProgress",
     "ClosedLoopDriver",
     "DriverResult",
     "KeySpace",
     "KeyValueWorkload",
+    "MAPArrivalProcess",
+    "OpenLoopResult",
+    "OpenLoopSpec",
     "Operation",
+    "PoissonArrivalProcess",
     "ReadOp",
+    "ResponseRecorder",
+    "ScheduledRequest",
+    "SimOpenLoopDriver",
+    "TraceArrivalProcess",
     "WriteOp",
+    "build_request_schedule",
     "format_key",
+    "run_open_loop",
 ]

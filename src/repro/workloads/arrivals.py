@@ -1,0 +1,130 @@
+"""Seeded arrival processes for open-loop load generation.
+
+Closed-loop clients (the paper's throughput experiments) can never observe
+queueing collapse: a slow system slows its own offered load.  Open-loop
+load fixes the arrival times in advance and measures how response times
+stretch — which is where tail percentiles (p99/p999) become meaningful.
+
+The three processes mirror the ``arrivals`` module of
+``grussorusso/faas-offloading-sim`` (SNIPPETS.md §1): Poisson for
+memoryless load, traces for replaying recorded inter-arrival gaps, and a
+Markovian arrival process (MAP) for bursty load with correlated gaps.  All
+draw exclusively from :class:`~repro.sim.rng.DeterministicRng`, so a seed
+fixes the entire arrival schedule — the property the transport-equivalence
+suite relies on to offer the *same* load to the simulator and the live
+fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol, Sequence
+
+from ..common.errors import ConfigurationError
+from ..sim.rng import DeterministicRng
+
+
+class ArrivalProcess(Protocol):
+    """Anything that can produce the next inter-arrival gap in seconds."""
+
+    def next_interarrival(self) -> float:
+        """Seconds until the next arrival (>= 0)."""
+
+
+def _exponential(rng: DeterministicRng, rate: float) -> float:
+    # Inverse-CDF sampling; random() is in [0, 1) so the log argument
+    # stays in (0, 1] and the draw is finite.
+    return -math.log(1.0 - rng.random()) / rate
+
+
+class PoissonArrivalProcess:
+    """Memoryless arrivals at a fixed mean *rate* (requests/second)."""
+
+    def __init__(self, rate: float, rng: Optional[DeterministicRng] = None, seed: int = 7) -> None:
+        if rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.rate = float(rate)
+        self._rng = (rng if rng is not None else DeterministicRng(seed)).fork("poisson")
+
+    def next_interarrival(self) -> float:
+        return _exponential(self._rng, self.rate)
+
+
+class TraceArrivalProcess:
+    """Replays a recorded sequence of inter-arrival gaps.
+
+    With ``cycle=True`` the trace wraps around when exhausted; otherwise a
+    drained trace raises ``StopIteration`` so callers can end the run at
+    the trace's natural length.
+    """
+
+    def __init__(self, interarrivals: Sequence[float], cycle: bool = False) -> None:
+        gaps = tuple(float(gap) for gap in interarrivals)
+        if not gaps:
+            raise ConfigurationError("trace must contain at least one gap")
+        if any(gap < 0 for gap in gaps):
+            raise ConfigurationError("trace gaps must be non-negative")
+        self._gaps = gaps
+        self._cycle = cycle
+        self._index = 0
+
+    def next_interarrival(self) -> float:
+        if self._index >= len(self._gaps):
+            if not self._cycle:
+                raise StopIteration("arrival trace exhausted")
+            self._index = 0
+        gap = self._gaps[self._index]
+        self._index += 1
+        return gap
+
+
+class MAPArrivalProcess:
+    """A Markov-modulated Poisson process: bursty, correlated arrivals.
+
+    The process sits in one of several states, each with its own arrival
+    rate; after every arrival it transitions according to a row-stochastic
+    matrix.  Two states — a slow one and a fast one with sticky self-loops
+    — already produce the burst trains that separate p99 from the mean.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float],
+        transitions: Sequence[Sequence[float]],
+        rng: Optional[DeterministicRng] = None,
+        seed: int = 7,
+        initial_state: int = 0,
+    ) -> None:
+        self.rates = tuple(float(rate) for rate in rates)
+        if not self.rates or any(rate <= 0 for rate in self.rates):
+            raise ConfigurationError("MAP rates must be positive")
+        self.transitions = tuple(tuple(float(p) for p in row) for row in transitions)
+        if len(self.transitions) != len(self.rates) or any(
+            len(row) != len(self.rates) for row in self.transitions
+        ):
+            raise ConfigurationError("MAP transition matrix must be square over states")
+        for row in self.transitions:
+            if any(p < 0 for p in row) or abs(sum(row) - 1.0) > 1e-9:
+                raise ConfigurationError("MAP transition rows must sum to 1")
+        if not 0 <= initial_state < len(self.rates):
+            raise ConfigurationError("MAP initial state out of range")
+        self._state = initial_state
+        self._rng = (rng if rng is not None else DeterministicRng(seed)).fork("map")
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def next_interarrival(self) -> float:
+        gap = _exponential(self._rng, self.rates[self._state])
+        draw = self._rng.random()
+        cumulative = 0.0
+        row = self.transitions[self._state]
+        for state, probability in enumerate(row):
+            cumulative += probability
+            if draw < cumulative:
+                self._state = state
+                break
+        else:
+            self._state = len(row) - 1
+        return gap

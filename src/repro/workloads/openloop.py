@@ -1,0 +1,331 @@
+"""Open-loop load generation with per-request response-time percentiles.
+
+The open-loop driver fixes every request's arrival time *before* the run
+(a seeded arrival process — see :mod:`repro.workloads.arrivals`) and then
+measures how long each request takes to reach its target commit phase.
+Unlike the closed-loop driver, a slow system cannot slow the offered load,
+so queueing delay shows up where it belongs: in the tail percentiles.
+
+The schedule is materialised up front by :func:`build_request_schedule`,
+deterministically from the workload seed.  That one schedule can be offered
+to either substrate:
+
+* :class:`SimOpenLoopDriver` replays it on the discrete-event simulator
+  (arrivals become scheduler events);
+* :func:`run_open_loop` replays it against a live
+  :class:`~repro.service.harness.LiveFleet` (arrivals become real sleeps).
+
+Response times are recorded in an :class:`~repro.obs.metrics.Histogram`,
+whose ``percentile`` is exact nearest-rank over every observation — the
+p999 of 1 000 requests is a real observed response time, not an
+interpolation artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.config import WorkloadConfig
+from ..common.errors import ConfigurationError
+from ..common.identifiers import OperationId
+from ..log.proofs import CommitPhase
+from .arrivals import ArrivalProcess, PoissonArrivalProcess
+from .generator import KeyValueWorkload, ReadOp
+
+#: The percentiles every report carries, as (label, fraction) pairs.
+REPORT_PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+_PHASE_RANK = {
+    CommitPhase.PENDING: 0,
+    CommitPhase.FAILED: 0,
+    CommitPhase.PHASE_ONE: 1,
+    CommitPhase.PHASE_TWO: 2,
+}
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One pre-planned request: when, who, and what to issue."""
+
+    at: float
+    client_index: int
+    kind: str  # "put" | "get"
+    items: tuple[tuple[str, bytes], ...] = ()
+    key: str = ""
+
+
+@dataclass(frozen=True)
+class OpenLoopSpec:
+    """What to offer: workload shape, request count, and arrival law."""
+
+    workload: WorkloadConfig
+    num_requests: int
+    #: Mean request rate for the default Poisson process (requests/second);
+    #: ignored when an explicit ``arrivals`` process is supplied.
+    rate: float = 50.0
+    arrivals: Optional[ArrivalProcess] = None
+    commit_phase: CommitPhase = CommitPhase.PHASE_ONE
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ConfigurationError("num_requests must be positive")
+        if self.arrivals is None and self.rate <= 0:
+            raise ConfigurationError("rate must be positive")
+
+    def arrival_process(self) -> ArrivalProcess:
+        if self.arrivals is not None:
+            return self.arrivals
+        return PoissonArrivalProcess(rate=self.rate, seed=self.workload.seed)
+
+
+def build_request_schedule(
+    spec: OpenLoopSpec, num_clients: int = 1
+) -> tuple[ScheduledRequest, ...]:
+    """Materialise the full arrival schedule, deterministically from the seed.
+
+    Requests round-robin over *num_clients*; each client draws from its own
+    forked workload stream (same forking as the closed-loop driver), so the
+    schedule for a given ``(spec, num_clients)`` is identical on every
+    substrate and every run.
+    """
+
+    if num_clients <= 0:
+        raise ConfigurationError("num_clients must be positive")
+    arrivals = spec.arrival_process()
+    workloads = [
+        KeyValueWorkload(spec.workload, client_index=index)
+        for index in range(num_clients)
+    ]
+    schedule: list[ScheduledRequest] = []
+    at = 0.0
+    for sequence in range(spec.num_requests):
+        try:
+            at += arrivals.next_interarrival()
+        except StopIteration:
+            break  # finite trace: the run ends at the trace's length
+        client_index = sequence % num_clients
+        workload = workloads[client_index]
+        operation = workload.next_operation()
+        if isinstance(operation, ReadOp):
+            schedule.append(
+                ScheduledRequest(
+                    at=at, client_index=client_index, kind="get", key=operation.key
+                )
+            )
+            continue
+        items = [(operation.key, operation.value)]
+        while len(items) < spec.workload.batch_size:
+            items.append((workload.next_key(), workload.next_value()))
+        schedule.append(
+            ScheduledRequest(
+                at=at, client_index=client_index, kind="put", items=tuple(items)
+            )
+        )
+    return tuple(schedule)
+
+
+class ResponseRecorder:
+    """Per-request response times with exact nearest-rank percentiles."""
+
+    def __init__(self) -> None:
+        # Deferred so the default sim deployment never imports ``repro.obs``
+        # (the obs-off stance pinned in tests/test_observability.py); the
+        # recorder only exists once an open-loop run is actually requested.
+        from ..obs.metrics import Histogram
+
+        self.histogram = Histogram()
+        self.failed = 0
+
+    def observe(self, response_s: float) -> None:
+        self.histogram.observe(response_s)
+
+    @property
+    def completed(self) -> int:
+        return self.histogram.count
+
+    def percentiles(self) -> dict[str, float]:
+        return {
+            label: self.histogram.percentile(fraction)
+            for label, fraction in REPORT_PERCENTILES
+        }
+
+
+@dataclass
+class OpenLoopResult:
+    """Aggregate outcome of one open-loop run."""
+
+    offered: int
+    completed: int
+    failed: int
+    duration_s: float
+    percentiles_s: dict[str, float]
+    recorder: ResponseRecorder = field(repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / max(self.duration_s, 1e-9)
+
+    def report_lines(self) -> list[str]:
+        lines = [
+            f"offered={self.offered} completed={self.completed} "
+            f"failed={self.failed} duration={self.duration_s:.3f}s "
+            f"throughput={self.throughput_rps:.1f} req/s",
+        ]
+        for label, _ in REPORT_PERCENTILES:
+            lines.append(f"{label}={self.percentiles_s[label] * 1000.0:.3f} ms")
+        return lines
+
+
+class _CompletionTracker:
+    """Shared bookkeeping: in-flight request ids and their send times."""
+
+    def __init__(self, spec: OpenLoopSpec, recorder: ResponseRecorder) -> None:
+        self.spec = spec
+        self.recorder = recorder
+        self.target_rank = _PHASE_RANK[spec.commit_phase]
+        self.sent_at: dict[OperationId, float] = {}
+        self.issued = 0
+        self.settled = 0
+
+    def register(self, result, sent_at: float) -> None:
+        operation_ids = result if isinstance(result, tuple) else (result,)
+        self.issued += 1
+        for operation_id in operation_ids:
+            self.sent_at[operation_id] = sent_at
+
+    def make_hook(self, now):
+        def hook(record, phase: CommitPhase) -> None:
+            sent = self.sent_at.get(record.operation_id)
+            if sent is None:
+                return
+            if phase is CommitPhase.FAILED:
+                del self.sent_at[record.operation_id]
+                self.recorder.failed += 1
+                self.settled += 1
+                return
+            if _PHASE_RANK[phase] < self.target_rank:
+                return
+            del self.sent_at[record.operation_id]
+            self.recorder.observe(now() - sent)
+            self.settled += 1
+
+        return hook
+
+    def all_settled(self, offered: int) -> bool:
+        return self.issued >= offered and not self.sent_at
+
+
+class SimOpenLoopDriver:
+    """Replay an open-loop schedule on the discrete-event simulator."""
+
+    def __init__(
+        self,
+        system,
+        spec: OpenLoopSpec,
+        clients: Optional[Sequence] = None,
+    ) -> None:
+        self.system = system
+        self.env = system.env
+        self.spec = spec
+        self.clients = list(clients) if clients is not None else list(system.clients)
+        self.recorder = ResponseRecorder()
+        self._tracker = _CompletionTracker(spec, self.recorder)
+        self._schedule = build_request_schedule(spec, num_clients=len(self.clients))
+
+    @property
+    def schedule(self) -> tuple[ScheduledRequest, ...]:
+        return self._schedule
+
+    def run(self, max_time_s: float = 600.0) -> OpenLoopResult:
+        start = self.env.now()
+        for client in self.clients:
+            client.tracker.on_phase_change = self._tracker.make_hook(self.env.now)
+        for request in self._schedule:
+            self.env.schedule(
+                request.at, self._make_issue(request), label="openloop-arrival"
+            )
+        self.env.run_until_condition(
+            lambda: self._tracker.all_settled(len(self._schedule)),
+            start + max_time_s,
+        )
+        return OpenLoopResult(
+            offered=len(self._schedule),
+            completed=self.recorder.completed,
+            failed=self.recorder.failed,
+            duration_s=self.env.now() - start,
+            percentiles_s=self.recorder.percentiles(),
+            recorder=self.recorder,
+        )
+
+    def _make_issue(self, request: ScheduledRequest):
+        def issue() -> None:
+            client = self.clients[request.client_index]
+            sent_at = self.env.now()
+            if request.kind == "put":
+                result = client.put_batch(list(request.items))
+            else:
+                result = client.get(request.key)
+            self._tracker.register(result, sent_at)
+
+        return issue
+
+
+async def run_open_loop(
+    fleet,
+    spec: OpenLoopSpec,
+    clients: Optional[Sequence] = None,
+    drain_timeout_s: float = 30.0,
+) -> OpenLoopResult:
+    """Offer an open-loop schedule to a live fleet, on real time.
+
+    Arrival gaps become real sleeps; the run ends when every issued request
+    settles (or *drain_timeout_s* after the last arrival, whichever comes
+    first — laggards are counted as failed so a stalled fleet cannot hang
+    the caller).
+    """
+
+    chosen = list(clients) if clients is not None else list(fleet.clients)
+    recorder = ResponseRecorder()
+    tracker = _CompletionTracker(spec, recorder)
+    schedule = build_request_schedule(spec, num_clients=len(chosen))
+    now = fleet.env.now
+    for client in chosen:
+        client.tracker.on_phase_change = tracker.make_hook(now)
+
+    loop = asyncio.get_running_loop()
+    start_wall = loop.time()
+    start = now()
+    for request in schedule:
+        delay = (start_wall + request.at) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = chosen[request.client_index]
+        sent_at = now()
+        if request.kind == "put":
+            result = client.put_batch(list(request.items))
+        else:
+            result = client.get(request.key)
+        tracker.register(result, sent_at)
+
+    await fleet.await_condition(
+        lambda: tracker.all_settled(len(schedule)), timeout_s=drain_timeout_s
+    )
+    unsettled = len(tracker.sent_at)
+    if unsettled:
+        recorder.failed += unsettled
+        tracker.sent_at.clear()
+    return OpenLoopResult(
+        offered=len(schedule),
+        completed=recorder.completed,
+        failed=recorder.failed,
+        duration_s=now() - start,
+        percentiles_s=recorder.percentiles(),
+        recorder=recorder,
+    )

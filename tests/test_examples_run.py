@@ -53,6 +53,16 @@ CASES = [
             "get('sensor-003')",
         ],
     ),
+    (
+        "live_fleet.py",
+        [
+            "single put committed through phase_two",
+            "verified read completed through phase_two",
+            "p99=",
+            "p999=",
+            "clean shutdown",
+        ],
+    ),
 ]
 
 

@@ -1,0 +1,183 @@
+"""Open-loop load generation: arrival processes, schedules, percentiles.
+
+The open-loop layer's whole value is determinism (one seed fixes the entire
+offered load, on any substrate) and honest tails (exact nearest-rank
+percentiles over every recorded response).  These tests pin both, plus the
+validation surface of each arrival process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.core.system import WedgeChainSystem
+from repro.sim.environment import local_environment
+from repro.sim.rng import DeterministicRng
+from repro.workloads import (
+    MAPArrivalProcess,
+    OpenLoopSpec,
+    PoissonArrivalProcess,
+    ResponseRecorder,
+    SimOpenLoopDriver,
+    TraceArrivalProcess,
+    build_request_schedule,
+)
+
+
+def _workload(seed: int = 11, read_fraction: float = 0.0) -> WorkloadConfig:
+    return WorkloadConfig(
+        num_clients=2,
+        batch_size=10,
+        value_size=64,
+        read_fraction=read_fraction,
+        key_space=500,
+        operations_per_client=100,
+        seed=seed,
+    )
+
+
+class TestArrivalProcesses:
+    def test_poisson_is_seeded_and_mean_matches_rate(self):
+        first = PoissonArrivalProcess(rate=100.0, seed=5)
+        second = PoissonArrivalProcess(rate=100.0, seed=5)
+        gaps = [first.next_interarrival() for _ in range(2000)]
+        assert gaps == [second.next_interarrival() for _ in range(2000)]
+        assert all(gap >= 0 for gap in gaps)
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1.0 / 100.0, rel=0.15)
+
+    def test_poisson_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(rate=0.0)
+
+    def test_trace_replays_and_cycles(self):
+        trace = TraceArrivalProcess([0.1, 0.2, 0.3], cycle=True)
+        gaps = [trace.next_interarrival() for _ in range(5)]
+        assert gaps == [0.1, 0.2, 0.3, 0.1, 0.2]
+
+    def test_finite_trace_raises_when_drained(self):
+        trace = TraceArrivalProcess([0.1])
+        trace.next_interarrival()
+        with pytest.raises(StopIteration):
+            trace.next_interarrival()
+
+    def test_trace_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivalProcess([])
+        with pytest.raises(ConfigurationError):
+            TraceArrivalProcess([0.1, -0.2])
+
+    def test_map_is_seeded_and_bursty_states_differ(self):
+        rates = (20.0, 400.0)
+        transitions = ((0.9, 0.1), (0.2, 0.8))
+        first = MAPArrivalProcess(rates, transitions, seed=9)
+        second = MAPArrivalProcess(rates, transitions, seed=9)
+        gaps = [first.next_interarrival() for _ in range(3000)]
+        assert gaps == [second.next_interarrival() for _ in range(3000)]
+        # The two-state process must actually visit both regimes.
+        assert min(gaps) < 1.0 / 200.0 < max(gaps)
+
+    def test_map_validation(self):
+        with pytest.raises(ConfigurationError):
+            MAPArrivalProcess((), ())
+        with pytest.raises(ConfigurationError):
+            MAPArrivalProcess((1.0, 2.0), ((0.5, 0.5),))
+        with pytest.raises(ConfigurationError):
+            MAPArrivalProcess((1.0,), ((0.7,),))  # row does not sum to 1
+        with pytest.raises(ConfigurationError):
+            MAPArrivalProcess((1.0,), ((1.0,),), initial_state=3)
+
+    def test_map_accepts_shared_rng(self):
+        rng = DeterministicRng(4)
+        process = MAPArrivalProcess((10.0,), ((1.0,),), rng=rng)
+        assert process.next_interarrival() >= 0
+        assert process.state == 0
+
+
+class TestRequestSchedule:
+    def test_schedule_is_deterministic_for_seed(self):
+        spec = OpenLoopSpec(workload=_workload(), num_requests=40, rate=100.0)
+        assert build_request_schedule(spec, 2) == build_request_schedule(spec, 2)
+
+    def test_schedule_changes_with_seed(self):
+        first = OpenLoopSpec(workload=_workload(seed=1), num_requests=20, rate=100.0)
+        second = OpenLoopSpec(workload=_workload(seed=2), num_requests=20, rate=100.0)
+        assert build_request_schedule(first, 1) != build_request_schedule(second, 1)
+
+    def test_arrival_times_increase_and_clients_round_robin(self):
+        spec = OpenLoopSpec(workload=_workload(), num_requests=30, rate=200.0)
+        schedule = build_request_schedule(spec, num_clients=3)
+        assert len(schedule) == 30
+        assert all(
+            later.at >= earlier.at
+            for earlier, later in zip(schedule, schedule[1:])
+        )
+        assert [request.client_index for request in schedule[:6]] == [0, 1, 2, 0, 1, 2]
+
+    def test_write_requests_carry_full_batches(self):
+        spec = OpenLoopSpec(workload=_workload(), num_requests=5, rate=100.0)
+        for request in build_request_schedule(spec, 1):
+            assert request.kind == "put"
+            assert len(request.items) == 10
+
+    def test_read_fraction_produces_gets(self):
+        spec = OpenLoopSpec(
+            workload=_workload(read_fraction=0.5), num_requests=40, rate=100.0
+        )
+        kinds = {request.kind for request in build_request_schedule(spec, 1)}
+        assert kinds == {"put", "get"}
+
+    def test_finite_trace_bounds_the_schedule(self):
+        spec = OpenLoopSpec(
+            workload=_workload(),
+            num_requests=100,
+            arrivals=TraceArrivalProcess([0.01] * 7),
+        )
+        assert len(build_request_schedule(spec, 1)) == 7
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpenLoopSpec(workload=_workload(), num_requests=0)
+        with pytest.raises(ConfigurationError):
+            OpenLoopSpec(workload=_workload(), num_requests=5, rate=-1.0)
+
+
+class TestResponseRecorder:
+    def test_exact_nearest_rank_percentiles(self):
+        recorder = ResponseRecorder()
+        for value in range(1, 1001):  # 1..1000 ms as seconds
+            recorder.observe(value / 1000.0)
+        percentiles = recorder.percentiles()
+        assert percentiles["p50"] == pytest.approx(0.501)
+        assert percentiles["p90"] == pytest.approx(0.901)
+        assert percentiles["p99"] == pytest.approx(0.991)
+        # p999 is a real observed sample, not an interpolation.
+        assert percentiles["p999"] == pytest.approx(1.000)
+        assert recorder.completed == 1000
+
+
+class TestSimOpenLoopDriver:
+    def _run(self, seed: int = 11):
+        system = WedgeChainSystem.build(
+            num_clients=2, env=local_environment(seed=seed)
+        )
+        spec = OpenLoopSpec(workload=_workload(seed=seed), num_requests=30, rate=150.0)
+        return SimOpenLoopDriver(system, spec).run()
+
+    def test_open_loop_run_completes_and_reports(self):
+        result = self._run()
+        assert result.offered == 30
+        assert result.completed == 30
+        assert result.failed == 0
+        assert result.throughput_rps > 0
+        labels = [line.split("=")[0] for line in result.report_lines()[1:]]
+        assert labels == ["p50", "p90", "p99", "p999"]
+        assert 0 < result.percentiles_s["p50"] <= result.percentiles_s["p999"]
+
+    def test_open_loop_run_is_deterministic(self):
+        first = self._run()
+        second = self._run()
+        assert first.percentiles_s == second.percentiles_s
+        assert first.duration_s == second.duration_s
